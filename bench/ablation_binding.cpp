@@ -1,0 +1,90 @@
+// Ablation (not in the paper's figures): binding policy matrix on one mixed
+// workload — uniform all-to-all accumulates PLUS a hot node-master PUT
+// stream — isolating what each design choice contributes:
+//   rank vs segment static binding x {none, random, op-count, byte-count}.
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace casper;
+using bench::Mode;
+using bench::RunSpec;
+
+namespace {
+
+double mixed_us(const RunSpec& spec) {
+  return bench::run_metric(spec, [](mpi::Env& env, double* out) {
+    mpi::Comm w = env.world();
+    const int p = env.size(w);
+    const int me = env.rank(w);
+    const auto& topo = env.runtime().topo();
+    const int upn = p / topo.nodes;
+    const int elems = 64;
+    void* base = nullptr;
+    mpi::Win win = env.win_allocate(
+        static_cast<std::size_t>(elems) * sizeof(double), sizeof(double),
+        mpi::Info{}, w, &base);
+    env.win_lock_all(0, win);
+    env.barrier(w);
+    const sim::Time t0 = env.now();
+    std::vector<double> v(static_cast<std::size_t>(elems), 1.0);
+    for (int round = 0; round < 8; ++round) {
+      for (int t = 0; t < p; ++t) {
+        if (t == me) continue;
+        env.accumulate(v.data(), 4, t, 0, mpi::AccOp::Sum, win);
+        if (t % upn == 0) {
+          env.put(v.data(), elems, t, 0, win);
+        }
+      }
+    }
+    env.win_flush_all(win);
+    env.barrier(w);
+    const double us = sim::to_us(env.now() - t0);
+    double us_max = 0;
+    env.allreduce(&us, &us_max, 1, mpi::Dt::Double, mpi::AccOp::Max, w);
+    env.win_unlock_all(win);
+    if (me == 0) *out = us_max;
+    env.win_free(win);
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = report::csv_mode(argc, argv);
+  report::banner(std::cout, "Ablation",
+                 "binding policy matrix on a mixed acc + hot-put workload "
+                 "(8 nodes x 8 users + 4 ghosts)");
+
+  report::Table t({"static_binding", "dynamic", "time(ms)"});
+  for (auto binding : {core::Binding::Rank, core::Binding::Segment}) {
+    for (auto dyn :
+         {core::DynamicLb::None, core::DynamicLb::Random,
+          core::DynamicLb::OpCounting, core::DynamicLb::ByteCounting}) {
+      RunSpec s;
+      s.mode = Mode::Casper;
+      s.profile = net::cray_xc30_regular();
+      s.nodes = 8;
+      s.user_cpn = 8;
+      s.ghosts = 4;
+      s.binding = binding;
+      s.dynamic = dyn;
+      const char* bn = binding == core::Binding::Rank ? "rank" : "segment";
+      const char* dn = dyn == core::DynamicLb::None           ? "none"
+                       : dyn == core::DynamicLb::Random       ? "random"
+                       : dyn == core::DynamicLb::OpCounting   ? "op-count"
+                                                              : "byte-count";
+      t.row({bn, dn, report::fmt(mixed_us(s) / 1000.0, 2)});
+    }
+  }
+  {
+    RunSpec s;
+    s.mode = Mode::Original;
+    s.profile = net::cray_xc30_regular();
+    s.nodes = 8;
+    s.user_cpn = 8;
+    t.row({"(original MPI)", "-", report::fmt(mixed_us(s) / 1000.0, 2)});
+  }
+  t.print(std::cout, csv);
+  return 0;
+}

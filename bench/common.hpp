@@ -1,0 +1,117 @@
+// Shared helpers for the figure-reproduction benches: the four execution
+// modes of the paper's evaluation (original MPI, thread-based progress,
+// DMAPP/interrupt-based progress, Casper) and scale handling.
+//
+// Every bench accepts:
+//   --csv    machine-readable output
+//   --full   paper-scale parameters (minutes); default is a reduced scale
+//            that preserves the curve shapes and finishes in seconds.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "core/casper.hpp"
+#include "mpi/runtime.hpp"
+#include "net/profile.hpp"
+#include "progress/progress.hpp"
+#include "report/table.hpp"
+
+namespace casper::bench {
+
+/// The progress strategies compared throughout the paper's evaluation.
+enum class Mode {
+  Original,  ///< no asynchronous progress
+  Thread,    ///< background thread per process (oversubscribed core)
+  ThreadD,   ///< background thread per process (dedicated core)
+  Dmapp,     ///< hardware PUT/GET + interrupt-driven software ops
+  Casper,    ///< ghost-process progress (this paper)
+};
+
+inline const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::Original: return "original";
+    case Mode::Thread: return "thread";
+    case Mode::ThreadD: return "thread(D)";
+    case Mode::Dmapp: return "dmapp";
+    case Mode::Casper: return "casper";
+  }
+  return "?";
+}
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// One simulated execution. `user_cpn` is the number of application
+/// processes per node; Casper nodes get `ghosts` extra cores for ghosts, the
+/// thread modes keep the paper's Table-I core accounting (oversubscribed =
+/// same cores at half compute speed; dedicated = progress threads on their
+/// own cores, which the caller accounts for by halving user_cpn).
+struct RunSpec {
+  Mode mode = Mode::Original;
+  net::Profile profile;       // base platform (Cray regular by default)
+  int nodes = 2;
+  int user_cpn = 1;           // application processes per node
+  int ghosts = 1;             // Casper ghosts per node (Casper mode only)
+  core::Binding binding = core::Binding::Rank;
+  core::DynamicLb dynamic = core::DynamicLb::None;
+  std::uint64_t seed = 12345;
+};
+
+/// Execute `app` under the spec; the app runs on the application-visible
+/// world. Returns nothing; the app communicates results via captures.
+inline void run(const RunSpec& spec, std::function<void(mpi::Env&)> app) {
+  mpi::RunConfig rc;
+  rc.machine.profile = spec.profile;
+  rc.machine.topo.nodes = spec.nodes;
+  rc.seed = spec.seed;
+  switch (spec.mode) {
+    case Mode::Original:
+      rc.machine.topo.cores_per_node = spec.user_cpn;
+      mpi::exec(rc, std::move(app));
+      break;
+    case Mode::Thread:
+      rc.machine.topo.cores_per_node = spec.user_cpn;
+      rc.progress.kind = progress::Kind::Thread;
+      rc.progress.oversubscribed = true;
+      mpi::exec(rc, std::move(app));
+      break;
+    case Mode::ThreadD:
+      rc.machine.topo.cores_per_node = spec.user_cpn;
+      rc.progress.kind = progress::Kind::Thread;
+      rc.progress.oversubscribed = false;
+      mpi::exec(rc, std::move(app));
+      break;
+    case Mode::Dmapp:
+      rc.machine.profile = net::cray_xc30_dmapp();
+      rc.machine.topo.cores_per_node = spec.user_cpn;
+      rc.progress.kind = progress::Kind::Interrupt;
+      mpi::exec(rc, std::move(app));
+      break;
+    case Mode::Casper: {
+      rc.machine.topo.cores_per_node = spec.user_cpn + spec.ghosts;
+      core::Config cc;
+      cc.ghosts_per_node = spec.ghosts;
+      cc.binding = spec.binding;
+      cc.dynamic = spec.dynamic;
+      mpi::exec(rc, std::move(app), core::layer(cc));
+      break;
+    }
+  }
+}
+
+/// Run and return a double metric computed by the app (the app must assign
+/// through the pointer on user rank 0).
+inline double run_metric(const RunSpec& spec,
+                         std::function<void(mpi::Env&, double*)> app) {
+  double metric = 0;
+  run(spec, [&metric, &app](mpi::Env& env) { app(env, &metric); });
+  return metric;
+}
+
+}  // namespace casper::bench

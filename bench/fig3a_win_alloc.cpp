@@ -1,0 +1,71 @@
+// Fig. 3(a): MPI_WIN_ALLOCATE overhead vs. number of local processes, on one
+// node of the Cray XC30 model.
+//
+// Series: original MPI, Casper with the default epochs_used (all types),
+// "lock" only, "lockall" only, "fence" only. Casper's cost is dominated by
+// how many overlapping internal windows it must create: one per local user
+// process when "lock" is included, a single extra window otherwise.
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace casper;
+using bench::Mode;
+using bench::RunSpec;
+
+namespace {
+
+double alloc_time_us(const RunSpec& spec, const char* epochs_hint) {
+  return bench::run_metric(spec, [epochs_hint](mpi::Env& env, double* out) {
+    mpi::Comm w = env.world();
+    mpi::Info info;
+    if (epochs_hint != nullptr) {
+      info.set(core::kEpochsUsedKey, epochs_hint);
+    }
+    env.barrier(w);
+    const sim::Time t0 = env.now();
+    void* base = nullptr;
+    mpi::Win win =
+        env.win_allocate(4096, sizeof(double), info, w, &base);
+    const double us = sim::to_us(env.now() - t0);
+    if (env.rank(w) == 0) *out = us;
+    env.win_free(win);
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = report::csv_mode(argc, argv);
+  report::banner(std::cout, "Fig 3(a)",
+                 "window allocation overhead vs. local processes "
+                 "(1 node, Cray XC30 model)");
+
+  report::Table t({"local_procs", "original(us)", "casper_default(us)",
+                   "casper_lock(us)", "casper_lockall(us)",
+                   "casper_fence(us)"});
+  for (int n = 2; n <= 22; n += 2) {
+    RunSpec orig;
+    orig.mode = Mode::Original;
+    orig.profile = net::cray_xc30_regular();
+    orig.nodes = 1;
+    orig.user_cpn = n;
+
+    RunSpec csp = orig;
+    csp.mode = Mode::Casper;
+    csp.ghosts = 1;
+
+    t.row({report::fmt_count(static_cast<std::uint64_t>(n)),
+           report::fmt(alloc_time_us(orig, nullptr), 1),
+           report::fmt(alloc_time_us(csp, nullptr), 1),
+           report::fmt(alloc_time_us(csp, "lock"), 1),
+           report::fmt(alloc_time_us(csp, "lockall"), 1),
+           report::fmt(alloc_time_us(csp, "fence"), 1)});
+  }
+  t.print(std::cout, csv);
+  std::cout << "expectation: default/lock grow with local process count "
+               "(one internal window per local user); lockall/fence stay "
+               "near a small constant multiple of original MPI.\n";
+  return 0;
+}

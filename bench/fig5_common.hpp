@@ -1,0 +1,59 @@
+// Shared workload for Fig. 5(a)-(c): all-to-all communication -
+// computation - communication. Each iteration, every process issues one RMA
+// operation (one double) to every other process, computes 100 us, then
+// issues ten RMA operations to every other process.
+#pragma once
+
+#include "common.hpp"
+
+namespace casper::bench {
+
+inline double fig5_avg_iter_us(const RunSpec& spec, bool use_put) {
+  return run_metric(spec, [use_put](mpi::Env& env, double* out) {
+    mpi::Comm w = env.world();
+    const int p = env.size(w);
+    const int me = env.rank(w);
+    void* base = nullptr;
+    mpi::Win win = env.win_allocate(
+        static_cast<std::size_t>(p) * sizeof(double), sizeof(double),
+        mpi::Info{}, w, &base);
+    env.win_lock_all(0, win);
+    const int iters = 4;
+    double total = 0;
+    env.barrier(w);
+    for (int it = 0; it < iters; ++it) {
+      env.barrier(w);
+      const sim::Time t0 = env.now();
+      double v = 1.0;
+      for (int t = 0; t < p; ++t) {
+        if (t == me) continue;
+        if (use_put) {
+          env.put(&v, 1, t, static_cast<std::size_t>(me), win);
+        } else {
+          env.accumulate(&v, 1, t, static_cast<std::size_t>(me),
+                         mpi::AccOp::Sum, win);
+        }
+      }
+      env.win_flush_all(win);
+      env.compute(sim::us(100));
+      for (int t = 0; t < p; ++t) {
+        if (t == me) continue;
+        for (int k = 0; k < 10; ++k) {
+          if (use_put) {
+            env.put(&v, 1, t, static_cast<std::size_t>(me), win);
+          } else {
+            env.accumulate(&v, 1, t, static_cast<std::size_t>(me),
+                           mpi::AccOp::Sum, win);
+          }
+        }
+      }
+      env.win_flush_all(win);
+      total += sim::to_us(env.now() - t0);
+    }
+    env.win_unlock_all(win);
+    if (me == 0) *out = total / iters;
+    env.win_free(win);
+  });
+}
+
+}  // namespace casper::bench

@@ -1,0 +1,53 @@
+// Fig. 5(a): ACCUMULATE scalability on the Cray XC30 model, one process per
+// node, 2..256 processes: original MPI vs thread vs DMAPP vs Casper.
+//
+// Accumulates are software-path under every Cray mode, so Casper's ghosts
+// win; DMAPP pays one interrupt per message; the thread mode pays
+// thread-multiple overhead on every call and oversubscribed compute.
+#include <iostream>
+
+#include "fig5_common.hpp"
+
+using namespace casper;
+using bench::Mode;
+using bench::RunSpec;
+
+int main(int argc, char** argv) {
+  const bool csv = report::csv_mode(argc, argv);
+  const bool full = bench::has_flag(argc, argv, "--full");
+  report::banner(std::cout, "Fig 5(a)",
+                 "accumulate scalability on Cray XC30 (ppn=1)");
+
+  report::Table t({"procs", "original(ms)", "thread(ms)", "dmapp(ms)",
+                   "casper(ms)"});
+  const int max_p = full ? 256 : 64;
+  for (int p = 2; p <= max_p; p *= 2) {
+    auto spec = [&](Mode m) {
+      RunSpec s;
+      s.mode = m;
+      s.profile = net::cray_xc30_regular();
+      s.nodes = p;
+      s.user_cpn = 1;
+      return s;
+    };
+    t.row({report::fmt_count(static_cast<std::uint64_t>(p)),
+           report::fmt(bench::fig5_avg_iter_us(spec(Mode::Original), false) /
+                           1000.0,
+                       3),
+           report::fmt(bench::fig5_avg_iter_us(spec(Mode::Thread), false) /
+                           1000.0,
+                       3),
+           report::fmt(bench::fig5_avg_iter_us(spec(Mode::Dmapp), false) /
+                           1000.0,
+                       3),
+           report::fmt(bench::fig5_avg_iter_us(spec(Mode::Casper), false) /
+                           1000.0,
+                       3)});
+  }
+  t.print(std::cout, csv);
+  std::cout << "expectation: casper lowest and flattest; dmapp above casper "
+               "(interrupt per accumulate); thread worst at scale; original "
+               "in between (stalls on busy targets).\n";
+  if (!full) std::cout << "(reduced scale; pass --full for 2..256 procs)\n";
+  return 0;
+}

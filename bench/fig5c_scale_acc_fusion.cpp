@@ -1,0 +1,46 @@
+// Fig. 5(c): ACCUMULATE scalability on the Fusion/MVAPICH model (InfiniBand:
+// hardware contiguous PUT/GET, software accumulates served by a background
+// thread when thread progress is enabled).
+#include <iostream>
+
+#include "fig5_common.hpp"
+
+using namespace casper;
+using bench::Mode;
+using bench::RunSpec;
+
+int main(int argc, char** argv) {
+  const bool csv = report::csv_mode(argc, argv);
+  const bool full = bench::has_flag(argc, argv, "--full");
+  report::banner(std::cout, "Fig 5(c)",
+                 "accumulate scalability on Fusion/MVAPICH (ppn=1)");
+
+  report::Table t({"procs", "original(ms)", "thread(ms)", "casper(ms)"});
+  const int max_p = full ? 256 : 64;
+  for (int p = 2; p <= max_p; p *= 2) {
+    auto spec = [&](Mode m) {
+      RunSpec s;
+      s.mode = m;
+      s.profile = net::fusion_mvapich();
+      s.nodes = p;
+      s.user_cpn = 1;
+      return s;
+    };
+    t.row({report::fmt_count(static_cast<std::uint64_t>(p)),
+           report::fmt(bench::fig5_avg_iter_us(spec(Mode::Original), false) /
+                           1000.0,
+                       3),
+           report::fmt(bench::fig5_avg_iter_us(spec(Mode::Thread), false) /
+                           1000.0,
+                       3),
+           report::fmt(bench::fig5_avg_iter_us(spec(Mode::Casper), false) /
+                           1000.0,
+                       3)});
+  }
+  t.print(std::cout, csv);
+  std::cout << "expectation: casper improves accumulate progress (software "
+               "active messages in MVAPICH); thread progress shows "
+               "significant overhead.\n";
+  if (!full) std::cout << "(reduced scale; pass --full for 2..256 procs)\n";
+  return 0;
+}

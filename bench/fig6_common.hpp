@@ -1,0 +1,89 @@
+// Shared workloads for Fig. 6: load balancing across multiple ghost
+// processes with static bindings.
+#pragma once
+
+#include "common.hpp"
+
+namespace casper::bench {
+
+/// Fig. 6(a)/(b) workload: every process sends `ops` accumulate messages
+/// (one double each) to every other process under lockall; returns the
+/// average total exchange time in us (max over ranks).
+inline double fig6_alltoall_acc_us(const RunSpec& spec, int ops) {
+  return run_metric(spec, [ops](mpi::Env& env, double* out) {
+    mpi::Comm w = env.world();
+    const int p = env.size(w);
+    const int me = env.rank(w);
+    void* base = nullptr;
+    mpi::Win win = env.win_allocate(
+        static_cast<std::size_t>(p) * sizeof(double), sizeof(double),
+        mpi::Info{}, w, &base);
+    env.win_lock_all(0, win);
+    env.barrier(w);
+    const sim::Time t0 = env.now();
+    double v = 1.0;
+    for (int k = 0; k < ops; ++k) {
+      for (int t = 0; t < p; ++t) {
+        if (t == me) continue;
+        env.accumulate(&v, 1, t, static_cast<std::size_t>(me),
+                       mpi::AccOp::Sum, win);
+      }
+    }
+    env.win_flush_all(win);
+    env.barrier(w);
+    const double us = sim::to_us(env.now() - t0);
+    double us_max = 0;
+    env.allreduce(&us, &us_max, 1, mpi::Dt::Double, mpi::AccOp::Max, w);
+    env.win_unlock_all(win);
+    if (me == 0) *out = us_max;
+    env.win_free(win);
+  });
+}
+
+/// Fig. 6(c) workload: the first process of every node exposes a large
+/// window (`big_elems` doubles), everyone else 2 doubles; every process
+/// issues `ops` accumulates to each node-master and one to everyone else.
+/// Segment binding splits the hot windows between the ghosts.
+inline double fig6c_uneven_acc_us(const RunSpec& spec, int ops,
+                                  int big_elems) {
+  return run_metric(spec, [ops, big_elems](mpi::Env& env, double* out) {
+    mpi::Comm w = env.world();
+    const int p = env.size(w);
+    const int me = env.rank(w);
+    // node-masters are the user ranks whose index is a multiple of the
+    // per-node user count; derive it from the underlying topology.
+    const auto& topo = env.runtime().topo();
+    const int users_per_node = p / topo.nodes;
+    const bool is_master = (me % users_per_node) == 0;
+
+    const std::size_t my_elems =
+        is_master ? static_cast<std::size_t>(big_elems) : 2;
+    void* base = nullptr;
+    mpi::Win win = env.win_allocate(my_elems * sizeof(double),
+                                    sizeof(double), mpi::Info{}, w, &base);
+    env.win_lock_all(0, win);
+    env.barrier(w);
+    const sim::Time t0 = env.now();
+    std::vector<double> v(static_cast<std::size_t>(big_elems), 1.0);
+    for (int t = 0; t < p; ++t) {
+      if (t == me) continue;
+      if ((t % users_per_node) == 0) {
+        for (int k = 0; k < ops; ++k) {
+          env.accumulate(v.data(), big_elems, t, 0, mpi::AccOp::Sum, win);
+        }
+      } else {
+        env.accumulate(v.data(), 1, t, 0, mpi::AccOp::Sum, win);
+      }
+    }
+    env.win_flush_all(win);
+    env.barrier(w);
+    const double us = sim::to_us(env.now() - t0);
+    double us_max = 0;
+    env.allreduce(&us, &us_max, 1, mpi::Dt::Double, mpi::AccOp::Max, w);
+    env.win_unlock_all(win);
+    if (me == 0) *out = us_max;
+    env.win_free(win);
+  });
+}
+
+}  // namespace casper::bench

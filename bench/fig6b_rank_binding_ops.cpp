@@ -1,0 +1,48 @@
+// Fig. 6(b): static rank binding with increasing operation count at a fixed
+// 32 user processes (2 nodes x 16): each process sends n accumulates to
+// every other process. More ghosts win once n exceeds ~8.
+#include <iostream>
+
+#include "fig6_common.hpp"
+
+using namespace casper;
+using bench::Mode;
+using bench::RunSpec;
+
+int main(int argc, char** argv) {
+  const bool csv = report::csv_mode(argc, argv);
+  const bool full = bench::has_flag(argc, argv, "--full");
+  report::banner(std::cout, "Fig 6(b)",
+                 "static rank binding, increasing ops "
+                 "(32 users on 2 nodes, n accs to every peer)");
+
+  report::Table t({"ops", "original(ms)", "casper_2g(ms)", "casper_4g(ms)",
+                   "casper_8g(ms)", "speedup_8g"});
+  const int max_ops = full ? 512 : 128;
+  for (int ops = 1; ops <= max_ops; ops *= 2) {
+    auto spec = [&](Mode m, int ghosts) {
+      RunSpec s;
+      s.mode = m;
+      s.profile = net::cray_xc30_regular();
+      s.nodes = 2;
+      s.user_cpn = 16;  // 16 users per node; ghosts are extra cores
+      s.ghosts = ghosts;
+      s.binding = core::Binding::Rank;
+      return s;
+    };
+    const double orig =
+        bench::fig6_alltoall_acc_us(spec(Mode::Original, 0), ops);
+    const double g2 = bench::fig6_alltoall_acc_us(spec(Mode::Casper, 2), ops);
+    const double g4 = bench::fig6_alltoall_acc_us(spec(Mode::Casper, 4), ops);
+    const double g8 = bench::fig6_alltoall_acc_us(spec(Mode::Casper, 8), ops);
+    t.row({report::fmt_count(static_cast<std::uint64_t>(ops)),
+           report::fmt(orig / 1000.0, 2), report::fmt(g2 / 1000.0, 2),
+           report::fmt(g4 / 1000.0, 2), report::fmt(g8 / 1000.0, 2),
+           report::fmt(orig / g8, 2)});
+  }
+  t.print(std::cout, csv);
+  std::cout << "expectation: more ghost processes benefit once the per-pair "
+               "operation count grows past ~8.\n";
+  if (!full) std::cout << "(reduced scale; pass --full for up to 512 ops)\n";
+  return 0;
+}

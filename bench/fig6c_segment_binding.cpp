@@ -1,0 +1,58 @@
+// Fig. 6(c): static segment binding with uneven window sizes. The first
+// process of each node exposes a 4 KB window (512 doubles); the others
+// expose 16 bytes. Hot traffic goes to the node masters; segment binding
+// divides each hot window between the ghosts so they share the software
+// processing.
+#include <iostream>
+
+#include "fig6_common.hpp"
+
+using namespace casper;
+using bench::Mode;
+using bench::RunSpec;
+
+int main(int argc, char** argv) {
+  const bool csv = report::csv_mode(argc, argv);
+  const bool full = bench::has_flag(argc, argv, "--full");
+  report::banner(std::cout, "Fig 6(c)",
+                 "static segment binding, uneven window sizes "
+                 "(hot 4KB window on each node master)");
+
+  const int nodes = full ? 16 : 8;
+  const int users_per_node = full ? 16 : 8;
+  const int big_elems = 512;  // 4 KB of doubles
+
+  report::Table t({"ops", "original(ms)", "seg_2g(ms)", "seg_4g(ms)",
+                   "seg_8g(ms)", "speedup_8g"});
+  const int max_ops = full ? 64 : 32;
+  for (int ops = 1; ops <= max_ops; ops *= 2) {
+    auto spec = [&](Mode m, int ghosts) {
+      RunSpec s;
+      s.mode = m;
+      s.profile = net::cray_xc30_regular();
+      s.nodes = nodes;
+      s.user_cpn = users_per_node;  // ghosts are extra cores
+      s.ghosts = ghosts;
+      s.binding = core::Binding::Segment;
+      return s;
+    };
+    const double orig =
+        bench::fig6c_uneven_acc_us(spec(Mode::Original, 0), ops, big_elems);
+    const double g2 =
+        bench::fig6c_uneven_acc_us(spec(Mode::Casper, 2), ops, big_elems);
+    const double g4 =
+        bench::fig6c_uneven_acc_us(spec(Mode::Casper, 4), ops, big_elems);
+    const double g8 =
+        bench::fig6c_uneven_acc_us(spec(Mode::Casper, 8), ops, big_elems);
+    t.row({report::fmt_count(static_cast<std::uint64_t>(ops)),
+           report::fmt(orig / 1000.0, 2), report::fmt(g2 / 1000.0, 2),
+           report::fmt(g4 / 1000.0, 2), report::fmt(g8 / 1000.0, 2),
+           report::fmt(orig / g8, 2)});
+  }
+  t.print(std::cout, csv);
+  std::cout << "expectation: performance improves with more ghosts because "
+               "the hot window is divided into more segments served by "
+               "different ghosts.\n";
+  if (!full) std::cout << "(reduced scale; pass --full for 16x16)\n";
+  return 0;
+}

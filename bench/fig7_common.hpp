@@ -1,0 +1,77 @@
+// Shared workload for Fig. 7: dynamic load balancing under lockall with hot
+// node-master targets.
+//
+// Every process performs a lockall - (ops) - unlockall pattern over all
+// other processes. Node masters (local rank 0 in the paper) receive
+// `hot_ops` operations of `hot_elems` doubles; every other target receives
+// one single-double operation. `with_acc` issues an ACCUMULATE+PUT pair
+// (accumulates always follow static binding; puts may be dynamically
+// balanced), otherwise PUT only.
+#pragma once
+
+#include <vector>
+
+#include "common.hpp"
+
+namespace casper::bench {
+
+inline double fig7_uneven_us(const RunSpec& spec, int hot_ops, int hot_elems,
+                             bool with_acc) {
+  return run_metric(spec, [hot_ops, hot_elems,
+                           with_acc](mpi::Env& env, double* out) {
+    mpi::Comm w = env.world();
+    const int p = env.size(w);
+    const int me = env.rank(w);
+    const auto& topo = env.runtime().topo();
+    const int users_per_node = p / topo.nodes;
+
+    void* base = nullptr;
+    mpi::Win win = env.win_allocate(
+        static_cast<std::size_t>(hot_elems) * sizeof(double), sizeof(double),
+        mpi::Info{}, w, &base);
+    env.win_lock_all(0, win);
+    env.barrier(w);
+    const sim::Time t0 = env.now();
+    std::vector<double> v(static_cast<std::size_t>(hot_elems), 1.0);
+    // `hot_ops` rounds over all targets: node masters get a hot-sized
+    // operation every round, everyone else a single double in round 0 only.
+    // Interleaving hot and cold operations is what distinguishes the
+    // counting policies (a count-balanced ghost can be byte-overloaded).
+    for (int k = 0; k < hot_ops; ++k) {
+      for (int t = 0; t < p; ++t) {
+        if (t == me) continue;
+        const bool hot = (t % users_per_node) == 0;
+        if (!hot && k > 0) continue;
+        const int elems = hot ? hot_elems : 1;
+        if (with_acc) {
+          env.accumulate(v.data(), elems, t, 0, mpi::AccOp::Sum, win);
+        }
+        env.put(v.data(), elems, t, 0, win);
+      }
+    }
+    env.win_flush_all(win);
+    env.barrier(w);
+    const double us = sim::to_us(env.now() - t0);
+    double us_max = 0;
+    env.allreduce(&us, &us_max, 1, mpi::Dt::Double, mpi::AccOp::Max, w);
+    env.win_unlock_all(win);
+    if (me == 0) *out = us_max;
+    env.win_free(win);
+  });
+}
+
+/// Spec for one dynamic-binding series on the Fig. 7 cluster.
+inline RunSpec fig7_spec(core::DynamicLb lb, int nodes, int users_per_node,
+                         int ghosts) {
+  RunSpec s;
+  s.mode = Mode::Casper;
+  s.profile = net::cray_xc30_regular();
+  s.nodes = nodes;
+  s.user_cpn = users_per_node;
+  s.ghosts = ghosts;
+  s.binding = core::Binding::Rank;
+  s.dynamic = lb;
+  return s;
+}
+
+}  // namespace casper::bench

@@ -1,0 +1,71 @@
+// Shared harness for Fig. 8 / Table I: the mini-NWChem CCSD phases under the
+// paper's four core deployments (Table I, scaled to the simulated node
+// size):
+//
+//   original MPI : all cores compute, no async progress
+//   casper       : cores - G compute, G ghost processes per node
+//   thread (O)   : all cores compute, progress threads oversubscribed
+//   thread (D)   : half the cores compute, progress threads on the rest
+#pragma once
+
+#include "ccsd/ccsd.hpp"
+#include "common.hpp"
+
+namespace casper::bench {
+
+struct Fig8Row {
+  double original_ms = 0;
+  double casper_ms = 0;
+  double thread_o_ms = 0;
+  double thread_d_ms = 0;
+};
+
+inline double ccsd_wall_ms(const RunSpec& spec, const ccsd::Params& p) {
+  return run_metric(spec, [&p](mpi::Env& env, double* out) {
+    auto r = ccsd::run_phase(env, env.world(), p);
+    if (env.rank(env.world()) == 0) *out = sim::to_ms(r.wall);
+  });
+}
+
+/// Run one problem at one machine size under all four deployments.
+/// `cpn` is the full per-node core count; Casper dedicates `ghosts` of them.
+inline Fig8Row fig8_row(int nodes, int cpn, int ghosts,
+                        const ccsd::Params& p) {
+  Fig8Row row;
+  {
+    RunSpec s;
+    s.mode = Mode::Original;
+    s.profile = net::cray_xc30_regular();
+    s.nodes = nodes;
+    s.user_cpn = cpn;
+    row.original_ms = ccsd_wall_ms(s, p);
+  }
+  {
+    RunSpec s;
+    s.mode = Mode::Casper;
+    s.profile = net::cray_xc30_regular();
+    s.nodes = nodes;
+    s.user_cpn = cpn - ghosts;  // same total cores as the other modes
+    s.ghosts = ghosts;
+    row.casper_ms = ccsd_wall_ms(s, p);
+  }
+  {
+    RunSpec s;
+    s.mode = Mode::Thread;  // oversubscribed
+    s.profile = net::cray_xc30_regular();
+    s.nodes = nodes;
+    s.user_cpn = cpn;
+    row.thread_o_ms = ccsd_wall_ms(s, p);
+  }
+  {
+    RunSpec s;
+    s.mode = Mode::ThreadD;  // dedicated: half the cores run the app
+    s.profile = net::cray_xc30_regular();
+    s.nodes = nodes;
+    s.user_cpn = cpn / 2;
+    row.thread_d_ms = ccsd_wall_ms(s, p);
+  }
+  return row;
+}
+
+}  // namespace casper::bench

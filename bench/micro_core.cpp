@@ -1,0 +1,91 @@
+// google-benchmark microbenchmarks of the simulator substrate itself:
+// scheduler event throughput, rank context-switch cost, datatype pack, and
+// end-to-end simulated RMA throughput. These measure the *host* cost of
+// simulation (not virtual time) and guard against performance regressions in
+// the engine.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mpi/datatype.hpp"
+#include "mpi/runtime.hpp"
+#include "net/profile.hpp"
+#include "sim/engine.hpp"
+
+using namespace casper;
+
+static void BM_EngineEvents(benchmark::State& state) {
+  const int n_events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine::Options o;
+    o.nranks = 1;
+    sim::Engine e(o, [n_events](sim::Context& ctx) {
+      for (int i = 0; i < n_events; ++i) {
+        ctx.engine().post_event(ctx.now() + sim::ns(10),
+                                [] { /* empty event */ });
+        ctx.advance(sim::ns(20));
+      }
+    });
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n_events);
+}
+BENCHMARK(BM_EngineEvents)->Arg(1000)->Arg(10000);
+
+static void BM_RankSwitch(benchmark::State& state) {
+  const int switches = 1000;
+  for (auto _ : state) {
+    sim::Engine::Options o;
+    o.nranks = 2;
+    sim::Engine e(o, [switches](sim::Context& ctx) {
+      for (int i = 0; i < switches; ++i) ctx.advance(sim::ns(10));
+    });
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * switches * 2);
+}
+BENCHMARK(BM_RankSwitch);
+
+static void BM_PackStrided(benchmark::State& state) {
+  const int blocks = static_cast<int>(state.range(0));
+  std::vector<double> src(static_cast<std::size_t>(blocks) * 4);
+  const auto dt = mpi::vector_of(mpi::Dt::Double, 2, 4);
+  for (auto _ : state) {
+    auto out = mpi::pack(src.data(), blocks, dt);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * blocks * 2 *
+                          static_cast<std::int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_PackStrided)->Arg(64)->Arg(1024);
+
+static void BM_SimulatedRmaOps(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpi::RunConfig rc;
+    rc.machine.profile = net::cray_xc30_regular();
+    rc.machine.topo.nodes = 2;
+    rc.machine.topo.cores_per_node = 1;
+    mpi::exec(rc, [ops](mpi::Env& env) {
+      auto w = env.world();
+      void* base = nullptr;
+      auto win = env.win_allocate(sizeof(double), sizeof(double),
+                                  mpi::Info{}, w, &base);
+      env.win_lock_all(0, win);
+      if (env.rank(w) == 0) {
+        double v = 1;
+        for (int i = 0; i < ops; ++i) {
+          env.accumulate(&v, 1, 1, 0, mpi::AccOp::Sum, win);
+        }
+      }
+      env.win_flush_all(win);
+      env.barrier(w);
+      env.win_unlock_all(win);
+      env.win_free(win);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * ops);
+}
+BENCHMARK(BM_SimulatedRmaOps)->Arg(1000);
+
+BENCHMARK_MAIN();

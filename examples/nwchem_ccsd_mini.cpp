@@ -1,0 +1,91 @@
+// mini-NWChem: run a CCSD-style iteration and a (T)-style phase under the
+// four deployment strategies of the paper's Table I, on one simulated
+// machine, and report the phase times side by side.
+//
+//   ./nwchem_ccsd_mini [--csv]
+#include <cstdio>
+#include <iostream>
+
+#include "ccsd/ccsd.hpp"
+#include "core/casper.hpp"
+#include "mpi/runtime.hpp"
+#include "net/profile.hpp"
+#include "report/table.hpp"
+
+using namespace casper;
+
+namespace {
+
+struct Deployment {
+  const char* name;
+  int user_cores;   // application processes per node
+  int async_cores;  // ghost processes / progress threads per node
+};
+
+double run_one(const char* mode, int nodes, int cpn, const ccsd::Params& p) {
+  mpi::RunConfig rc;
+  rc.machine.profile = net::cray_xc30_regular();
+  rc.machine.topo.nodes = nodes;
+  rc.machine.topo.cores_per_node = cpn;
+
+  double wall_ms = 0;
+  auto app = [&wall_ms, &p](mpi::Env& env) {
+    auto r = ccsd::run_phase(env, env.world(), p);
+    wall_ms = sim::to_ms(r.wall);
+  };
+
+  if (std::string_view(mode) == "casper") {
+    core::Config cc;
+    cc.ghosts_per_node = 1;
+    mpi::exec(rc, app, core::layer(cc));
+  } else if (std::string_view(mode) == "thread-o") {
+    rc.progress.kind = progress::Kind::Thread;
+    rc.progress.oversubscribed = true;
+    mpi::exec(rc, app);
+  } else if (std::string_view(mode) == "thread-d") {
+    rc.machine.topo.cores_per_node = cpn / 2;  // half the cores compute
+    rc.progress.kind = progress::Kind::Thread;
+    mpi::exec(rc, app);
+  } else {
+    mpi::exec(rc, app);
+  }
+  return wall_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = report::csv_mode(argc, argv);
+  const int nodes = 4, cpn = 4;
+
+  std::printf("mini-NWChem CCSD on %d nodes x %d cores\n", nodes, cpn);
+  std::printf("deployment (cf. paper Table I):\n");
+  std::printf("  original:  %d compute cores, 0 async cores per node\n", cpn);
+  std::printf("  casper:    %d compute cores, 1 async core per node\n",
+              cpn - 1);
+  std::printf("  thread(O): %d compute cores, %d progress threads "
+              "(oversubscribed)\n",
+              cpn, cpn);
+  std::printf("  thread(D): %d compute cores, %d progress threads "
+              "(dedicated)\n",
+              cpn / 2, cpn / 2);
+
+  report::Table t({"phase", "original(ms)", "casper(ms)", "thread-O(ms)",
+                   "thread-D(ms)"});
+  {
+    auto p = ccsd::ccsd_profile(96);
+    t.row({"CCSD iteration", report::fmt(run_one("original", nodes, cpn, p)),
+           report::fmt(run_one("casper", nodes, cpn, p)),
+           report::fmt(run_one("thread-o", nodes, cpn, p)),
+           report::fmt(run_one("thread-d", nodes, cpn, p))});
+  }
+  {
+    auto p = ccsd::t_portion_profile(64);
+    t.row({"(T) portion", report::fmt(run_one("original", nodes, cpn, p)),
+           report::fmt(run_one("casper", nodes, cpn, p)),
+           report::fmt(run_one("thread-o", nodes, cpn, p)),
+           report::fmt(run_one("thread-d", nodes, cpn, p))});
+  }
+  t.print(std::cout, csv);
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "ccsd/ccsd.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "mpi/check.hpp"
+#include "sim/rng.hpp"
+
+namespace casper::ccsd {
+
+using mpi::Env;
+
+Params ccsd_profile(std::int64_t tasks_scale) {
+  Params p;
+  p.tasks = tasks_scale;
+  p.tile = 32;
+  p.gets_per_task = 3;
+  p.accs_per_task = 2;
+  p.compute_per_task = sim::us(120);  // communication-intensive solver
+  return p;
+}
+
+Params t_portion_profile(std::int64_t tasks_scale) {
+  Params p;
+  p.tasks = tasks_scale;
+  p.tile = 48;
+  p.gets_per_task = 4;
+  p.accs_per_task = 1;
+  p.compute_per_task = sim::us(1200);  // DGEMM-dominated (T) portion
+  return p;
+}
+
+namespace {
+
+/// Deterministic tile placement: task t's k-th input tile row block.
+std::int64_t tile_row(const Params& p, const ga::GlobalArray& a,
+                      std::int64_t task, int k) {
+  sim::Rng rng(p.seed, static_cast<std::uint64_t>(task) * 16 +
+                           static_cast<std::uint64_t>(k));
+  const std::int64_t ntiles_r = a.rows() / p.tile;
+  return static_cast<std::int64_t>(rng.next_below(
+             static_cast<std::uint64_t>(ntiles_r))) *
+         p.tile;
+}
+
+}  // namespace
+
+Result run_phase(Env& env, const mpi::Comm& comm, const Params& p) {
+  const int pn = env.size(comm);
+  // Tensor sized so every rank owns at least a few tiles.
+  const std::int64_t tile = p.tile;
+  const std::int64_t rows = std::max<std::int64_t>(4, pn) * 4 * tile;
+  const std::int64_t cols = tile;
+
+  ga::GlobalArray a(env, comm, rows, cols);
+  ga::SharedCounter counter(env, comm);
+
+  std::vector<double> in(static_cast<std::size_t>(tile * cols));
+  std::vector<double> out(static_cast<std::size_t>(tile * cols), 1.0);
+
+  env.barrier(comm);
+  const sim::Time t0 = env.now();
+
+  std::int64_t mine = 0;
+  for (;;) {
+    const std::int64_t task = counter.next(env);
+    if (task >= p.tasks) break;
+    ++mine;
+    // fetch remote input tiles
+    for (int k = 0; k < p.gets_per_task; ++k) {
+      const std::int64_t r = tile_row(p, a, task, k);
+      a.get(env, r, r + tile, 0, cols, in.data());
+    }
+    // the DGEMM
+    env.compute(p.compute_per_task);
+    // accumulate result tiles
+    for (int k = 0; k < p.accs_per_task; ++k) {
+      const std::int64_t r = tile_row(p, a, task, 8 + k);
+      a.acc(env, r, r + tile, 0, cols, out.data());
+    }
+  }
+  a.sync(env);
+  const sim::Time my_wall = env.now() - t0;
+
+  double w = sim::to_us(my_wall), wmax = 0;
+  env.allreduce(&w, &wmax, 1, mpi::Dt::Double, mpi::AccOp::Max, comm);
+
+  counter.destroy(env);
+  a.destroy(env);
+  Result res;
+  res.wall = static_cast<sim::Time>(wmax * 1000.0);
+  res.tasks_run = mine;
+  return res;
+}
+
+bool verify_small(Env& env, const mpi::Comm& comm, const Params& p) {
+  const int pn = env.size(comm);
+  const std::int64_t tile = p.tile;
+  const std::int64_t rows = std::max<std::int64_t>(4, pn) * 4 * tile;
+  const std::int64_t cols = tile;
+
+  ga::GlobalArray a(env, comm, rows, cols);
+  ga::SharedCounter counter(env, comm);
+  std::vector<double> out(static_cast<std::size_t>(tile * cols), 1.0);
+
+  env.barrier(comm);
+  for (;;) {
+    const std::int64_t task = counter.next(env);
+    if (task >= p.tasks) break;
+    for (int k = 0; k < p.accs_per_task; ++k) {
+      const std::int64_t r = tile_row(p, a, task, 8 + k);
+      a.acc(env, r, r + tile, 0, cols, out.data());
+    }
+  }
+  a.sync(env);
+
+  // Expected: each (task, k) added 1.0 into every element of its tile.
+  std::vector<double> expected(static_cast<std::size_t>(rows), 0.0);
+  for (std::int64_t t = 0; t < p.tasks; ++t) {
+    for (int k = 0; k < p.accs_per_task; ++k) {
+      const std::int64_t r = tile_row(p, a, t, 8 + k);
+      for (std::int64_t i = r; i < r + tile; ++i) expected[
+          static_cast<std::size_t>(i)] += 1.0;
+    }
+  }
+  bool ok = true;
+  auto [lo, hi] = a.my_rows(env);
+  for (std::int64_t r = lo; r < hi; ++r) {
+    const double* row = a.local() + (r - lo) * cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (row[c] != expected[static_cast<std::size_t>(r)]) ok = false;
+    }
+  }
+  int my_ok = ok ? 1 : 0, all_ok = 0;
+  env.allreduce(&my_ok, &all_ok, 1, mpi::Dt::Int, mpi::AccOp::Min, comm);
+
+  counter.destroy(env);
+  a.destroy(env);
+  return all_ok == 1;
+}
+
+}  // namespace casper::ccsd

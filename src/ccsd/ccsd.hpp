@@ -1,0 +1,56 @@
+// mini-CCSD: an NWChem TCE-style tensor-contraction driver over mini-GA.
+//
+// NWChem's coupled-cluster solvers (the paper's Section IV.D application)
+// execute a long list of tensor-contraction tasks. Each task, on whichever
+// rank grabs it from the shared NXTVAL counter, fetches remote input tiles
+// with one-sided GETs, runs a DGEMM-sized computation, and accumulates the
+// resulting tile back — over and over. Communication is one-sided and the
+// targets are busy computing, so the run time is dominated by how fast GETs
+// and ACCs make progress at busy targets: exactly what Casper accelerates.
+//
+// The module provides two problem profiles mirroring the paper's runs:
+//   - CCSD iteration: communication-intensive (modest compute per task,
+//     many tasks: "more than a dozen tensor contractions of varying size"),
+//   - the (T) portion: compute-intensive (large per-task DGEMM, so
+//     asynchronous progress matters at every scale; paper Fig. 8(c)).
+#pragma once
+
+#include <cstdint>
+
+#include "ga/global_array.hpp"
+#include "mpi/env.hpp"
+#include "sim/time.hpp"
+
+namespace casper::ccsd {
+
+/// One coupled-cluster phase: a task list over a distributed tensor.
+struct Params {
+  std::int64_t tasks = 256;       ///< tensor-contraction tasks in the phase
+  std::int64_t tile = 32;         ///< tile edge (tile x tile doubles moved)
+  int gets_per_task = 2;          ///< remote input tiles fetched per task
+  int accs_per_task = 1;          ///< result tiles accumulated per task
+  sim::Time compute_per_task = sim::us(200);  ///< DGEMM time per task
+  std::uint64_t seed = 42;        ///< tile-placement seed
+};
+
+/// Communication-heavy profile for one CCSD iteration (Fig. 8(a)/(b)).
+Params ccsd_profile(std::int64_t tasks_scale);
+
+/// Compute-heavy profile for the (T) portion (Fig. 8(c)).
+Params t_portion_profile(std::int64_t tasks_scale);
+
+struct Result {
+  sim::Time wall;           ///< max time over ranks for the phase
+  std::int64_t tasks_run;   ///< tasks executed by this rank
+};
+
+/// Run one phase: dynamic task loop (NXTVAL) of get -> compute -> acc.
+/// Collective over `comm`; returns the phase wall time (same on all ranks).
+Result run_phase(mpi::Env& env, const mpi::Comm& comm, const Params& p);
+
+/// Verification helper: runs a tiny phase and checks the accumulated tensor
+/// against the analytically expected totals (each task adds 1.0 into every
+/// element of one tile). Returns true when the array content is exact.
+bool verify_small(mpi::Env& env, const mpi::Comm& comm, const Params& p);
+
+}  // namespace casper::ccsd

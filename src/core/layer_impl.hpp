@@ -1,0 +1,279 @@
+// CasperLayer: the interception layer implementing the paper's design.
+// Internal header (exposed for white-box tests).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/casper.hpp"
+#include "mpi/layer.hpp"
+#include "mpi/pmpi.hpp"
+#include "mpi/runtime.hpp"
+
+namespace casper::core {
+
+/// Reserved tags for Casper-internal messages on the underlying world.
+inline constexpr int kTagCmd = 901001;
+inline constexpr int kTagPscwPost = 901002;
+inline constexpr int kTagPscwComplete = 901003;
+
+/// Epoch-type mask parsed from the `epochs_used` info hint.
+enum EpochMask : unsigned {
+  kEpochFence = 1u << 0,
+  kEpochPscw = 1u << 1,
+  kEpochLock = 1u << 2,
+  kEpochLockAll = 1u << 3,
+  kEpochAll = 0xF,
+};
+unsigned parse_epochs(const mpi::Info& info);
+
+/// Command sent from a node's user master to the node's ghosts so they can
+/// mirror the user processes' collective window operations.
+struct GhostCmd {
+  enum Code : int { kWinAlloc = 1, kWinFree = 2, kFinalize = 3 };
+  int code = 0;
+  unsigned epochs = kEpochAll;
+  long long disp_unit = 1;
+  /// Window sequence number: user processes allocate windows in the same
+  /// collective order on every rank, so a per-rank allocation counter
+  /// identifies the window; win-free commands name the window to tear down
+  /// (frees may happen in any order).
+  int seq = 0;
+};
+
+class CasperLayer final : public mpi::Layer {
+ public:
+  CasperLayer(mpi::Runtime& rt, Config cfg);
+
+  // ---- mpi::Layer --------------------------------------------------------
+  void on_rank_start(mpi::Env& env,
+                     const std::function<void(mpi::Env&)>& user_main) override;
+  mpi::Comm comm_world(mpi::Env& env) override;
+  mpi::Comm comm_split(mpi::Env& env, const mpi::Comm& c, int color,
+                       int key) override;
+  mpi::Comm comm_dup(mpi::Env& env, const mpi::Comm& c) override;
+  void send(mpi::Env& env, const void* buf, int count, mpi::Dt dt, int dest,
+            int tag, const mpi::Comm& c) override;
+  mpi::Status recv(mpi::Env& env, void* buf, int count, mpi::Dt dt, int src,
+                   int tag, const mpi::Comm& c) override;
+  mpi::Request isend(mpi::Env& env, const void* buf, int count, mpi::Dt dt,
+                     int dest, int tag, const mpi::Comm& c) override;
+  mpi::Request irecv(mpi::Env& env, void* buf, int count, mpi::Dt dt, int src,
+                     int tag, const mpi::Comm& c) override;
+  mpi::Status wait(mpi::Env& env, const mpi::Request& req) override;
+  bool test(mpi::Env& env, const mpi::Request& req) override;
+  void waitall(mpi::Env& env, mpi::Request* reqs, int n) override;
+  void barrier(mpi::Env& env, const mpi::Comm& c) override;
+  void bcast(mpi::Env& env, void* buf, int count, mpi::Dt dt, int root,
+             const mpi::Comm& c) override;
+  void reduce(mpi::Env& env, const void* s, void* r, int count, mpi::Dt dt,
+              mpi::AccOp op, int root, const mpi::Comm& c) override;
+  void allreduce(mpi::Env& env, const void* s, void* r, int count, mpi::Dt dt,
+                 mpi::AccOp op, const mpi::Comm& c) override;
+  void allgather(mpi::Env& env, const void* s, int count, mpi::Dt dt, void* r,
+                 const mpi::Comm& c) override;
+  void alltoall(mpi::Env& env, const void* s, int count, mpi::Dt dt, void* r,
+                const mpi::Comm& c) override;
+  void gather(mpi::Env& env, const void* s, int count, mpi::Dt dt, void* r,
+              int root, const mpi::Comm& c) override;
+  void scatter(mpi::Env& env, const void* s, int count, mpi::Dt dt, void* r,
+               int root, const mpi::Comm& c) override;
+
+  mpi::Win win_allocate(mpi::Env& env, std::size_t bytes, std::size_t du,
+                        const mpi::Info& info, const mpi::Comm& c,
+                        void** base) override;
+  mpi::Win win_allocate_shared(mpi::Env& env, std::size_t bytes,
+                               std::size_t du, const mpi::Info& info,
+                               const mpi::Comm& c, void** base) override;
+  mpi::Win win_create(mpi::Env& env, void* base, std::size_t bytes,
+                      std::size_t du, const mpi::Info& info,
+                      const mpi::Comm& c) override;
+  void win_free(mpi::Env& env, mpi::Win& w) override;
+
+  void put(mpi::Env& env, const void* o, int oc, mpi::Datatype odt,
+           int target, std::size_t tdisp, int tc, mpi::Datatype tdt,
+           const mpi::Win& w) override;
+  void get(mpi::Env& env, void* o, int oc, mpi::Datatype odt, int target,
+           std::size_t tdisp, int tc, mpi::Datatype tdt,
+           const mpi::Win& w) override;
+  void accumulate(mpi::Env& env, const void* o, int oc, mpi::Datatype odt,
+                  int target, std::size_t tdisp, int tc, mpi::Datatype tdt,
+                  mpi::AccOp op, const mpi::Win& w) override;
+  void get_accumulate(mpi::Env& env, const void* o, int oc, mpi::Datatype odt,
+                      void* res, int rc, mpi::Datatype rdt, int target,
+                      std::size_t tdisp, int tc, mpi::Datatype tdt,
+                      mpi::AccOp op, const mpi::Win& w) override;
+  void fetch_and_op(mpi::Env& env, const void* value, void* result,
+                    mpi::Dt dt, int target, std::size_t tdisp, mpi::AccOp op,
+                    const mpi::Win& w) override;
+  void compare_and_swap(mpi::Env& env, const void* expected,
+                        const void* desired, void* result, mpi::Dt dt,
+                        int target, std::size_t tdisp,
+                        const mpi::Win& w) override;
+
+  void win_fence(mpi::Env& env, unsigned mode_assert,
+                 const mpi::Win& w) override;
+  void win_post(mpi::Env& env, const mpi::Group& g, unsigned mode_assert,
+                const mpi::Win& w) override;
+  void win_start(mpi::Env& env, const mpi::Group& g, unsigned mode_assert,
+                 const mpi::Win& w) override;
+  void win_complete(mpi::Env& env, const mpi::Win& w) override;
+  void win_wait(mpi::Env& env, const mpi::Win& w) override;
+  void win_lock(mpi::Env& env, mpi::LockType type, int target,
+                unsigned mode_assert, const mpi::Win& w) override;
+  void win_unlock(mpi::Env& env, int target, const mpi::Win& w) override;
+  void win_lock_all(mpi::Env& env, unsigned mode_assert,
+                    const mpi::Win& w) override;
+  void win_unlock_all(mpi::Env& env, const mpi::Win& w) override;
+  void win_flush(mpi::Env& env, int target, const mpi::Win& w) override;
+  void win_flush_all(mpi::Env& env, const mpi::Win& w) override;
+  void win_flush_local(mpi::Env& env, int target, const mpi::Win& w) override;
+  void win_flush_local_all(mpi::Env& env, const mpi::Win& w) override;
+  void win_sync(mpi::Env& env, const mpi::Win& w) override;
+
+  // ---- introspection for tests & benches ---------------------------------
+  const mpi::Comm& user_world() const { return user_world_; }
+  bool ghost_rank(int world_rank) const {
+    return is_ghost_[static_cast<std::size_t>(world_rank)];
+  }
+  /// World rank of the ghost statically bound to a user rank of a window.
+  int bound_ghost_of(const mpi::Win& user_win, int user_rank);
+  /// Number of internal windows Casper created for a managed user window
+  /// (overlapping lock windows + the fence/pscw/lockall window), for the
+  /// Fig. 3(a) hint analysis.
+  int internal_window_count(const mpi::Win& user_win);
+  const Config& config() const { return cfg_; }
+
+  /// Per-ghost redirection load for a managed window, summed over all
+  /// origins: how many operations / bytes each ghost was sent (the
+  /// observability real Casper exposes via CSP_VERBOSE; lets applications
+  /// and tests see binding-policy balance).
+  struct GhostLoad {
+    int ghost_world = -1;
+    std::uint64_t ops = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<GhostLoad> ghost_load(const mpi::Win& user_win);
+
+ private:
+  /// Per-user-target placement of window memory.
+  struct TargetInfo {
+    int node = 0;
+    std::size_t offset = 0;  ///< byte offset of the segment in node buffer
+    std::size_t size = 0;
+    std::size_t disp_unit = 1;
+    int bound_ghost = -1;  ///< world rank (== comm rank in world windows)
+    int local_idx = 0;     ///< index among node-local users (ug_win index)
+  };
+
+  /// Per-(origin, target) passive-epoch state.
+  struct OriginTargetEp {
+    bool locked = false;
+    mpi::LockType type = mpi::LockType::Shared;
+    unsigned mode_assert = 0;
+    /// Static-binding-free: set after a flush completes under the lock
+    /// (paper III.B.3); enables dynamic binding of PUT/GET.
+    bool binding_free = false;
+  };
+
+  /// Per-origin epoch state on one Casper window.
+  struct OriginEp {
+    std::vector<OriginTargetEp> tl;  // per target user rank
+    bool lockall = false;
+    bool fence_open = false;
+    std::vector<int> access_group;    // user comm ranks (PSCW)
+    std::vector<int> exposure_group;  // user comm ranks (PSCW)
+    std::vector<std::uint64_t> ops_to_ghost;    // by ghost world rank
+    std::vector<std::uint64_t> bytes_to_ghost;  // by ghost world rank
+    std::uint64_t rr = 0;  ///< round-robin cursor for the "random" policy
+  };
+
+  /// All internal state Casper keeps for one user window. One canonical
+  /// instance is shared by all member ranks (first finisher registers it);
+  /// only the node shared-memory windows differ per node, so they are kept
+  /// per node.
+  struct CspWin {
+    mpi::Win user_win;  ///< handle returned to the application
+    std::vector<mpi::Win> shm_by_node;  ///< node shared-memory windows
+    std::vector<mpi::Win> ug_wins;  ///< per local-user-index, over world
+    mpi::Win global_win;            ///< fence/pscw/lockall window, over world
+    unsigned epochs = kEpochAll;
+    std::vector<TargetInfo> tgt;          // per user comm rank
+    std::vector<std::size_t> node_total;  // per node: shared buffer bytes
+    std::vector<OriginEp> ep;             // per user comm rank
+    int seq = 0;  ///< allocation sequence number (ghost free matching)
+  };
+
+  /// One piece of a (possibly split) redirected operation.
+  struct SubOp {
+    int ghost = -1;          ///< ghost world rank (target in internal wins)
+    std::size_t tdisp = 0;   ///< byte displacement in the ghost's frame
+    int tcount = 0;
+    mpi::Datatype tdt;
+    std::size_t payload_off = 0;  ///< offset into packed origin data
+  };
+
+  // --- setup / ghosts ------------------------------------------------------
+  void setup_topology();
+  void setup_comms(mpi::Env& env);
+  void ghost_loop(mpi::Env& env);
+  void user_finalize(mpi::Env& env);
+  /// Node user-masters send `cmd` to their node's ghosts.
+  void notify_ghosts(mpi::Env& env, const GhostCmd& cmd);
+  /// Collective (over ALL world ranks) creation of the internal windows.
+  std::shared_ptr<CspWin> build_windows(mpi::Env& env, std::size_t bytes,
+                                        std::size_t du, unsigned epochs,
+                                        const mpi::Info& info);
+  void free_internal_windows(mpi::Env& env, CspWin& cw);
+
+  // --- redirection ---------------------------------------------------------
+  CspWin* managed(const mpi::Win& w);
+  CspWin& managed_checked(const mpi::Win& w, const char* who);
+  int my_user_rank(mpi::Env& env) const;
+  /// The internal window carrying operations to user target `u` under the
+  /// currently active epoch of `origin`.
+  mpi::Win& route_window(CspWin& cw, int origin, int target);
+  /// Static binding: resolve an op on user target `u` into sub-ops.
+  void resolve_static(CspWin& cw, int target, std::size_t disp_bytes,
+                      int tcount, const mpi::Datatype& tdt,
+                      std::vector<SubOp>& out);
+  /// Dynamic binding ghost choice (paper III.B.3), PUT/GET only.
+  int choose_dynamic_ghost(mpi::Env& env, CspWin& cw, int origin, int node,
+                           std::size_t bytes);
+  bool dynamic_applicable(const CspWin& cw, int origin, int target,
+                          mpi::OpKind kind) const;
+  /// Issue one user RMA op through Casper's redirection machinery.
+  void issue(mpi::Env& env, mpi::OpKind kind, mpi::AccOp op, const void* o,
+             int oc, const mpi::Datatype& odt, const void* o2, void* res,
+             int rc, const mpi::Datatype& rdt, int target, std::size_t tdisp,
+             int tc, const mpi::Datatype& tdt, const mpi::Win& w);
+  /// Direct local execution of a self-targeted op (never delayed).
+  void exec_self(mpi::Env& env, mpi::OpKind kind, mpi::AccOp op,
+                 const void* o, int oc, const mpi::Datatype& odt,
+                 const void* o2, void* res, int rc, const mpi::Datatype& rdt,
+                 std::size_t disp_bytes, int tc, const mpi::Datatype& tdt,
+                 CspWin& cw, int target);
+
+  mpi::Runtime* rt_;
+  Config cfg_;
+  std::shared_ptr<mpi::Pmpi> pmpi_;
+
+  // topology-derived, computed once in the constructor
+  std::vector<bool> is_ghost_;                 // by world rank
+  std::vector<std::vector<int>> node_ghosts_;  // per node: ghost world ranks
+  std::vector<std::vector<int>> node_users_;   // per node: user world ranks
+  std::vector<int> node_master_;               // per node: first user rank
+  int max_local_users_ = 0;
+
+  mpi::Comm user_world_;
+  std::vector<mpi::Comm> node_comm_of_;  // per world rank: its node comm
+  std::map<mpi::WinImpl*, std::shared_ptr<CspWin>> winmap_;
+  /// Ghost-side record of internal windows, per ghost world rank, matched by
+  /// sequence number on free.
+  std::map<int, std::vector<std::shared_ptr<CspWin>>> ghost_wins_;
+  /// Per-world-rank count of managed window allocations (sequence source).
+  std::vector<int> alloc_seq_;
+};
+
+}  // namespace casper::core

@@ -1,0 +1,733 @@
+// CasperLayer: RMA operation redirection (rank / segment / dynamic binding)
+// and epoch translation (fence, PSCW, lock, lockall) — paper Sections II.C
+// and III.
+#include <algorithm>
+#include <cstring>
+
+#include "core/layer_impl.hpp"
+#include "mpi/check.hpp"
+#include "mpi/datatype.hpp"
+
+namespace casper::core {
+
+using mpi::AccOp;
+using mpi::Datatype;
+using mpi::Env;
+using mpi::OpKind;
+using mpi::Win;
+
+namespace {
+/// Per-op translation overhead added by Casper's wrapper (rank + offset
+/// translation, binding decision).
+constexpr sim::Time kTranslateCost = sim::ns(60);
+
+bool acc_like(OpKind k) {
+  return k == OpKind::Acc || k == OpKind::GetAcc || k == OpKind::Fao ||
+         k == OpKind::Cas;
+}
+
+bool contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+}  // namespace
+
+// ------------------------------------------------------------- routing ----
+
+mpi::Win& CasperLayer::route_window(CspWin& cw, int origin, int target) {
+  auto& ep = cw.ep[static_cast<std::size_t>(origin)];
+  const auto& tl = ep.tl[static_cast<std::size_t>(target)];
+  if (tl.locked || (ep.lockall && !cw.ug_wins.empty())) {
+    // lock path (or lockall converted to per-ghost locks): use the
+    // overlapping window dedicated to this target's local index.
+    return cw.ug_wins[static_cast<std::size_t>(
+        cw.tgt[static_cast<std::size_t>(target)].local_idx)];
+  }
+  MMPI_REQUIRE(cw.global_win != nullptr,
+               "casper: window was allocated without fence/pscw/lockall in "
+               "epochs_used but such an epoch is in use");
+  return cw.global_win;
+}
+
+void CasperLayer::resolve_static(CspWin& cw, int target,
+                                 std::size_t disp_bytes, int tcount,
+                                 const Datatype& tdt,
+                                 std::vector<SubOp>& out) {
+  const auto& ti = cw.tgt[static_cast<std::size_t>(target)];
+  const std::size_t base = ti.offset + disp_bytes;  // node-buffer frame
+
+  if (cfg_.binding == Binding::Rank) {
+    out.push_back(SubOp{ti.bound_ghost, base, tcount, tdt, 0});
+    return;
+  }
+
+  // Static segment binding: the node's exposed memory is divided into
+  // ghosts_per_node chunks aligned to the maximum basic datatype size
+  // (16 bytes), and each chunk is owned by one ghost (paper III.B.2).
+  const auto& ng = node_ghosts_[static_cast<std::size_t>(ti.node)];
+  const std::size_t g = ng.size();
+  const std::size_t total = cw.node_total[static_cast<std::size_t>(ti.node)];
+  std::size_t chunk = (total + g - 1) / g;
+  chunk = (chunk + mpi::kMaxBasicDtSize - 1) &
+          ~(mpi::kMaxBasicDtSize - 1);  // 16B alignment
+  if (chunk == 0) chunk = mpi::kMaxBasicDtSize;
+
+  auto owner = [&](std::size_t b) {
+    return std::min(b / chunk, g - 1);
+  };
+
+  const std::size_t es = tdt.elem_size();
+  const std::size_t block = static_cast<std::size_t>(tdt.blocklen) * es;
+  const std::size_t stride = static_cast<std::size_t>(tdt.stride) * es;
+  std::size_t payload_off = 0;
+
+  // Walk the (possibly strided) target layout block by block, splitting each
+  // contiguous block at chunk boundaries — never inside a basic element
+  // (boundaries are 16B aligned and displacements element-aligned).
+  for (int b = 0; b < tcount; ++b) {
+    std::size_t lo = base + static_cast<std::size_t>(b) * stride;
+    std::size_t remaining = block;
+    while (remaining > 0) {
+      const std::size_t ow = owner(lo);
+      const std::size_t chunk_end = (ow + 1) * chunk;
+      std::size_t len = std::min(remaining, chunk_end - lo);
+      MMPI_REQUIRE(len % es == 0 && lo % es == 0,
+                   "casper: segment boundary would split a basic element "
+                   "(misaligned displacement; see paper III.B.2)");
+      // Extend an existing sub-op for the same ghost if contiguous with it.
+      if (!out.empty() && out.back().ghost == ng[ow] &&
+          out.back().tdisp + static_cast<std::size_t>(out.back().tcount) *
+                                 out.back().tdt.elem_size() *
+                                 static_cast<std::size_t>(
+                                     out.back().tdt.blocklen) ==
+              lo &&
+          out.back().tdt.contiguous() &&
+          out.back().payload_off +
+                  mpi::data_bytes(out.back().tcount, out.back().tdt) ==
+              payload_off) {
+        out.back().tcount += static_cast<int>(len / es);
+      } else {
+        out.push_back(SubOp{ng[ow], lo, static_cast<int>(len / es),
+                            mpi::contig(tdt.base), payload_off});
+      }
+      lo += len;
+      payload_off += len;
+      remaining -= len;
+    }
+  }
+}
+
+bool CasperLayer::dynamic_applicable(const CspWin& cw, int origin, int target,
+                                     OpKind kind) const {
+  if (cfg_.dynamic == DynamicLb::None || acc_like(kind)) return false;
+  const auto& ep = cw.ep[static_cast<std::size_t>(origin)];
+  const auto& tl = ep.tl[static_cast<std::size_t>(target)];
+  // Dynamic binding is valid for PUT/GET when the epoch is lockall (shared
+  // locks everywhere: no exclusive-permission hazard) or inside a
+  // static-binding-free interval after a flush under a lock (paper III.B.3).
+  return ep.lockall || (tl.locked && tl.binding_free);
+}
+
+int CasperLayer::choose_dynamic_ghost(Env& env, CspWin& cw, int origin,
+                                      int node, std::size_t bytes) {
+  const auto& ng = node_ghosts_[static_cast<std::size_t>(node)];
+  auto& ep = cw.ep[static_cast<std::size_t>(origin)];
+  switch (cfg_.dynamic) {
+    case DynamicLb::Random:
+      // Uniform random choice (per-rank deterministic stream). A plain
+      // per-origin round-robin would correlate with the target iteration
+      // order and can degenerate to a fixed target->ghost mapping.
+      return ng[env.ctx().rng().next_below(ng.size())];
+    case DynamicLb::OpCounting: {
+      int best = ng[0];
+      for (int g : ng) {
+        if (ep.ops_to_ghost[static_cast<std::size_t>(g)] <
+            ep.ops_to_ghost[static_cast<std::size_t>(best)]) {
+          best = g;
+        }
+      }
+      return best;
+    }
+    case DynamicLb::ByteCounting: {
+      int best = ng[0];
+      for (int g : ng) {
+        if (ep.bytes_to_ghost[static_cast<std::size_t>(g)] <
+            ep.bytes_to_ghost[static_cast<std::size_t>(best)]) {
+          best = g;
+        }
+      }
+      return best;
+    }
+    case DynamicLb::None:
+      break;
+  }
+  (void)bytes;
+  return ng[0];
+}
+
+// ---------------------------------------------------------------- issue ----
+
+void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
+                        int oc, const Datatype& odt, const void* o2,
+                        void* res, int rc, const Datatype& rdt, int target,
+                        std::size_t tdisp, int tc, const Datatype& tdt,
+                        const Win& w) {
+  auto* cwp = managed(w);
+  if (cwp == nullptr) {
+    // Unmanaged window: forward to the MPI implementation untouched.
+    switch (kind) {
+      case OpKind::Put:
+        pmpi_->put(env, o, oc, odt, target, tdisp, tc, tdt, w);
+        return;
+      case OpKind::Get:
+        pmpi_->get(env, res, rc, rdt, target, tdisp, tc, tdt, w);
+        return;
+      case OpKind::Acc:
+        pmpi_->accumulate(env, o, oc, odt, target, tdisp, tc, tdt, op, w);
+        return;
+      case OpKind::GetAcc:
+        pmpi_->get_accumulate(env, o, oc, odt, res, rc, rdt, target, tdisp,
+                              tc, tdt, op, w);
+        return;
+      case OpKind::Fao:
+        pmpi_->fetch_and_op(env, o, res, tdt.base, target, tdisp, op, w);
+        return;
+      case OpKind::Cas:
+        pmpi_->compare_and_swap(env, o, o2, res, tdt.base, target, tdisp, w);
+        return;
+      default:
+        MMPI_REQUIRE(false, "casper: bad op kind");
+    }
+  }
+  CspWin& cw = *cwp;
+  const int me_u = my_user_rank(env);
+  auto& ep = cw.ep[static_cast<std::size_t>(me_u)];
+  auto& ti = cw.tgt[static_cast<std::size_t>(target)];
+  MMPI_REQUIRE(target >= 0 && target < static_cast<int>(cw.tgt.size()),
+               "casper: bad target %d", target);
+
+  const bool in_epoch = ep.fence_open || ep.lockall ||
+                        ep.tl[static_cast<std::size_t>(target)].locked ||
+                        contains(ep.access_group, target);
+  MMPI_REQUIRE(in_epoch, "casper: RMA op outside any epoch (%d->%d)", me_u,
+               target);
+
+  const std::size_t disp_bytes = tdisp * ti.disp_unit;
+  MMPI_REQUIRE(disp_bytes + mpi::span_bytes(tc, tdt) <= ti.size,
+               "casper: RMA out of target bounds");
+
+  env.ctx().advance(kTranslateCost);
+
+  // Self ops: PUT/GET execute as direct load/store (never delayed, paper
+  // III.D). Accumulate-class self ops must NOT bypass the ghost: they would
+  // race with the ghost's read-modify-writes of the same location on behalf
+  // of other origins, breaking MPI's accumulate atomicity. They are
+  // redirected like any other op, so the bound ghost serializes them.
+  if (target == me_u && !acc_like(kind)) {
+    exec_self(env, kind, op, o, oc, odt, o2, res, rc, rdt, disp_bytes, tc,
+              tdt, cw, target);
+    return;
+  }
+
+  mpi::Win& iw = route_window(cw, me_u, target);
+  const std::size_t bytes = mpi::data_bytes(tc, tdt);
+
+  // NUMA hint: the ghost processing this op touches the target user's
+  // segment; crossing the node's domain interconnect costs extra (what the
+  // topology-aware binding avoids).
+  const int target_world = user_world_->world_rank(target);
+  auto numa_hint = [&](int ghost_world) {
+    rt_->set_next_op_cross_numa(
+        env.world_rank(), rt_->topo().numa_of(ghost_world) !=
+                              rt_->topo().numa_of(target_world));
+  };
+
+  // --- dynamic binding fast path: whole op to one chosen ghost -------------
+  if (dynamic_applicable(cw, me_u, target, kind)) {
+    const int ghost = choose_dynamic_ghost(env, cw, me_u, ti.node, bytes);
+    ++ep.ops_to_ghost[static_cast<std::size_t>(ghost)];
+    ep.bytes_to_ghost[static_cast<std::size_t>(ghost)] += bytes;
+    numa_hint(ghost);
+    const std::size_t gdisp = ti.offset + disp_bytes;
+    if (kind == OpKind::Put) {
+      pmpi_->put(env, o, oc, odt, ghost, gdisp, tc, tdt, iw);
+    } else {
+      pmpi_->get(env, res, rc, rdt, ghost, gdisp, tc, tdt, iw);
+    }
+    ++rt_->stats().counter("casper_dynamic_ops");
+    return;
+  }
+
+  // --- static binding -------------------------------------------------------
+  std::vector<SubOp> subs;
+  resolve_static(cw, target, disp_bytes, tc, tdt, subs);
+
+  // GetAcc cannot be split across ghosts (single fetched result); fall back
+  // to rank binding for such ops under segment binding.
+  if (subs.size() > 1 &&
+      (kind == OpKind::GetAcc || kind == OpKind::Fao || kind == OpKind::Cas)) {
+    subs.clear();
+    subs.push_back(SubOp{ti.bound_ghost, ti.offset + disp_bytes, tc, tdt, 0});
+    ++rt_->stats().counter("casper_segment_fallback_ops");
+  }
+
+  if (subs.size() == 1 && subs[0].payload_off == 0 &&
+      mpi::data_bytes(subs[0].tcount, subs[0].tdt) == bytes) {
+    // Fast path: whole op through one ghost, original datatypes preserved.
+    const SubOp& s = subs[0];
+    ++ep.ops_to_ghost[static_cast<std::size_t>(s.ghost)];
+    ep.bytes_to_ghost[static_cast<std::size_t>(s.ghost)] += bytes;
+    numa_hint(s.ghost);
+    switch (kind) {
+      case OpKind::Put:
+        pmpi_->put(env, o, oc, odt, s.ghost, s.tdisp, tc, tdt, iw);
+        break;
+      case OpKind::Get:
+        pmpi_->get(env, res, rc, rdt, s.ghost, s.tdisp, tc, tdt, iw);
+        break;
+      case OpKind::Acc:
+        pmpi_->accumulate(env, o, oc, odt, s.ghost, s.tdisp, tc, tdt, op, iw);
+        break;
+      case OpKind::GetAcc:
+        pmpi_->get_accumulate(env, o, oc, odt, res, rc, rdt, s.ghost, s.tdisp,
+                              tc, tdt, op, iw);
+        break;
+      case OpKind::Fao:
+        pmpi_->fetch_and_op(env, o, res, tdt.base, s.ghost, s.tdisp, op, iw);
+        break;
+      case OpKind::Cas:
+        pmpi_->compare_and_swap(env, o, o2, res, tdt.base, s.ghost, s.tdisp,
+                                iw);
+        break;
+      default:
+        MMPI_REQUIRE(false, "casper: bad op kind");
+    }
+    return;
+  }
+
+  // Split path (segment binding): pack the origin data once, then issue each
+  // piece as a contiguous op against its owning ghost.
+  MMPI_REQUIRE(kind == OpKind::Put || kind == OpKind::Get ||
+                   kind == OpKind::Acc,
+               "casper: split not supported for this op kind");
+  std::vector<std::byte> packed;
+  if (kind != OpKind::Get) packed = mpi::pack(o, oc, odt);
+  std::vector<std::byte> gather(kind == OpKind::Get ? bytes : 0);
+
+  for (const SubOp& s : subs) {
+    ++ep.ops_to_ghost[static_cast<std::size_t>(s.ghost)];
+    const std::size_t sbytes = mpi::data_bytes(s.tcount, s.tdt);
+    ep.bytes_to_ghost[static_cast<std::size_t>(s.ghost)] += sbytes;
+    numa_hint(s.ghost);
+    switch (kind) {
+      case OpKind::Put:
+        pmpi_->put(env, packed.data() + s.payload_off, s.tcount, s.tdt,
+                   s.ghost, s.tdisp, s.tcount, s.tdt, iw);
+        break;
+      case OpKind::Acc:
+        pmpi_->accumulate(env, packed.data() + s.payload_off, s.tcount, s.tdt,
+                          s.ghost, s.tdisp, s.tcount, s.tdt, op, iw);
+        break;
+      case OpKind::Get:
+        pmpi_->get(env, gather.data() + s.payload_off, s.tcount, s.tdt,
+                   s.ghost, s.tdisp, s.tcount, s.tdt, iw);
+        break;
+      default:
+        break;
+    }
+    ++rt_->stats().counter("casper_split_subops");
+  }
+  if (kind == OpKind::Get) {
+    // The pieces land in `gather` asynchronously; unpacking into the user's
+    // (possibly strided) origin buffer must wait for completion. We wait
+    // here (a flush on the involved ghosts), trading a little overlap for
+    // correctness of the strided reassembly.
+    for (const SubOp& s : subs) pmpi_->win_flush(env, s.ghost, iw);
+    mpi::unpack(res, rc, rdt, gather);
+  }
+}
+
+// ----------------------------------------------------------- self ops ----
+
+void CasperLayer::exec_self(Env& env, OpKind kind, AccOp op, const void* o,
+                            int oc, const Datatype& odt, const void* o2,
+                            void* res, int rc, const Datatype& rdt,
+                            std::size_t disp_bytes, int tc,
+                            const Datatype& tdt, CspWin& cw, int target) {
+  // Local load/store access (self locks are never delayed). Executed
+  // synchronously on my own shared segment.
+  env.ctx().advance(sim::ns(80));
+  std::byte* taddr =
+      cw.user_win->segs[static_cast<std::size_t>(target)].base + disp_bytes;
+  switch (kind) {
+    case OpKind::Put: {
+      auto payload = mpi::pack(o, oc, odt);
+      mpi::unpack(taddr, tc, tdt, payload);
+      break;
+    }
+    case OpKind::Get: {
+      auto data = mpi::pack(taddr, tc, tdt);
+      mpi::unpack(res, rc, rdt, data);
+      break;
+    }
+    case OpKind::Acc: {
+      auto payload = mpi::pack(o, oc, odt);
+      mpi::reduce_into(taddr, tc, tdt, payload, op);
+      break;
+    }
+    case OpKind::GetAcc:
+    case OpKind::Fao: {
+      auto old = mpi::pack(taddr, tc, tdt);
+      if (res != nullptr) mpi::unpack(res, rc, rdt, old);
+      auto payload = mpi::pack(o, oc, odt);
+      mpi::reduce_into(taddr, tc, tdt, payload, op);
+      break;
+    }
+    case OpKind::Cas: {
+      const std::size_t es = tdt.elem_size();
+      if (res != nullptr) std::memcpy(res, taddr, es);
+      if (std::memcmp(taddr, o, es) == 0) std::memcpy(taddr, o2, es);
+      break;
+    }
+    default:
+      MMPI_REQUIRE(false, "casper: bad self op");
+  }
+  ++rt_->stats().counter("casper_self_ops");
+}
+
+// ---------------------------------------------------------- public RMA ----
+
+void CasperLayer::put(Env& env, const void* o, int oc, Datatype odt,
+                      int target, std::size_t tdisp, int tc, Datatype tdt,
+                      const Win& w) {
+  issue(env, OpKind::Put, AccOp::Replace, o, oc, odt, nullptr, nullptr, 0,
+        Datatype{}, target, tdisp, tc, tdt, w);
+}
+
+void CasperLayer::get(Env& env, void* o, int oc, Datatype odt, int target,
+                      std::size_t tdisp, int tc, Datatype tdt, const Win& w) {
+  issue(env, OpKind::Get, AccOp::Replace, nullptr, 0, Datatype{}, nullptr, o,
+        oc, odt, target, tdisp, tc, tdt, w);
+}
+
+void CasperLayer::accumulate(Env& env, const void* o, int oc, Datatype odt,
+                             int target, std::size_t tdisp, int tc,
+                             Datatype tdt, AccOp op, const Win& w) {
+  issue(env, OpKind::Acc, op, o, oc, odt, nullptr, nullptr, 0, Datatype{},
+        target, tdisp, tc, tdt, w);
+}
+
+void CasperLayer::get_accumulate(Env& env, const void* o, int oc,
+                                 Datatype odt, void* res, int rc,
+                                 Datatype rdt, int target, std::size_t tdisp,
+                                 int tc, Datatype tdt, AccOp op,
+                                 const Win& w) {
+  issue(env, OpKind::GetAcc, op, o, oc, odt, nullptr, res, rc, rdt, target,
+        tdisp, tc, tdt, w);
+}
+
+void CasperLayer::fetch_and_op(Env& env, const void* value, void* result,
+                               mpi::Dt dt, int target, std::size_t tdisp,
+                               AccOp op, const Win& w) {
+  issue(env, OpKind::Fao, op, value, 1, mpi::contig(dt), nullptr, result, 1,
+        mpi::contig(dt), target, tdisp, 1, mpi::contig(dt), w);
+}
+
+void CasperLayer::compare_and_swap(Env& env, const void* expected,
+                                   const void* desired, void* result,
+                                   mpi::Dt dt, int target, std::size_t tdisp,
+                                   const Win& w) {
+  issue(env, OpKind::Cas, AccOp::Replace, expected, 1, mpi::contig(dt),
+        desired, result, 1, mpi::contig(dt), target, tdisp, 1,
+        mpi::contig(dt), w);
+}
+
+// ------------------------------------------------------ epoch translation --
+
+void CasperLayer::win_fence(Env& env, unsigned mode_assert, const Win& w) {
+  auto* cw = managed(w);
+  if (cw == nullptr) {
+    pmpi_->win_fence(env, mode_assert, w);
+    return;
+  }
+  MMPI_REQUIRE(cw->epochs & kEpochFence,
+               "casper: fence used but excluded by epochs_used hint");
+  const int me_u = my_user_rank(env);
+  auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
+
+  // Translation (paper III.C.1): the window sits under a permanent lockall;
+  // fence = flush_all (remote completion of my ops) + barrier (everyone's
+  // ops) + win_sync (memory consistency), each skippable via asserts.
+  if (ep.fence_open && !(mode_assert & mpi::kModeNoPrecede)) {
+    pmpi_->win_flush_all(env, cw->global_win);
+  }
+  const bool skip_sync = (mode_assert & mpi::kModeNoStore) &&
+                         (mode_assert & mpi::kModeNoPut) &&
+                         (mode_assert & mpi::kModeNoPrecede);
+  if (!skip_sync) {
+    pmpi_->barrier(env, user_world_);
+    pmpi_->win_sync(env, cw->global_win);
+  }
+  ep.fence_open = !(mode_assert & mpi::kModeNoSucceed);
+}
+
+void CasperLayer::win_post(Env& env, const mpi::Group& g, unsigned mode_assert,
+                           const Win& w) {
+  auto* cw = managed(w);
+  if (cw == nullptr) {
+    pmpi_->win_post(env, g, mode_assert, w);
+    return;
+  }
+  MMPI_REQUIRE(cw->epochs & kEpochPscw,
+               "casper: pscw used but excluded by epochs_used hint");
+  const int me_u = my_user_rank(env);
+  auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
+  MMPI_REQUIRE(ep.exposure_group.empty(), "casper: nested win_post");
+  ep.exposure_group = g.ranks();
+  // Translation (III.C.2): notify each origin with a send (the origins'
+  // win_start receives) unless the user asserts the synchronization is
+  // already done.
+  if (!(mode_assert & mpi::kModeNoCheck)) {
+    char token = 1;
+    for (int o : ep.exposure_group) {
+      pmpi_->send(env, &token, 1, mpi::Dt::Byte, o, kTagPscwPost,
+                  user_world_);
+    }
+  }
+}
+
+void CasperLayer::win_start(Env& env, const mpi::Group& g,
+                            unsigned mode_assert, const Win& w) {
+  auto* cw = managed(w);
+  if (cw == nullptr) {
+    pmpi_->win_start(env, g, mode_assert, w);
+    return;
+  }
+  const int me_u = my_user_rank(env);
+  auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
+  MMPI_REQUIRE(ep.access_group.empty(), "casper: nested win_start");
+  ep.access_group = g.ranks();
+  if (!(mode_assert & mpi::kModeNoCheck)) {
+    char token = 0;
+    for (int t : ep.access_group) {
+      pmpi_->recv(env, &token, 1, mpi::Dt::Byte, t, kTagPscwPost,
+                  user_world_);
+    }
+  }
+}
+
+void CasperLayer::win_complete(Env& env, const Win& w) {
+  auto* cw = managed(w);
+  if (cw == nullptr) {
+    pmpi_->win_complete(env, w);
+    return;
+  }
+  const int me_u = my_user_rank(env);
+  auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
+  MMPI_REQUIRE(!ep.access_group.empty(),
+               "casper: win_complete without win_start");
+  // Remote completion of my ops, then notify each target.
+  pmpi_->win_flush_all(env, cw->global_win);
+  char token = 2;
+  for (int t : ep.access_group) {
+    pmpi_->send(env, &token, 1, mpi::Dt::Byte, t, kTagPscwComplete,
+                user_world_);
+  }
+  ep.access_group.clear();
+}
+
+void CasperLayer::win_wait(Env& env, const Win& w) {
+  auto* cw = managed(w);
+  if (cw == nullptr) {
+    pmpi_->win_wait(env, w);
+    return;
+  }
+  const int me_u = my_user_rank(env);
+  auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
+  MMPI_REQUIRE(!ep.exposure_group.empty(),
+               "casper: win_wait without win_post");
+  char token = 0;
+  for (int o : ep.exposure_group) {
+    pmpi_->recv(env, &token, 1, mpi::Dt::Byte, o, kTagPscwComplete,
+                user_world_);
+  }
+  ep.exposure_group.clear();
+  pmpi_->win_sync(env, cw->global_win);
+}
+
+void CasperLayer::win_lock(Env& env, mpi::LockType type, int target,
+                           unsigned mode_assert, const Win& w) {
+  auto* cw = managed(w);
+  if (cw == nullptr) {
+    pmpi_->win_lock(env, type, target, mode_assert, w);
+    return;
+  }
+  MMPI_REQUIRE(cw->epochs & kEpochLock,
+               "casper: lock used but excluded by epochs_used hint");
+  const int me_u = my_user_rank(env);
+  auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
+  auto& tl = ep.tl[static_cast<std::size_t>(target)];
+  MMPI_REQUIRE(!tl.locked, "casper: nested lock to target %d", target);
+  tl.locked = true;
+  tl.type = type;
+  tl.mode_assert = mode_assert;
+  tl.binding_free = false;
+
+  // Lock every ghost on the target's node, on the overlapping window
+  // dedicated to this target, in the hope of spreading communication
+  // (paper III.B; acquisition is delayed by the MPI implementation, so
+  // unused locks cost nothing).
+  const auto& ti = cw->tgt[static_cast<std::size_t>(target)];
+  mpi::Win& iw = cw->ug_wins[static_cast<std::size_t>(ti.local_idx)];
+  for (int g : node_ghosts_[static_cast<std::size_t>(ti.node)]) {
+    pmpi_->win_lock(env, type, g, mode_assert, iw);
+  }
+  if (target == me_u) {
+    // Self lock: also lock my own rank on the user-visible window so local
+    // load/store accesses are protected; granted synchronously.
+    pmpi_->win_lock(env, type, target, mode_assert, cw->user_win);
+  }
+}
+
+void CasperLayer::win_unlock(Env& env, int target, const Win& w) {
+  auto* cw = managed(w);
+  if (cw == nullptr) {
+    pmpi_->win_unlock(env, target, w);
+    return;
+  }
+  const int me_u = my_user_rank(env);
+  auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
+  auto& tl = ep.tl[static_cast<std::size_t>(target)];
+  MMPI_REQUIRE(tl.locked, "casper: unlock without lock");
+  const auto& ti = cw->tgt[static_cast<std::size_t>(target)];
+  mpi::Win& iw = cw->ug_wins[static_cast<std::size_t>(ti.local_idx)];
+  for (int g : node_ghosts_[static_cast<std::size_t>(ti.node)]) {
+    pmpi_->win_unlock(env, g, iw);
+  }
+  if (target == me_u) {
+    pmpi_->win_unlock(env, target, cw->user_win);
+  }
+  tl.locked = false;
+  tl.binding_free = false;
+}
+
+void CasperLayer::win_lock_all(Env& env, unsigned mode_assert, const Win& w) {
+  auto* cw = managed(w);
+  if (cw == nullptr) {
+    pmpi_->win_lock_all(env, mode_assert, w);
+    return;
+  }
+  MMPI_REQUIRE(cw->epochs & kEpochLockAll,
+               "casper: lockall used but excluded by epochs_used hint");
+  const int me_u = my_user_rank(env);
+  auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
+  MMPI_REQUIRE(!ep.lockall, "casper: nested lock_all");
+  ep.lockall = true;
+  if (!cw->ug_wins.empty()) {
+    // lock may be used concurrently by other origins: convert lockall to a
+    // series of shared locks on every overlapping window so MPI's permission
+    // management sees the conflict (paper III.C.3). Acquisition is delayed,
+    // so this is cheap until operations are actually issued.
+    for (auto& iw : cw->ug_wins) {
+      for (const auto& ghosts : node_ghosts_) {
+        for (int g : ghosts) {
+          pmpi_->win_lock(env, mpi::LockType::Shared, g, mode_assert, iw);
+        }
+      }
+    }
+  }
+  // Without the lock hint, operations ride the permanent lockall on the
+  // global window; nothing further to acquire.
+}
+
+void CasperLayer::win_unlock_all(Env& env, const Win& w) {
+  auto* cw = managed(w);
+  if (cw == nullptr) {
+    pmpi_->win_unlock_all(env, w);
+    return;
+  }
+  const int me_u = my_user_rank(env);
+  auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
+  MMPI_REQUIRE(ep.lockall, "casper: unlock_all without lock_all");
+  if (!cw->ug_wins.empty()) {
+    for (auto& iw : cw->ug_wins) {
+      for (const auto& ghosts : node_ghosts_) {
+        for (int g : ghosts) {
+          pmpi_->win_unlock(env, g, iw);
+        }
+      }
+    }
+  } else {
+    // Complete everything issued under the permanent lockall.
+    pmpi_->win_flush_all(env, cw->global_win);
+  }
+  ep.lockall = false;
+  for (auto& tl : ep.tl) tl.binding_free = false;
+}
+
+void CasperLayer::win_flush(Env& env, int target, const Win& w) {
+  auto* cw = managed(w);
+  if (cw == nullptr) {
+    pmpi_->win_flush(env, target, w);
+    return;
+  }
+  const int me_u = my_user_rank(env);
+  auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
+  auto& tl = ep.tl[static_cast<std::size_t>(target)];
+  MMPI_REQUIRE(tl.locked || ep.lockall,
+               "casper: flush outside a passive epoch");
+  // Self targets flush too: accumulate-class self ops are redirected
+  // through the bound ghost (for atomicity) and complete asynchronously.
+  const auto& ti = cw->tgt[static_cast<std::size_t>(target)];
+  mpi::Win& iw = route_window(*cw, me_u, target);
+  for (int g : node_ghosts_[static_cast<std::size_t>(ti.node)]) {
+    pmpi_->win_flush(env, g, iw);
+  }
+  // After a completed flush the lock is known acquired: the
+  // static-binding-free interval begins (paper III.B.3).
+  if (tl.locked) tl.binding_free = true;
+}
+
+void CasperLayer::win_flush_all(Env& env, const Win& w) {
+  auto* cw = managed(w);
+  if (cw == nullptr) {
+    pmpi_->win_flush_all(env, w);
+    return;
+  }
+  const int me_u = my_user_rank(env);
+  auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
+  for (int u = 0; u < static_cast<int>(cw->tgt.size()); ++u) {
+    if (ep.tl[static_cast<std::size_t>(u)].locked || ep.lockall) {
+      win_flush(env, u, w);
+    }
+  }
+  (void)me_u;
+}
+
+void CasperLayer::win_flush_local(Env& env, int target, const Win& w) {
+  auto* cw = managed(w);
+  if (cw == nullptr) {
+    pmpi_->win_flush_local(env, target, w);
+    return;
+  }
+  env.ctx().advance(sim::ns(50));
+}
+
+void CasperLayer::win_flush_local_all(Env& env, const Win& w) {
+  auto* cw = managed(w);
+  if (cw == nullptr) {
+    pmpi_->win_flush_local_all(env, w);
+    return;
+  }
+  env.ctx().advance(sim::ns(50));
+}
+
+void CasperLayer::win_sync(Env& env, const Win& w) {
+  auto* cw = managed(w);
+  if (cw == nullptr) {
+    pmpi_->win_sync(env, w);
+    return;
+  }
+  pmpi_->win_sync(env, cw->global_win ? cw->global_win : cw->user_win);
+}
+
+}  // namespace casper::core

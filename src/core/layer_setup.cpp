@@ -1,0 +1,286 @@
+// CasperLayer: ghost deployment, COMM_USER_WORLD setup, the ghost process
+// service loop, finalization, and the non-RMA call passthroughs (which are
+// implicitly redirected to user processes because comm_world() returns
+// COMM_USER_WORLD — the paper's "MPI_COMM_WORLD substitution").
+#include <sstream>
+
+#include "core/layer_impl.hpp"
+#include "mpi/check.hpp"
+
+namespace casper::core {
+
+using mpi::Comm;
+using mpi::Env;
+
+unsigned parse_epochs(const mpi::Info& info) {
+  auto v = info.get(kEpochsUsedKey);
+  if (!v) return kEpochAll;
+  unsigned mask = 0;
+  std::stringstream ss(*v);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok == "fence") {
+      mask |= kEpochFence;
+    } else if (tok == "pscw") {
+      mask |= kEpochPscw;
+    } else if (tok == "lock") {
+      mask |= kEpochLock;
+    } else if (tok == "lockall") {
+      mask |= kEpochLockAll;
+    } else if (!tok.empty()) {
+      MMPI_REQUIRE(false, "casper: unknown epochs_used token '%s'",
+                   tok.c_str());
+    }
+  }
+  return mask == 0 ? kEpochAll : mask;
+}
+
+int user_ranks(const net::Topology& topo, const Config& cfg) {
+  return topo.nodes * (topo.cores_per_node - cfg.ghosts_per_node);
+}
+
+bool is_ghost_rank(const net::Topology& topo, const Config& cfg,
+                   int world_rank) {
+  const int g = cfg.ghosts_per_node;
+  const int cpn = topo.cores_per_node;
+  if (!cfg.topology_aware || g <= 1 || topo.numa_per_node <= 1) {
+    // The last g cores of each node.
+    return topo.core_of(world_rank) >= cpn - g;
+  }
+  // Topology-aware: the last core of each NUMA domain, round-robin over
+  // domains, so the ghosts are spread across the node's memory domains.
+  const int numa = topo.numa_per_node;
+  const int cores_per_numa = (cpn + numa - 1) / numa;
+  const int core = topo.core_of(world_rank);
+  const int dom = core / cores_per_numa;
+  const int dom_begin = dom * cores_per_numa;
+  const int dom_end = std::min(cpn, dom_begin + cores_per_numa);
+  // ghosts assigned to this domain
+  int dom_ghosts = g / numa + (dom < g % numa ? 1 : 0);
+  return core >= dom_end - dom_ghosts;
+}
+
+mpi::LayerFactory layer(const Config& cfg) {
+  return [cfg](mpi::Runtime& rt) -> std::shared_ptr<mpi::Layer> {
+    return std::make_shared<CasperLayer>(rt, cfg);
+  };
+}
+
+CasperLayer::CasperLayer(mpi::Runtime& rt, Config cfg)
+    : rt_(&rt), cfg_(std::move(cfg)) {
+  MMPI_REQUIRE(cfg_.ghosts_per_node >= 1, "casper: need >= 1 ghost per node");
+  MMPI_REQUIRE(cfg_.ghosts_per_node < rt_->topo().cores_per_node,
+               "casper: ghosts_per_node (%d) must leave user cores on a "
+               "%d-core node",
+               cfg_.ghosts_per_node, rt_->topo().cores_per_node);
+  pmpi_ = std::make_shared<mpi::Pmpi>(rt);
+  setup_topology();
+}
+
+void CasperLayer::setup_topology() {
+  const auto& topo = rt_->topo();
+  const int n = topo.nranks();
+  is_ghost_.assign(static_cast<std::size_t>(n), false);
+  node_ghosts_.assign(static_cast<std::size_t>(topo.nodes), {});
+  node_users_.assign(static_cast<std::size_t>(topo.nodes), {});
+  node_master_.assign(static_cast<std::size_t>(topo.nodes), -1);
+  node_comm_of_.assign(static_cast<std::size_t>(n), nullptr);
+  alloc_seq_.assign(static_cast<std::size_t>(n), 0);
+
+  for (int r = 0; r < n; ++r) {
+    const int node = topo.node_of(r);
+    if (is_ghost_rank(topo, cfg_, r)) {
+      is_ghost_[static_cast<std::size_t>(r)] = true;
+      node_ghosts_[static_cast<std::size_t>(node)].push_back(r);
+    } else {
+      node_users_[static_cast<std::size_t>(node)].push_back(r);
+      if (node_master_[static_cast<std::size_t>(node)] < 0) {
+        node_master_[static_cast<std::size_t>(node)] = r;
+      }
+    }
+  }
+  max_local_users_ = 0;
+  for (const auto& users : node_users_) {
+    max_local_users_ = std::max(max_local_users_,
+                                static_cast<int>(users.size()));
+    MMPI_REQUIRE(!users.empty(), "casper: a node has no user processes");
+  }
+  for (const auto& ghosts : node_ghosts_) {
+    MMPI_REQUIRE(static_cast<int>(ghosts.size()) == cfg_.ghosts_per_node,
+                 "casper: ghost carving mismatch");
+  }
+}
+
+void CasperLayer::setup_comms(Env& env) {
+  const int me = env.world_rank();
+  const bool ghost = is_ghost_[static_cast<std::size_t>(me)];
+  // COMM_USER_WORLD: all non-ghost ranks, ordered by world rank.
+  Comm uw = rt_->p_comm_split(env, rt_->world(), ghost ? -1 : 0, me);
+  if (!ghost) {
+    MMPI_REQUIRE(uw != nullptr, "casper: user world creation failed");
+    user_world_ = uw;
+  }
+  // Node communicator including ghosts (used for the shared-memory mapping).
+  Comm nc = rt_->p_comm_split(env, rt_->world(),
+                              rt_->topo().node_of(me), me);
+  node_comm_of_[static_cast<std::size_t>(me)] = nc;
+}
+
+void CasperLayer::on_rank_start(Env& env,
+                                const std::function<void(Env&)>& user_main) {
+  setup_comms(env);
+  if (is_ghost_[static_cast<std::size_t>(env.world_rank())]) {
+    ghost_loop(env);
+  } else {
+    user_main(env);
+    user_finalize(env);
+  }
+}
+
+void CasperLayer::ghost_loop(Env& env) {
+  // A ghost is a dedicated progress core: it serves redirected operations at
+  // full efficiency, unlike an application process draining its own queue.
+  rt_->set_dedicated_progress(env.world_rank(), true);
+  // The ghost process simply waits for commands in a receive loop. While it
+  // waits it sits inside the MPI runtime, which is exactly what lets the MPI
+  // implementation make progress on RMA operations targeted at it
+  // (paper II.A).
+  for (;;) {
+    GhostCmd cmd;
+    pmpi_->recv(env, &cmd, static_cast<int>(sizeof(cmd)), mpi::Dt::Byte,
+                mpi::kAnySource, kTagCmd, rt_->world());
+    switch (cmd.code) {
+      case GhostCmd::kWinAlloc: {
+        auto cw = build_windows(env, 0, static_cast<std::size_t>(
+                                            cmd.disp_unit),
+                                cmd.epochs, mpi::Info{});
+        cw->seq = cmd.seq;
+        ghost_wins_[env.world_rank()].push_back(std::move(cw));
+        break;
+      }
+      case GhostCmd::kWinFree: {
+        auto& mine = ghost_wins_[env.world_rank()];
+        auto it = std::find_if(mine.begin(), mine.end(),
+                               [&cmd](const auto& cw) {
+                                 return cw->seq == cmd.seq;
+                               });
+        MMPI_REQUIRE(it != mine.end(),
+                     "casper ghost: win-free for unknown window seq %d",
+                     cmd.seq);
+        auto cw = *it;
+        mine.erase(it);
+        free_internal_windows(env, *cw);
+        break;
+      }
+      case GhostCmd::kFinalize:
+        pmpi_->barrier(env, rt_->world());
+        return;
+      default:
+        MMPI_REQUIRE(false, "casper ghost: bad command %d", cmd.code);
+    }
+  }
+}
+
+void CasperLayer::user_finalize(Env& env) {
+  pmpi_->barrier(env, user_world_);
+  GhostCmd fin; fin.code = GhostCmd::kFinalize; notify_ghosts(env, fin);
+  pmpi_->barrier(env, rt_->world());
+}
+
+void CasperLayer::notify_ghosts(Env& env, const GhostCmd& cmd) {
+  const int me = env.world_rank();
+  const int node = rt_->topo().node_of(me);
+  if (node_master_[static_cast<std::size_t>(node)] != me) return;
+  for (int g : node_ghosts_[static_cast<std::size_t>(node)]) {
+    pmpi_->send(env, &cmd, static_cast<int>(sizeof(cmd)), mpi::Dt::Byte,
+                g, kTagCmd, rt_->world());
+  }
+}
+
+// ----------------------------------------------------- comm passthroughs --
+
+Comm CasperLayer::comm_world(Env& env) {
+  MMPI_REQUIRE(!is_ghost_[static_cast<std::size_t>(env.world_rank())],
+               "casper: ghost rank asked for the user world");
+  return user_world_;
+}
+
+Comm CasperLayer::comm_split(Env& env, const Comm& c, int color, int key) {
+  return pmpi_->comm_split(env, c, color, key);
+}
+
+Comm CasperLayer::comm_dup(Env& env, const Comm& c) {
+  return pmpi_->comm_dup(env, c);
+}
+
+void CasperLayer::send(Env& env, const void* buf, int count, mpi::Dt dt,
+                       int dest, int tag, const Comm& c) {
+  pmpi_->send(env, buf, count, dt, dest, tag, c);
+}
+
+mpi::Status CasperLayer::recv(Env& env, void* buf, int count, mpi::Dt dt,
+                              int src, int tag, const Comm& c) {
+  return pmpi_->recv(env, buf, count, dt, src, tag, c);
+}
+
+mpi::Request CasperLayer::isend(Env& env, const void* buf, int count,
+                                mpi::Dt dt, int dest, int tag,
+                                const Comm& c) {
+  return pmpi_->isend(env, buf, count, dt, dest, tag, c);
+}
+
+mpi::Request CasperLayer::irecv(Env& env, void* buf, int count, mpi::Dt dt,
+                                int src, int tag, const Comm& c) {
+  return pmpi_->irecv(env, buf, count, dt, src, tag, c);
+}
+
+mpi::Status CasperLayer::wait(Env& env, const mpi::Request& req) {
+  return pmpi_->wait(env, req);
+}
+
+bool CasperLayer::test(Env& env, const mpi::Request& req) {
+  return pmpi_->test(env, req);
+}
+
+void CasperLayer::waitall(Env& env, mpi::Request* reqs, int n) {
+  pmpi_->waitall(env, reqs, n);
+}
+
+void CasperLayer::barrier(Env& env, const Comm& c) { pmpi_->barrier(env, c); }
+
+void CasperLayer::bcast(Env& env, void* buf, int count, mpi::Dt dt, int root,
+                        const Comm& c) {
+  pmpi_->bcast(env, buf, count, dt, root, c);
+}
+
+void CasperLayer::reduce(Env& env, const void* s, void* r, int count,
+                         mpi::Dt dt, mpi::AccOp op, int root, const Comm& c) {
+  pmpi_->reduce(env, s, r, count, dt, op, root, c);
+}
+
+void CasperLayer::allreduce(Env& env, const void* s, void* r, int count,
+                            mpi::Dt dt, mpi::AccOp op, const Comm& c) {
+  pmpi_->allreduce(env, s, r, count, dt, op, c);
+}
+
+void CasperLayer::allgather(Env& env, const void* s, int count, mpi::Dt dt,
+                            void* r, const Comm& c) {
+  pmpi_->allgather(env, s, count, dt, r, c);
+}
+
+void CasperLayer::alltoall(Env& env, const void* s, int count, mpi::Dt dt,
+                           void* r, const Comm& c) {
+  pmpi_->alltoall(env, s, count, dt, r, c);
+}
+
+void CasperLayer::gather(Env& env, const void* s, int count, mpi::Dt dt,
+                         void* r, int root, const Comm& c) {
+  pmpi_->gather(env, s, count, dt, r, root, c);
+}
+
+void CasperLayer::scatter(Env& env, const void* s, int count, mpi::Dt dt,
+                          void* r, int root, const Comm& c) {
+  pmpi_->scatter(env, s, count, dt, r, root, c);
+}
+
+}  // namespace casper::core

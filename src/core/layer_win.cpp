@@ -1,0 +1,303 @@
+// CasperLayer: window allocation — the shared-memory mapping and the
+// overlapping internal windows (paper II.B, Fig. 2), controlled by the
+// `epochs_used` info hint (paper III.A).
+#include <algorithm>
+
+#include "core/layer_impl.hpp"
+#include "mpi/check.hpp"
+
+namespace casper::core {
+
+using mpi::Comm;
+using mpi::Env;
+using mpi::Win;
+
+namespace {
+std::size_t align64(std::size_t v) { return (v + 63) & ~std::size_t{63}; }
+}  // namespace
+
+CasperLayer::CspWin* CasperLayer::managed(const Win& w) {
+  auto it = winmap_.find(w.get());
+  return it == winmap_.end() ? nullptr : it->second.get();
+}
+
+CasperLayer::CspWin& CasperLayer::managed_checked(const Win& w,
+                                                  const char* who) {
+  auto* cw = managed(w);
+  MMPI_REQUIRE(cw != nullptr, "casper: %s on an unmanaged window", who);
+  return *cw;
+}
+
+int CasperLayer::my_user_rank(Env& env) const {
+  return user_world_->rank_of_world(env.world_rank());
+}
+
+Win CasperLayer::win_allocate(Env& env, std::size_t bytes, std::size_t du,
+                              const mpi::Info& info, const Comm& c,
+                              void** base) {
+  // Casper manages windows allocated over COMM_USER_WORLD (the common case
+  // and the paper's scope). Other communicators fall through to the MPI
+  // implementation unmanaged: correct, but without asynchronous progress.
+  if (c != user_world_) {
+    ++rt_->stats().counter("casper_unmanaged_windows");
+    return pmpi_->win_allocate(env, bytes, du, info, c, base);
+  }
+  const unsigned epochs = parse_epochs(info);
+  const int seq = alloc_seq_[static_cast<std::size_t>(env.world_rank())]++;
+
+  GhostCmd cmd;
+  cmd.code = GhostCmd::kWinAlloc;
+  cmd.epochs = epochs;
+  cmd.disp_unit = static_cast<long long>(du);
+  cmd.seq = seq;
+  notify_ghosts(env, cmd);
+
+  auto cw = build_windows(env, bytes, du, epochs, info);
+  cw->seq = seq;
+
+  // The user-visible window: a window over COMM_USER_WORLD exposing the same
+  // shared segments. The application synchronizes and communicates on this
+  // handle; Casper intercepts and redirects every call.
+  const int me_u = my_user_rank(env);
+  const int my_node = rt_->topo().node_of(env.world_rank());
+  const auto& ti = cw->tgt[static_cast<std::size_t>(me_u)];
+  std::byte* seg_base = nullptr;
+  {
+    // my segment base inside the shm window
+    const Comm& nc = node_comm_of_[static_cast<std::size_t>(env.world_rank())];
+    const int my_nc = nc->rank_of_world(env.world_rank());
+    seg_base = rt_->p_shared_query(
+                   env, cw->shm_by_node[static_cast<std::size_t>(my_node)],
+                   my_nc)
+                   .base;
+  }
+  cw->user_win =
+      pmpi_->win_create(env, seg_base, ti.size, du, info, user_world_);
+  *base = seg_base;
+
+  // One canonical CspWin per user window, shared by all member ranks: the
+  // first rank to get here registers its instance; later ranks only merge
+  // their node's shared-memory window handle into it.
+  auto it = winmap_.find(cw->user_win.get());
+  if (it == winmap_.end()) {
+    winmap_[cw->user_win.get()] = cw;
+    ++rt_->stats().counter("casper_managed_windows");
+    return cw->user_win;
+  }
+  it->second->shm_by_node[static_cast<std::size_t>(my_node)] =
+      cw->shm_by_node[static_cast<std::size_t>(my_node)];
+  return it->second->user_win;
+}
+
+std::shared_ptr<CasperLayer::CspWin> CasperLayer::build_windows(
+    Env& env, std::size_t bytes, std::size_t du, unsigned epochs,
+    const mpi::Info& info) {
+  const auto& topo = rt_->topo();
+  const int me = env.world_rank();
+  const bool ghost = is_ghost_[static_cast<std::size_t>(me)];
+  const Comm& nc = node_comm_of_[static_cast<std::size_t>(me)];
+
+  auto cw = std::make_shared<CspWin>();
+  cw->epochs = epochs;
+  cw->shm_by_node.resize(static_cast<std::size_t>(topo.nodes));
+
+  // Step 1: allocate the node shared segment; ghosts contribute zero bytes
+  // but get the whole node buffer mapped into their "address space".
+  void* shm_base = nullptr;
+  const int my_node = topo.node_of(me);
+  auto& shm_win = cw->shm_by_node[static_cast<std::size_t>(my_node)];
+  shm_win = pmpi_->win_allocate_shared(env, ghost ? 0 : bytes, 1, info, nc,
+                                       &shm_base);
+
+  // Compute the node buffer's base and my segment's offset within it from
+  // the node-local segment layout.
+  const std::byte* node_base = rt_->p_shared_query(env, shm_win, 0).base;
+  std::size_t my_offset = 0;
+  std::size_t node_total = 0;
+  for (int r = 0; r < nc->size(); ++r) {
+    auto seg = rt_->p_shared_query(env, shm_win, r);
+    if (nc->world_rank(r) == me) {
+      my_offset = static_cast<std::size_t>(seg.base - node_base);
+    }
+    node_total += align64(seg.size);
+  }
+
+  // Step 2: exchange every rank's (offset, size) so all origins can
+  // translate target displacements into ghost-frame displacements.
+  struct Place {
+    unsigned long long offset;
+    unsigned long long size;
+  };
+  std::vector<Place> places(static_cast<std::size_t>(topo.nranks()));
+  Place mine{my_offset, ghost ? 0ull : static_cast<unsigned long long>(bytes)};
+  pmpi_->allgather(env, &mine, static_cast<int>(sizeof(Place)),
+                   mpi::Dt::Byte, places.data(), rt_->world());
+
+  cw->node_total.assign(static_cast<std::size_t>(topo.nodes), 0);
+  for (int node = 0; node < topo.nodes; ++node) {
+    std::size_t total = 0;
+    for (int u : node_users_[static_cast<std::size_t>(node)]) {
+      total += align64(
+          static_cast<std::size_t>(places[static_cast<std::size_t>(u)].size));
+    }
+    cw->node_total[static_cast<std::size_t>(node)] = total;
+  }
+
+  const int users = user_world_ ? user_world_->size()
+                                : topo.nodes * (topo.cores_per_node -
+                                                cfg_.ghosts_per_node);
+  cw->tgt.resize(static_cast<std::size_t>(users));
+  cw->ep.resize(static_cast<std::size_t>(users));
+  for (int node = 0; node < topo.nodes; ++node) {
+    const auto& nu = node_users_[static_cast<std::size_t>(node)];
+    const auto& ng = node_ghosts_[static_cast<std::size_t>(node)];
+    for (std::size_t li = 0; li < nu.size(); ++li) {
+      const int w = nu[li];
+      // user comm rank == position among user ranks sorted by world rank;
+      // world split with key=world preserves order, so compute directly.
+      int u = 0;
+      for (int x = 0; x < w; ++x) {
+        if (!is_ghost_[static_cast<std::size_t>(x)]) ++u;
+      }
+      auto& ti = cw->tgt[static_cast<std::size_t>(u)];
+      ti.node = node;
+      ti.offset =
+          static_cast<std::size_t>(places[static_cast<std::size_t>(w)].offset);
+      ti.size =
+          static_cast<std::size_t>(places[static_cast<std::size_t>(w)].size);
+      ti.disp_unit = du;
+      ti.local_idx = static_cast<int>(li);
+      // Static rank binding with NUMA awareness: bind to a ghost in the
+      // user's NUMA domain when one exists, round-robin inside the domain.
+      if (cfg_.topology_aware && topo.numa_per_node > 1) {
+        std::vector<int> same_dom;
+        for (int g : ng) {
+          if (topo.numa_of(g) == topo.numa_of(w)) same_dom.push_back(g);
+        }
+        const auto& cands = same_dom.empty() ? ng : same_dom;
+        ti.bound_ghost = cands[li % cands.size()];
+      } else {
+        ti.bound_ghost = ng[li % ng.size()];
+      }
+    }
+  }
+  for (auto& ep : cw->ep) {
+    ep.tl.resize(static_cast<std::size_t>(users));
+    ep.ops_to_ghost.assign(static_cast<std::size_t>(topo.nranks()), 0);
+    ep.bytes_to_ghost.assign(static_cast<std::size_t>(topo.nranks()), 0);
+  }
+
+  // Step 3: the overlapping internal windows over ALL ranks. Each ghost
+  // exposes the whole node buffer (byte-addressed); user ranks expose
+  // nothing (they are never internal targets — self ops are local).
+  std::byte* ghost_base =
+      ghost ? const_cast<std::byte*>(node_base) : nullptr;
+  const std::size_t ghost_size =
+      ghost ? cw->node_total[static_cast<std::size_t>(topo.node_of(me))] : 0;
+
+  if (epochs & kEpochLock) {
+    // One overlapping window per node-local user process, so exclusive locks
+    // to different user targets on the same node do not serialize, while
+    // locks to the same target keep MPI's permission management (III.A).
+    cw->ug_wins.reserve(static_cast<std::size_t>(max_local_users_));
+    for (int i = 0; i < max_local_users_; ++i) {
+      cw->ug_wins.push_back(pmpi_->win_create(
+          env, ghost_base, ghost_size, 1, info, rt_->world()));
+    }
+  }
+  if (epochs & (kEpochFence | kEpochPscw | kEpochLockAll)) {
+    cw->global_win =
+        pmpi_->win_create(env, ghost_base, ghost_size, 1, info, rt_->world());
+    if (!ghost) {
+      // Fence/PSCW are translated onto a permanent passive epoch: lock-all
+      // issued once at window allocation (III.C.1).
+      pmpi_->win_lock_all(env, 0, cw->global_win);
+    }
+  }
+  return cw;
+}
+
+void CasperLayer::free_internal_windows(Env& env, CspWin& cw) {
+  // The CspWin is shared between all member ranks: free through handle
+  // copies so one rank's teardown does not null the handles another rank is
+  // still about to free.
+  if (cw.global_win &&
+      !is_ghost_[static_cast<std::size_t>(env.world_rank())]) {
+    pmpi_->win_unlock_all(env, cw.global_win);
+  }
+  const int my_node = rt_->topo().node_of(env.world_rank());
+  Win shm = cw.shm_by_node[static_cast<std::size_t>(my_node)];
+  pmpi_->win_free(env, shm);
+  for (Win w : cw.ug_wins) pmpi_->win_free(env, w);
+  if (cw.global_win) {
+    Win g = cw.global_win;
+    pmpi_->win_free(env, g);
+  }
+}
+
+void CasperLayer::win_free(Env& env, Win& w) {
+  auto it = winmap_.find(w.get());
+  if (it == winmap_.end()) {
+    pmpi_->win_free(env, w);
+    return;
+  }
+  auto keep = it->second;  // keep the CspWin alive through teardown
+  GhostCmd cmd;
+  cmd.code = GhostCmd::kWinFree;
+  cmd.seq = keep->seq;
+  notify_ghosts(env, cmd);
+  free_internal_windows(env, *keep);
+  Win uw = keep->user_win;
+  pmpi_->win_free(env, uw);  // collective: all members are done after this
+  winmap_.erase(keep->user_win.get());
+  w.reset();
+}
+
+Win CasperLayer::win_allocate_shared(Env& env, std::size_t bytes,
+                                     std::size_t du, const mpi::Info& info,
+                                     const Comm& c, void** base) {
+  // Shared windows are node-local by construction; no asynchronous progress
+  // problem to solve, pass through (paper supports the allocate model only).
+  ++rt_->stats().counter("casper_unmanaged_windows");
+  return pmpi_->win_allocate_shared(env, bytes, du, info, c, base);
+}
+
+Win CasperLayer::win_create(Env& env, void* base, std::size_t bytes,
+                            std::size_t du, const mpi::Info& info,
+                            const Comm& c) {
+  // The "create" model needs OS support (XPMEM/SMARTMAP) to map user memory
+  // into the ghosts; like the paper's implementation we fall back to the
+  // native MPI path, unmanaged.
+  ++rt_->stats().counter("casper_unmanaged_windows");
+  return pmpi_->win_create(env, base, bytes, du, info, c);
+}
+
+int CasperLayer::bound_ghost_of(const Win& user_win, int user_rank) {
+  auto& cw = managed_checked(user_win, "bound_ghost_of");
+  return cw.tgt[static_cast<std::size_t>(user_rank)].bound_ghost;
+}
+
+int CasperLayer::internal_window_count(const Win& user_win) {
+  auto& cw = managed_checked(user_win, "internal_window_count");
+  return static_cast<int>(cw.ug_wins.size()) + (cw.global_win ? 1 : 0);
+}
+
+std::vector<CasperLayer::GhostLoad> CasperLayer::ghost_load(
+    const Win& user_win) {
+  auto& cw = managed_checked(user_win, "ghost_load");
+  std::vector<GhostLoad> out;
+  for (const auto& ghosts : node_ghosts_) {
+    for (int g : ghosts) {
+      GhostLoad gl;
+      gl.ghost_world = g;
+      for (const auto& ep : cw.ep) {
+        gl.ops += ep.ops_to_ghost[static_cast<std::size_t>(g)];
+        gl.bytes += ep.bytes_to_ghost[static_cast<std::size_t>(g)];
+      }
+      out.push_back(gl);
+    }
+  }
+  return out;
+}
+
+}  // namespace casper::core

@@ -1,0 +1,187 @@
+#include "ga/global_array.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "mpi/check.hpp"
+
+namespace casper::ga {
+
+using mpi::AccOp;
+using mpi::Dt;
+using mpi::Env;
+
+GlobalArray::GlobalArray(Env& env, const mpi::Comm& comm, std::int64_t rows,
+                         std::int64_t cols, const mpi::Info& info)
+    : comm_(comm), rows_(rows), cols_(cols) {
+  MMPI_REQUIRE(rows > 0 && cols > 0, "ga: array must be non-empty");
+  const int p = comm->size();
+  rows_per_rank_ = (rows + p - 1) / p;
+  const std::int64_t my_rows_n =
+      std::max<std::int64_t>(0,
+                             std::min(rows_per_rank_,
+                                      rows - rows_per_rank_ *
+                                                env.rank(comm)));
+  const std::size_t bytes =
+      static_cast<std::size_t>(rows_per_rank_) *
+      static_cast<std::size_t>(cols) * sizeof(double);
+  (void)my_rows_n;  // all ranks allocate the full block for uniform layout
+  void* base = nullptr;
+  win_ = env.win_allocate(bytes, sizeof(double), info, comm, &base);
+  local_ = static_cast<double*>(base);
+  // GA keeps a persistent passive access epoch to all targets (ARMCI-MPI
+  // uses lock_all at window creation).
+  env.win_lock_all(0, win_);
+  env.barrier(comm_);
+}
+
+void GlobalArray::destroy(Env& env) {
+  env.barrier(comm_);
+  env.win_unlock_all(win_);
+  env.win_free(win_);
+  local_ = nullptr;
+}
+
+std::pair<std::int64_t, std::int64_t> GlobalArray::my_rows(Env& env) const {
+  const std::int64_t lo = rows_per_rank_ * env.rank(comm_);
+  const std::int64_t hi = std::min(rows_, lo + rows_per_rank_);
+  return {lo, std::max(lo, hi)};
+}
+
+template <typename F>
+void GlobalArray::for_each_owner(std::int64_t rlo, std::int64_t rhi,
+                                 F&& f) const {
+  std::int64_t r = rlo;
+  while (r < rhi) {
+    const int owner = owner_of_row(r);
+    const std::int64_t owner_end = (owner + 1) * rows_per_rank_;
+    const std::int64_t piece_end = std::min(rhi, owner_end);
+    f(owner, r, piece_end);
+    r = piece_end;
+  }
+}
+
+void GlobalArray::issue_piece(Env& env, OpSel sel, int owner,
+                              std::int64_t rlo, std::int64_t rhi,
+                              std::int64_t clo, std::int64_t chi, double* buf,
+                              std::int64_t buf_ld, std::int64_t buf_r0) {
+  const std::int64_t nrows = rhi - rlo;
+  const std::int64_t ncols = chi - clo;
+  const std::int64_t owner_row0 = owner * rows_per_rank_;
+  const std::size_t tdisp = static_cast<std::size_t>(
+      (rlo - owner_row0) * cols_ + clo);  // elements (disp_unit = 8)
+
+  const bool full_rows = (clo == 0 && chi == cols_ && buf_ld == cols_);
+  const mpi::Datatype tdt =
+      full_rows ? mpi::contig(Dt::Double)
+                : mpi::vector_of(Dt::Double, static_cast<int>(ncols),
+                                 static_cast<int>(cols_));
+  const int tcount = full_rows ? static_cast<int>(nrows * ncols)
+                               : static_cast<int>(nrows);
+  double* bptr = buf + (rlo - buf_r0) * buf_ld;
+  const mpi::Datatype odt =
+      (buf_ld == ncols || full_rows)
+          ? mpi::contig(Dt::Double)
+          : mpi::vector_of(Dt::Double, static_cast<int>(ncols),
+                           static_cast<int>(buf_ld));
+  const int ocount = (buf_ld == ncols || full_rows)
+                         ? static_cast<int>(nrows * ncols)
+                         : static_cast<int>(nrows);
+
+  switch (sel) {
+    case OpSel::Get:
+      env.get(bptr, ocount, odt, owner, tdisp, tcount, tdt, win_);
+      break;
+    case OpSel::Put:
+      env.put(bptr, ocount, odt, owner, tdisp, tcount, tdt, win_);
+      break;
+    case OpSel::Acc:
+      env.accumulate(bptr, ocount, odt, owner, tdisp, tcount, tdt,
+                     AccOp::Sum, win_);
+      break;
+  }
+}
+
+void GlobalArray::get(Env& env, std::int64_t rlo, std::int64_t rhi,
+                      std::int64_t clo, std::int64_t chi, double* buf) {
+  MMPI_REQUIRE(rlo >= 0 && rhi <= rows_ && clo >= 0 && chi <= cols_ &&
+                   rlo < rhi && clo < chi,
+               "ga: bad get patch");
+  const std::int64_t ld = chi - clo;
+  std::vector<int> owners;
+  for_each_owner(rlo, rhi, [&](int owner, std::int64_t plo, std::int64_t phi) {
+    issue_piece(env, OpSel::Get, owner, plo, phi, clo, chi, buf, ld, rlo);
+    owners.push_back(owner);
+  });
+  // GA get is blocking: wait for remote completion of each piece.
+  for (int o : owners) env.win_flush(o, win_);
+}
+
+void GlobalArray::put(Env& env, std::int64_t rlo, std::int64_t rhi,
+                      std::int64_t clo, std::int64_t chi, const double* buf) {
+  MMPI_REQUIRE(rlo >= 0 && rhi <= rows_ && clo >= 0 && chi <= cols_ &&
+                   rlo < rhi && clo < chi,
+               "ga: bad put patch");
+  const std::int64_t ld = chi - clo;
+  for_each_owner(rlo, rhi, [&](int owner, std::int64_t plo, std::int64_t phi) {
+    issue_piece(env, OpSel::Put, owner, plo, phi, clo, chi,
+                const_cast<double*>(buf), ld, rlo);
+  });
+}
+
+void GlobalArray::acc(Env& env, std::int64_t rlo, std::int64_t rhi,
+                      std::int64_t clo, std::int64_t chi, const double* buf) {
+  MMPI_REQUIRE(rlo >= 0 && rhi <= rows_ && clo >= 0 && chi <= cols_ &&
+                   rlo < rhi && clo < chi,
+               "ga: bad acc patch");
+  const std::int64_t ld = chi - clo;
+  for_each_owner(rlo, rhi, [&](int owner, std::int64_t plo, std::int64_t phi) {
+    issue_piece(env, OpSel::Acc, owner, plo, phi, clo, chi,
+                const_cast<double*>(buf), ld, rlo);
+  });
+}
+
+void GlobalArray::flush(Env& env) { env.win_flush_all(win_); }
+
+void GlobalArray::sync(Env& env) {
+  env.win_flush_all(win_);
+  env.barrier(comm_);
+  env.win_sync(win_);
+}
+
+// ------------------------------------------------------- SharedCounter ----
+
+SharedCounter::SharedCounter(Env& env, const mpi::Comm& comm) : comm_(comm) {
+  void* base = nullptr;
+  const std::size_t bytes = env.rank(comm) == 0 ? sizeof(double) : 0;
+  win_ = env.win_allocate(bytes, sizeof(double), mpi::Info{}, comm, &base);
+  base_ = static_cast<double*>(base);
+  if (env.rank(comm) == 0) *base_ = 0.0;
+  env.win_lock_all(0, win_);
+  env.barrier(comm_);
+}
+
+void SharedCounter::destroy(Env& env) {
+  env.barrier(comm_);
+  env.win_unlock_all(win_);
+  env.win_free(win_);
+}
+
+std::int64_t SharedCounter::next(Env& env) {
+  double one = 1.0, old = 0.0;
+  env.fetch_and_op(&one, &old, Dt::Double, 0, 0, AccOp::Sum, win_);
+  env.win_flush(0, win_);
+  return static_cast<std::int64_t>(old);
+}
+
+void SharedCounter::reset(Env& env) {
+  env.barrier(comm_);
+  if (env.rank(comm_) == 0) {
+    // Self op: synchronous.
+    double zero = 0.0;
+    env.put(&zero, 1, 0, 0, win_);
+  }
+  env.barrier(comm_);
+}
+
+}  // namespace casper::ga

@@ -1,0 +1,111 @@
+// mini-GA: a Global-Arrays-style distributed array over minimpi RMA.
+//
+// NWChem's coupled-cluster code moves data through the Global Arrays toolkit,
+// which on MPI platforms is implemented over MPI RMA (ARMCI-MPI — paper
+// reference [2]). This module reproduces the GA access pattern the paper's
+// Section IV.D evaluation depends on:
+//
+//   * a dense 2-D double array block-distributed by rows,
+//   * one-sided patch get / put / accumulate under a persistent
+//     lockall epoch (gets complete synchronously with a flush; accumulates
+//     complete at sync — as in ARMCI-MPI),
+//   * a fetch-and-op shared task counter (GA's NXTVAL dynamic load
+//     balancing).
+//
+// Every operation maps onto minimpi RMA calls, so a Casper-enabled run
+// transparently redirects the software-path operations (accumulates and
+// strided gets) to ghost processes.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "mpi/env.hpp"
+
+namespace casper::ga {
+
+/// Dense 2-D array of double, rows block-distributed over the communicator.
+class GlobalArray {
+ public:
+  /// Collective. Rows are distributed in contiguous blocks of
+  /// ceil(rows/P) rows per rank.
+  GlobalArray(mpi::Env& env, const mpi::Comm& comm, std::int64_t rows,
+              std::int64_t cols, const mpi::Info& info = {});
+
+  /// Collective teardown; must be called before the communicator winds down.
+  void destroy(mpi::Env& env);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t rows_per_rank() const { return rows_per_rank_; }
+  const mpi::Comm& comm() const { return comm_; }
+  const mpi::Win& win() const { return win_; }
+
+  /// Rank owning a row.
+  int owner_of_row(std::int64_t r) const {
+    return static_cast<int>(r / rows_per_rank_);
+  }
+  /// [lo, hi) rows owned by this rank.
+  std::pair<std::int64_t, std::int64_t> my_rows(mpi::Env& env) const;
+  /// Direct pointer to the local block (rows_per_rank x cols).
+  double* local() { return local_; }
+
+  /// Blocking one-sided read of the patch [rlo,rhi) x [clo,chi) into `buf`
+  /// (row-major, (rhi-rlo) x (chi-clo)). Completes remotely before return.
+  void get(mpi::Env& env, std::int64_t rlo, std::int64_t rhi,
+           std::int64_t clo, std::int64_t chi, double* buf);
+
+  /// One-sided write of a patch; remote completion at sync() (or flush()).
+  void put(mpi::Env& env, std::int64_t rlo, std::int64_t rhi,
+           std::int64_t clo, std::int64_t chi, const double* buf);
+
+  /// One-sided accumulate (+=) of a patch; remote completion at sync().
+  void acc(mpi::Env& env, std::int64_t rlo, std::int64_t rhi,
+           std::int64_t clo, std::int64_t chi, const double* buf);
+
+  /// Complete all outstanding updates issued by this rank.
+  void flush(mpi::Env& env);
+
+  /// Collective: complete all updates by everyone (flush_all + barrier).
+  void sync(mpi::Env& env);
+
+ private:
+  /// Visit the per-owner row spans of a patch.
+  template <typename F>
+  void for_each_owner(std::int64_t rlo, std::int64_t rhi, F&& f) const;
+  /// Issue one owner-local piece as a (possibly strided) RMA op.
+  enum class OpSel { Get, Put, Acc };
+  void issue_piece(mpi::Env& env, OpSel sel, int owner, std::int64_t rlo,
+                   std::int64_t rhi, std::int64_t clo, std::int64_t chi,
+                   double* buf, std::int64_t buf_ld, std::int64_t buf_r0);
+
+  mpi::Comm comm_;
+  mpi::Win win_;
+  double* local_ = nullptr;
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::int64_t rows_per_rank_ = 0;
+};
+
+/// GA NXTVAL-style shared counter: a single int64 hosted on rank 0,
+/// incremented with fetch_and_op — the dynamic load-balancing primitive of
+/// NWChem's task scheduler.
+class SharedCounter {
+ public:
+  /// Collective over `comm`.
+  SharedCounter(mpi::Env& env, const mpi::Comm& comm);
+  void destroy(mpi::Env& env);
+
+  /// Atomically fetch-and-increment; returns the previous value.
+  std::int64_t next(mpi::Env& env);
+
+  /// Collective reset to zero.
+  void reset(mpi::Env& env);
+
+ private:
+  mpi::Comm comm_;
+  mpi::Win win_;
+  double* base_ = nullptr;  // stored as double for Dt simplicity
+};
+
+}  // namespace casper::ga

@@ -1,0 +1,19 @@
+// Fatal-error checking for simulation invariants and MPI usage errors.
+// Simulation errors are programming errors (of the harness or the layer under
+// test), so they abort with context rather than throwing across the
+// cooperative scheduler.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define MMPI_REQUIRE(cond, ...)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "minimpi error at %s:%d: ", __FILE__,      \
+                   __LINE__);                                         \
+      std::fprintf(stderr, __VA_ARGS__);                              \
+      std::fprintf(stderr, "\n");                                     \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,95 @@
+// Process groups and communicators.
+//
+// A Comm is a shared handle: all member ranks of a communicator hold the same
+// CommImpl instance (the simulator is one address space), which also hosts
+// the rendezvous state used to implement collectives deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mpi/types.hpp"
+#include "sim/time.hpp"
+
+namespace casper::mpi {
+
+class WinImpl;
+
+/// An ordered set of world ranks.
+class Group {
+ public:
+  Group() = default;
+  explicit Group(std::vector<int> world_ranks)
+      : ranks_(std::move(world_ranks)) {}
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+  int world_rank(int i) const { return ranks_[i]; }
+  const std::vector<int>& ranks() const { return ranks_; }
+  bool contains(int world_rank) const {
+    for (int r : ranks_)
+      if (r == world_rank) return true;
+    return false;
+  }
+
+ private:
+  std::vector<int> ranks_;
+};
+
+/// Shared communicator state. Ranks are identified inside a communicator by
+/// their position in `members` (the "comm rank").
+class CommImpl {
+ public:
+  CommImpl(int id, std::vector<int> members) : id_(id) {
+    members_ = std::move(members);
+    for (int i = 0; i < static_cast<int>(members_.size()); ++i) {
+      w2r_[members_[i]] = i;
+    }
+  }
+
+  int id() const { return id_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  int world_rank(int comm_rank) const { return members_[comm_rank]; }
+  const std::vector<int>& members() const { return members_; }
+
+  /// Comm rank of a world rank, or -1 if not a member.
+  int rank_of_world(int world_rank) const {
+    auto it = w2r_.find(world_rank);
+    return it == w2r_.end() ? -1 : it->second;
+  }
+
+  /// Rendezvous state for the collective currently in flight on this
+  /// communicator. Exactly one collective can be in flight at a time (MPI
+  /// requires collective calls to be ordered identically on all members).
+  struct CollState {
+    int arrived = 0;
+    std::uint64_t generation = 0;
+    sim::Time max_arrival = 0;
+    sim::Time release_time = 0;
+    /// One entry per arrived member: its buffers and two integer arguments.
+    /// The last arriver (the "releaser") runs the collective's finalize
+    /// callback over these entries — while every other member is still
+    /// blocked inside the call, so all pointers are valid.
+    struct Part {
+      int world = -1;
+      const void* src = nullptr;
+      void* dst = nullptr;
+      long long a = 0;
+      long long b = 0;
+    };
+    std::vector<Part> parts;
+  };
+  CollState coll;
+
+ private:
+  int id_;
+  std::vector<int> members_;
+  std::unordered_map<int, int> w2r_;
+};
+
+using Comm = std::shared_ptr<CommImpl>;
+using Win = std::shared_ptr<WinImpl>;
+
+}  // namespace casper::mpi

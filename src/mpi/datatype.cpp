@@ -1,0 +1,106 @@
+#include "mpi/datatype.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace casper::mpi {
+
+namespace {
+
+template <typename T>
+void reduce_typed(T* dst, const T* src, std::size_t n, AccOp op) {
+  switch (op) {
+    case AccOp::Replace:
+      std::memcpy(dst, src, n * sizeof(T));
+      break;
+    case AccOp::Sum:
+      for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+      break;
+    case AccOp::Min:
+      for (std::size_t i = 0; i < n; ++i)
+        if (src[i] < dst[i]) dst[i] = src[i];
+      break;
+    case AccOp::Max:
+      for (std::size_t i = 0; i < n; ++i)
+        if (src[i] > dst[i]) dst[i] = src[i];
+      break;
+    case AccOp::NoOp:
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<std::byte> pack(const void* src, int count, const Datatype& dt) {
+  const std::size_t block = static_cast<std::size_t>(dt.blocklen) *
+                            dt.elem_size();
+  const std::size_t stride = static_cast<std::size_t>(dt.stride) *
+                             dt.elem_size();
+  std::vector<std::byte> out(data_bytes(count, dt));
+  const auto* s = static_cast<const std::byte*>(src);
+  for (int b = 0; b < count; ++b) {
+    std::memcpy(out.data() + static_cast<std::size_t>(b) * block,
+                s + static_cast<std::size_t>(b) * stride, block);
+  }
+  return out;
+}
+
+void unpack(void* dst, int count, const Datatype& dt,
+            std::span<const std::byte> packed) {
+  const std::size_t block = static_cast<std::size_t>(dt.blocklen) *
+                            dt.elem_size();
+  const std::size_t stride = static_cast<std::size_t>(dt.stride) *
+                             dt.elem_size();
+  if (packed.size() != data_bytes(count, dt)) {
+    std::fprintf(stderr, "mpi::unpack: size mismatch (%zu vs %zu)\n",
+                 packed.size(), data_bytes(count, dt));
+    std::abort();
+  }
+  auto* d = static_cast<std::byte*>(dst);
+  for (int b = 0; b < count; ++b) {
+    std::memcpy(d + static_cast<std::size_t>(b) * stride,
+                packed.data() + static_cast<std::size_t>(b) * block, block);
+  }
+}
+
+void reduce_contig(void* dst, const void* src, std::size_t n_elems, Dt base,
+                   AccOp op) {
+  switch (base) {
+    case Dt::Byte:
+      // Byte data only supports Replace/NoOp semantics meaningfully; treat
+      // arithmetic ops on bytes as unsigned char arithmetic.
+      reduce_typed(static_cast<unsigned char*>(dst),
+                   static_cast<const unsigned char*>(src), n_elems, op);
+      break;
+    case Dt::Int:
+      reduce_typed(static_cast<std::int32_t*>(dst),
+                   static_cast<const std::int32_t*>(src), n_elems, op);
+      break;
+    case Dt::Double:
+      reduce_typed(static_cast<double*>(dst), static_cast<const double*>(src),
+                   n_elems, op);
+      break;
+  }
+}
+
+void reduce_into(void* dst, int count, const Datatype& dt,
+                 std::span<const std::byte> packed, AccOp op) {
+  const std::size_t block_elems = static_cast<std::size_t>(dt.blocklen);
+  const std::size_t block = block_elems * dt.elem_size();
+  const std::size_t stride = static_cast<std::size_t>(dt.stride) *
+                             dt.elem_size();
+  if (packed.size() != data_bytes(count, dt)) {
+    std::fprintf(stderr, "mpi::reduce_into: size mismatch (%zu vs %zu)\n",
+                 packed.size(), data_bytes(count, dt));
+    std::abort();
+  }
+  auto* d = static_cast<std::byte*>(dst);
+  for (int b = 0; b < count; ++b) {
+    reduce_contig(d + static_cast<std::size_t>(b) * stride,
+                  packed.data() + static_cast<std::size_t>(b) * block,
+                  block_elems, dt.base, op);
+  }
+}
+
+}  // namespace casper::mpi

@@ -1,0 +1,30 @@
+// Pack/unpack and element-wise reduction for (count, Datatype) descriptors.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mpi/types.hpp"
+
+namespace casper::mpi {
+
+/// Pack `count` blocks of `dt` starting at `src` into a contiguous buffer.
+std::vector<std::byte> pack(const void* src, int count, const Datatype& dt);
+
+/// Unpack a contiguous buffer into `count` blocks of `dt` at `dst`.
+void unpack(void* dst, int count, const Datatype& dt,
+            std::span<const std::byte> packed);
+
+/// Apply `op` element-wise: dst[i] = op(dst[i], src[i]) over `n` basic
+/// elements of type `base` laid out contiguously. Replace overwrites, NoOp
+/// leaves dst untouched.
+void reduce_contig(void* dst, const void* src, std::size_t n_elems, Dt base,
+                   AccOp op);
+
+/// Apply `op` from a packed contiguous source into a (count, dt)-described
+/// destination region (element-wise through the strided layout).
+void reduce_into(void* dst, int count, const Datatype& dt,
+                 std::span<const std::byte> packed, AccOp op);
+
+}  // namespace casper::mpi

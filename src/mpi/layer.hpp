@@ -1,0 +1,126 @@
+// The "profiling layer" interface — our stand-in for PMPI interception.
+//
+// Application code calls Env methods, which forward to the installed Layer.
+// The default layer (Pmpi) forwards straight into the minimpi runtime, like
+// an MPI library's internal entry points. Casper installs its own Layer that
+// wraps Pmpi, exactly as the real Casper overloads MPI_* symbols and calls
+// the PMPI_* name-shifted entry points underneath.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "mpi/comm.hpp"
+#include "mpi/request.hpp"
+#include "mpi/types.hpp"
+#include "mpi/win.hpp"
+
+namespace casper::mpi {
+
+class Env;
+
+/// Abstract MPI call surface subject to interception.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // --- lifecycle -----------------------------------------------------------
+  /// Runs when a rank thread starts; responsible for invoking `user_main`
+  /// (or an internal service loop instead) and for finalization handshakes.
+  virtual void on_rank_start(Env& env,
+                             const std::function<void(Env&)>& user_main) = 0;
+  /// The communicator handed to the application as "the world".
+  virtual Comm comm_world(Env& env) = 0;
+
+  // --- communicator management --------------------------------------------
+  virtual Comm comm_split(Env& env, const Comm& comm, int color, int key) = 0;
+  virtual Comm comm_dup(Env& env, const Comm& comm) = 0;
+
+  // --- point-to-point ------------------------------------------------------
+  virtual void send(Env& env, const void* buf, int count, Dt dt, int dest,
+                    int tag, const Comm& comm) = 0;
+  virtual Status recv(Env& env, void* buf, int count, Dt dt, int src, int tag,
+                      const Comm& comm) = 0;
+  virtual Request isend(Env& env, const void* buf, int count, Dt dt, int dest,
+                        int tag, const Comm& comm) = 0;
+  virtual Request irecv(Env& env, void* buf, int count, Dt dt, int src,
+                        int tag, const Comm& comm) = 0;
+  virtual Status wait(Env& env, const Request& req) = 0;
+  virtual bool test(Env& env, const Request& req) = 0;
+  virtual void waitall(Env& env, Request* reqs, int n) = 0;
+
+  // --- collectives ---------------------------------------------------------
+  virtual void barrier(Env& env, const Comm& comm) = 0;
+  virtual void bcast(Env& env, void* buf, int count, Dt dt, int root,
+                     const Comm& comm) = 0;
+  virtual void reduce(Env& env, const void* send, void* recv, int count,
+                      Dt dt, AccOp op, int root, const Comm& comm) = 0;
+  virtual void allreduce(Env& env, const void* send, void* recv, int count,
+                         Dt dt, AccOp op, const Comm& comm) = 0;
+  virtual void allgather(Env& env, const void* send, int count, Dt dt,
+                         void* recv, const Comm& comm) = 0;
+  virtual void alltoall(Env& env, const void* send, int count, Dt dt,
+                        void* recv, const Comm& comm) = 0;
+  virtual void gather(Env& env, const void* send, int count, Dt dt,
+                      void* recv, int root, const Comm& comm) = 0;
+  virtual void scatter(Env& env, const void* send, int count, Dt dt,
+                       void* recv, int root, const Comm& comm) = 0;
+
+  // --- window management ---------------------------------------------------
+  virtual Win win_allocate(Env& env, std::size_t bytes, std::size_t disp_unit,
+                           const Info& info, const Comm& comm,
+                           void** base) = 0;
+  virtual Win win_allocate_shared(Env& env, std::size_t bytes,
+                                  std::size_t disp_unit, const Info& info,
+                                  const Comm& comm, void** base) = 0;
+  virtual Win win_create(Env& env, void* base, std::size_t bytes,
+                         std::size_t disp_unit, const Info& info,
+                         const Comm& comm) = 0;
+  virtual void win_free(Env& env, Win& win) = 0;
+
+  // --- RMA communication ---------------------------------------------------
+  virtual void put(Env& env, const void* origin, int ocount, Datatype odt,
+                   int target, std::size_t tdisp, int tcount, Datatype tdt,
+                   const Win& win) = 0;
+  virtual void get(Env& env, void* origin, int ocount, Datatype odt,
+                   int target, std::size_t tdisp, int tcount, Datatype tdt,
+                   const Win& win) = 0;
+  virtual void accumulate(Env& env, const void* origin, int ocount,
+                          Datatype odt, int target, std::size_t tdisp,
+                          int tcount, Datatype tdt, AccOp op,
+                          const Win& win) = 0;
+  virtual void get_accumulate(Env& env, const void* origin, int ocount,
+                              Datatype odt, void* result, int rcount,
+                              Datatype rdt, int target, std::size_t tdisp,
+                              int tcount, Datatype tdt, AccOp op,
+                              const Win& win) = 0;
+  virtual void fetch_and_op(Env& env, const void* value, void* result, Dt dt,
+                            int target, std::size_t tdisp, AccOp op,
+                            const Win& win) = 0;
+  virtual void compare_and_swap(Env& env, const void* expected,
+                                const void* desired, void* result, Dt dt,
+                                int target, std::size_t tdisp,
+                                const Win& win) = 0;
+
+  // --- RMA synchronization -------------------------------------------------
+  virtual void win_fence(Env& env, unsigned mode_assert, const Win& win) = 0;
+  virtual void win_post(Env& env, const Group& group, unsigned mode_assert,
+                        const Win& win) = 0;
+  virtual void win_start(Env& env, const Group& group, unsigned mode_assert,
+                         const Win& win) = 0;
+  virtual void win_complete(Env& env, const Win& win) = 0;
+  virtual void win_wait(Env& env, const Win& win) = 0;
+  virtual void win_lock(Env& env, LockType type, int target,
+                        unsigned mode_assert, const Win& win) = 0;
+  virtual void win_unlock(Env& env, int target, const Win& win) = 0;
+  virtual void win_lock_all(Env& env, unsigned mode_assert,
+                            const Win& win) = 0;
+  virtual void win_unlock_all(Env& env, const Win& win) = 0;
+  virtual void win_flush(Env& env, int target, const Win& win) = 0;
+  virtual void win_flush_all(Env& env, const Win& win) = 0;
+  virtual void win_flush_local(Env& env, int target, const Win& win) = 0;
+  virtual void win_flush_local_all(Env& env, const Win& win) = 0;
+  virtual void win_sync(Env& env, const Win& win) = 0;
+};
+
+}  // namespace casper::mpi

@@ -1,0 +1,241 @@
+// The default (bottom) interception layer: forwards every call straight into
+// the minimpi runtime — the equivalent of the PMPI_* name-shifted entry
+// points that Casper calls underneath its wrappers.
+#pragma once
+
+#include "mpi/layer.hpp"
+#include "mpi/runtime.hpp"
+
+namespace casper::mpi {
+
+class Pmpi final : public Layer {
+ public:
+  explicit Pmpi(Runtime& rt) : rt_(&rt) {}
+
+  void on_rank_start(Env& env,
+                     const std::function<void(Env&)>& user_main) override {
+    rt_->p_rank_main(env, user_main);
+  }
+  Comm comm_world(Env&) override { return rt_->world(); }
+
+  Comm comm_split(Env& env, const Comm& c, int color, int key) override {
+    return rt_->p_comm_split(env, c, color, key);
+  }
+  Comm comm_dup(Env& env, const Comm& c) override {
+    return rt_->p_comm_dup(env, c);
+  }
+
+  void send(Env& env, const void* buf, int count, Dt dt, int dest, int tag,
+            const Comm& c) override {
+    rt_->p_send(env, buf, count, dt, dest, tag, c);
+  }
+  Status recv(Env& env, void* buf, int count, Dt dt, int src, int tag,
+              const Comm& c) override {
+    return rt_->p_recv(env, buf, count, dt, src, tag, c);
+  }
+  Request isend(Env& env, const void* buf, int count, Dt dt, int dest,
+                int tag, const Comm& c) override {
+    return rt_->p_isend(env, buf, count, dt, dest, tag, c);
+  }
+  Request irecv(Env& env, void* buf, int count, Dt dt, int src, int tag,
+                const Comm& c) override {
+    return rt_->p_irecv(env, buf, count, dt, src, tag, c);
+  }
+  Status wait(Env& env, const Request& req) override {
+    return rt_->p_wait(env, req);
+  }
+  bool test(Env& env, const Request& req) override {
+    return rt_->p_test(env, req);
+  }
+  void waitall(Env& env, Request* reqs, int n) override {
+    rt_->p_waitall(env, reqs, n);
+  }
+
+  void barrier(Env& env, const Comm& c) override { rt_->p_barrier(env, c); }
+  void bcast(Env& env, void* buf, int count, Dt dt, int root,
+             const Comm& c) override {
+    rt_->p_bcast(env, buf, count, dt, root, c);
+  }
+  void reduce(Env& env, const void* s, void* r, int count, Dt dt, AccOp op,
+              int root, const Comm& c) override {
+    rt_->p_reduce(env, s, r, count, dt, op, root, c);
+  }
+  void allreduce(Env& env, const void* s, void* r, int count, Dt dt, AccOp op,
+                 const Comm& c) override {
+    rt_->p_allreduce(env, s, r, count, dt, op, c);
+  }
+  void allgather(Env& env, const void* s, int count, Dt dt, void* r,
+                 const Comm& c) override {
+    rt_->p_allgather(env, s, count, dt, r, c);
+  }
+  void alltoall(Env& env, const void* s, int count, Dt dt, void* r,
+                const Comm& c) override {
+    rt_->p_alltoall(env, s, count, dt, r, c);
+  }
+  void gather(Env& env, const void* s, int count, Dt dt, void* r, int root,
+              const Comm& c) override {
+    rt_->p_gather(env, s, count, dt, r, root, c);
+  }
+  void scatter(Env& env, const void* s, int count, Dt dt, void* r, int root,
+               const Comm& c) override {
+    rt_->p_scatter(env, s, count, dt, r, root, c);
+  }
+
+  Win win_allocate(Env& env, std::size_t bytes, std::size_t du,
+                   const Info& info, const Comm& c, void** base) override {
+    return rt_->p_win_allocate(env, bytes, du, info, c, base, false);
+  }
+  Win win_allocate_shared(Env& env, std::size_t bytes, std::size_t du,
+                          const Info& info, const Comm& c,
+                          void** base) override {
+    return rt_->p_win_allocate(env, bytes, du, info, c, base, true);
+  }
+  Win win_create(Env& env, void* base, std::size_t bytes, std::size_t du,
+                 const Info& info, const Comm& c) override {
+    return rt_->p_win_create(env, base, bytes, du, info, c);
+  }
+  void win_free(Env& env, Win& w) override { rt_->p_win_free(env, w); }
+
+  void put(Env& env, const void* o, int oc, Datatype odt, int target,
+           std::size_t tdisp, int tc, Datatype tdt, const Win& w) override {
+    Runtime::RmaArgs a;
+    a.kind = OpKind::Put;
+    a.origin_addr = o;
+    a.ocount = oc;
+    a.odt = odt;
+    a.target = target;
+    a.tdisp = tdisp;
+    a.tcount = tc;
+    a.tdt = tdt;
+    rt_->p_rma(env, a, w);
+  }
+  void get(Env& env, void* o, int oc, Datatype odt, int target,
+           std::size_t tdisp, int tc, Datatype tdt, const Win& w) override {
+    Runtime::RmaArgs a;
+    a.kind = OpKind::Get;
+    a.result_addr = o;
+    a.rcount = oc;
+    a.rdt = odt;
+    a.target = target;
+    a.tdisp = tdisp;
+    a.tcount = tc;
+    a.tdt = tdt;
+    rt_->p_rma(env, a, w);
+  }
+  void accumulate(Env& env, const void* o, int oc, Datatype odt, int target,
+                  std::size_t tdisp, int tc, Datatype tdt, AccOp op,
+                  const Win& w) override {
+    Runtime::RmaArgs a;
+    a.kind = OpKind::Acc;
+    a.op = op;
+    a.origin_addr = o;
+    a.ocount = oc;
+    a.odt = odt;
+    a.target = target;
+    a.tdisp = tdisp;
+    a.tcount = tc;
+    a.tdt = tdt;
+    rt_->p_rma(env, a, w);
+  }
+  void get_accumulate(Env& env, const void* o, int oc, Datatype odt,
+                      void* res, int rc, Datatype rdt, int target,
+                      std::size_t tdisp, int tc, Datatype tdt, AccOp op,
+                      const Win& w) override {
+    Runtime::RmaArgs a;
+    a.kind = OpKind::GetAcc;
+    a.op = op;
+    a.origin_addr = o;
+    a.ocount = oc;
+    a.odt = odt;
+    a.result_addr = res;
+    a.rcount = rc;
+    a.rdt = rdt;
+    a.target = target;
+    a.tdisp = tdisp;
+    a.tcount = tc;
+    a.tdt = tdt;
+    rt_->p_rma(env, a, w);
+  }
+  void fetch_and_op(Env& env, const void* value, void* result, Dt dt,
+                    int target, std::size_t tdisp, AccOp op,
+                    const Win& w) override {
+    Runtime::RmaArgs a;
+    a.kind = OpKind::Fao;
+    a.op = op;
+    a.origin_addr = value;
+    a.ocount = 1;
+    a.odt = contig(dt);
+    a.result_addr = result;
+    a.rcount = 1;
+    a.rdt = contig(dt);
+    a.target = target;
+    a.tdisp = tdisp;
+    a.tcount = 1;
+    a.tdt = contig(dt);
+    rt_->p_rma(env, a, w);
+  }
+  void compare_and_swap(Env& env, const void* expected, const void* desired,
+                        void* result, Dt dt, int target, std::size_t tdisp,
+                        const Win& w) override {
+    Runtime::RmaArgs a;
+    a.kind = OpKind::Cas;
+    a.origin_addr = expected;
+    a.origin_addr2 = desired;
+    a.result_addr = result;
+    a.rcount = 1;
+    a.rdt = contig(dt);
+    a.ocount = 1;
+    a.odt = contig(dt);
+    a.target = target;
+    a.tdisp = tdisp;
+    a.tcount = 1;
+    a.tdt = contig(dt);
+    rt_->p_rma(env, a, w);
+  }
+
+  void win_fence(Env& env, unsigned as, const Win& w) override {
+    rt_->p_win_fence(env, as, w);
+  }
+  void win_post(Env& env, const Group& g, unsigned as, const Win& w) override {
+    rt_->p_win_post(env, g, as, w);
+  }
+  void win_start(Env& env, const Group& g, unsigned as,
+                 const Win& w) override {
+    rt_->p_win_start(env, g, as, w);
+  }
+  void win_complete(Env& env, const Win& w) override {
+    rt_->p_win_complete(env, w);
+  }
+  void win_wait(Env& env, const Win& w) override { rt_->p_win_wait(env, w); }
+  void win_lock(Env& env, LockType t, int target, unsigned as,
+                const Win& w) override {
+    rt_->p_win_lock(env, t, target, as, w);
+  }
+  void win_unlock(Env& env, int target, const Win& w) override {
+    rt_->p_win_unlock(env, target, w);
+  }
+  void win_lock_all(Env& env, unsigned as, const Win& w) override {
+    rt_->p_win_lock_all(env, as, w);
+  }
+  void win_unlock_all(Env& env, const Win& w) override {
+    rt_->p_win_unlock_all(env, w);
+  }
+  void win_flush(Env& env, int target, const Win& w) override {
+    rt_->p_win_flush(env, target, w);
+  }
+  void win_flush_all(Env& env, const Win& w) override {
+    rt_->p_win_flush_all(env, w);
+  }
+  void win_flush_local(Env& env, int target, const Win& w) override {
+    rt_->p_win_flush_local(env, target, w);
+  }
+  void win_flush_local_all(Env& env, const Win& w) override {
+    rt_->p_win_flush_local_all(env, w);
+  }
+  void win_sync(Env& env, const Win& w) override { rt_->p_win_sync(env, w); }
+
+ private:
+  Runtime* rt_;
+};
+
+}  // namespace casper::mpi

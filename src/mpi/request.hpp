@@ -1,0 +1,26 @@
+// Nonblocking point-to-point request handles.
+#pragma once
+
+#include <memory>
+
+#include "mpi/types.hpp"
+
+namespace casper::mpi {
+
+/// Completion state of a nonblocking operation. Handles are shared: the
+/// runtime keeps one reference while the operation is pending.
+struct RequestState {
+  bool done = false;
+  Status status;
+  // receive plumbing (null for sends, which complete at injection)
+  void* buf = nullptr;
+  std::size_t max_bytes = 0;
+  int src_world = kAnySource;
+  int tag = kAnyTag;
+  int comm_id = -1;
+  const void* comm = nullptr;  // CommImpl*, type-erased to avoid a cycle
+};
+
+using Request = std::shared_ptr<RequestState>;
+
+}  // namespace casper::mpi

@@ -1,0 +1,289 @@
+// The minimpi runtime: an MPI-3-shaped communication library running on the
+// discrete-event cluster simulator.
+//
+// Semantics implemented (the subset Casper's design depends on):
+//  * communicators, groups, split/dup; two-sided send/recv with MPI matching;
+//    synchronizing collectives with log(p) cost model;
+//  * RMA windows (allocate / allocate-shared / create), all four epoch types,
+//    flush/flush_all/flush_local, win_sync;
+//  * put/get/accumulate/get_accumulate/fetch_and_op/compare_and_swap with
+//    contiguous and strided (vector) datatypes;
+//  * a target-side lock manager with *delayed lock acquisition* (requests are
+//    sent at the first operation, not at MPI_Win_lock — the behaviour the
+//    paper's Section III.B builds on);
+//  * the software active-message path: operations that the machine profile
+//    does not execute in hardware complete only when the target rank enters
+//    the MPI stack — unless a progress agent (background thread, interrupt
+//    handler, or a Casper ghost process) serves them;
+//  * atomicity-violation detection: concurrent software read-modify-writes of
+//    overlapping target bytes by different processing entities are counted
+//    (the corruption mode Casper's static binding exists to prevent).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpi/am.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/env.hpp"
+#include "mpi/layer.hpp"
+#include "mpi/request.hpp"
+#include "mpi/types.hpp"
+#include "mpi/win.hpp"
+#include "net/topology.hpp"
+#include "progress/progress.hpp"
+#include "sim/engine.hpp"
+
+namespace casper::mpi {
+
+/// Top-level configuration of one simulated run.
+struct RunConfig {
+  net::Machine machine;
+  std::uint64_t seed = 12345;
+  /// Baseline async-progress model applied to every rank (Casper runs use
+  /// Kind::None: ghost processes make the progress instead).
+  progress::Config progress;
+  std::size_t stack_bytes = 256 * 1024;
+};
+
+/// Factory for the interception layer of a run (PMPI model); receives the
+/// runtime so layers can pre-compute global state.
+class Runtime;
+using LayerFactory = std::function<std::shared_ptr<Layer>(Runtime&)>;
+
+class Runtime {
+ public:
+  /// `layer` defaults to the plain Pmpi layer when null.
+  Runtime(RunConfig cfg, std::function<void(Env&)> user_main,
+          LayerFactory layer = nullptr);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Execute the simulation to completion.
+  void run();
+
+  sim::Engine& engine() { return *engine_; }
+  const net::Profile& profile() const { return cfg_.machine.profile; }
+  const net::Topology& topo() const { return cfg_.machine.topo; }
+  const RunConfig& config() const { return cfg_; }
+  sim::Stats& stats() { return engine_->stats(); }
+  Layer& layer() { return *layer_; }
+  Comm world() const { return world_; }
+
+  /// Thread-multiple overhead charged on every MPI call when a background
+  /// progress thread is configured.
+  void call_prologue(Env& env);
+
+  // ------------------------------------------------------------------------
+  // PMPI entry points (the "name-shifted" internal implementations).
+  // ------------------------------------------------------------------------
+  void p_rank_main(Env& env, const std::function<void(Env&)>& user_main);
+  Comm p_comm_split(Env& env, const Comm& comm, int color, int key);
+  Comm p_comm_dup(Env& env, const Comm& comm);
+
+  void p_send(Env& env, const void* buf, int count, Dt dt, int dest, int tag,
+              const Comm& comm);
+  Status p_recv(Env& env, void* buf, int count, Dt dt, int src, int tag,
+                const Comm& comm);
+  Request p_isend(Env& env, const void* buf, int count, Dt dt, int dest,
+                  int tag, const Comm& comm);
+  Request p_irecv(Env& env, void* buf, int count, Dt dt, int src, int tag,
+                  const Comm& comm);
+  Status p_wait(Env& env, const Request& req);
+  bool p_test(Env& env, const Request& req);
+  void p_waitall(Env& env, Request* reqs, int n);
+
+  void p_barrier(Env& env, const Comm& comm);
+  void p_bcast(Env& env, void* buf, int count, Dt dt, int root,
+               const Comm& comm);
+  void p_reduce(Env& env, const void* sendbuf, void* recvbuf, int count,
+                Dt dt, AccOp op, int root, const Comm& comm);
+  void p_allreduce(Env& env, const void* sendbuf, void* recvbuf, int count,
+                   Dt dt, AccOp op, const Comm& comm);
+  void p_allgather(Env& env, const void* sendbuf, int count, Dt dt,
+                   void* recvbuf, const Comm& comm);
+  void p_gather(Env& env, const void* sendbuf, int count, Dt dt,
+                void* recvbuf, int root, const Comm& comm);
+  void p_scatter(Env& env, const void* sendbuf, int count, Dt dt,
+                 void* recvbuf, int root, const Comm& comm);
+  void p_alltoall(Env& env, const void* sendbuf, int count, Dt dt,
+                  void* recvbuf, const Comm& comm);
+
+  Win p_win_allocate(Env& env, std::size_t bytes, std::size_t disp_unit,
+                     const Info& info, const Comm& comm, void** base,
+                     bool shared);
+  Win p_win_create(Env& env, void* base, std::size_t bytes,
+                   std::size_t disp_unit, const Info& info, const Comm& comm);
+  void p_win_free(Env& env, Win& win);
+  Segment p_shared_query(Env& env, const Win& win, int comm_rank);
+
+  /// Unified RMA communication entry; `target` is a comm rank of win->comm().
+  struct RmaArgs {
+    OpKind kind = OpKind::Put;
+    AccOp op = AccOp::Replace;
+    const void* origin_addr = nullptr;
+    const void* origin_addr2 = nullptr;  // compare_and_swap "desired" operand
+    int ocount = 0;
+    Datatype odt;
+    void* result_addr = nullptr;  // Get/GetAcc/Fao/Cas destination
+    int rcount = 0;
+    Datatype rdt;
+    int target = -1;
+    std::size_t tdisp = 0;  // in units of the target's disp_unit
+    int tcount = 0;
+    Datatype tdt;
+  };
+  void p_rma(Env& env, const RmaArgs& a, const Win& win);
+
+  void p_win_fence(Env& env, unsigned mode_assert, const Win& win);
+  void p_win_post(Env& env, const Group& group, unsigned mode_assert,
+                  const Win& win);
+  void p_win_start(Env& env, const Group& group, unsigned mode_assert,
+                   const Win& win);
+  void p_win_complete(Env& env, const Win& win);
+  void p_win_wait(Env& env, const Win& win);
+  void p_win_lock(Env& env, LockType type, int target, unsigned mode_assert,
+                  const Win& win);
+  void p_win_unlock(Env& env, int target, const Win& win);
+  void p_win_lock_all(Env& env, unsigned mode_assert, const Win& win);
+  void p_win_unlock_all(Env& env, const Win& win);
+  void p_win_flush(Env& env, int target, const Win& win);
+  void p_win_flush_all(Env& env, const Win& win);
+  void p_win_flush_local(Env& env, int target, const Win& win);
+  void p_win_flush_local_all(Env& env, const Win& win);
+  void p_win_sync(Env& env, const Win& win);
+
+  // ------------------------------------------------------------------------
+  // Progress service (public: tests and the Casper ghost loop use these).
+  // ------------------------------------------------------------------------
+  /// Process every software operation currently queued for this rank.
+  void progress_poll(Env& env);
+  /// Poll + block until `pred()` holds. The canonical "inside the MPI
+  /// runtime" wait: incoming software operations are serviced while waiting.
+  void progress_wait(Env& env, const std::function<bool()>& pred);
+
+  /// Software operations waiting for this rank's progress (diagnostics).
+  std::size_t pending_am_count(int world_rank) const {
+    return io_[static_cast<std::size_t>(world_rank)].inbox.size();
+  }
+
+  /// Hint from the interception layer that the NEXT RMA operation issued by
+  /// `world_rank` touches memory in a different NUMA domain than its
+  /// processing entity (Casper: ghost serving a remote-domain segment).
+  /// Consumed by the next p_rma call from that rank.
+  void set_next_op_cross_numa(int world_rank, bool cross) {
+    io_[static_cast<std::size_t>(world_rank)].next_op_cross_numa = cross;
+  }
+
+  /// Mark a rank as a dedicated progress rank (a Casper ghost): it serves
+  /// software operations at the base cost instead of the in-application
+  /// drain cost (net::Profile::busy_factor). Called by the Casper layer.
+  void set_dedicated_progress(int world_rank, bool dedicated) {
+    dedicated_[static_cast<std::size_t>(world_rank)] = dedicated;
+  }
+  bool dedicated_progress(int world_rank) const {
+    return dedicated_[static_cast<std::size_t>(world_rank)];
+  }
+
+ private:
+  struct RankIo {
+    std::deque<AmOp> inbox;        // software RMA ops awaiting progress
+    std::deque<P2pMsg> unexpected; // unmatched arrived messages
+    std::vector<Request> posted;   // pending receives, in post order
+    sim::Time agent_busy_until = 0;  // progress-agent serialization point
+    bool in_mpi = false;  // inside a progress-making MPI wait right now
+    bool next_op_cross_numa = false;  // layer hint for the next RMA op
+  };
+
+
+  // --- collectives ---------------------------------------------------------
+  /// Generic synchronizing collective: every member contributes
+  /// (src, dst, a, b); the last arriver runs `finalize` (with all parts
+  /// available), computes the release time from `wire_bytes`, and wakes
+  /// everyone. Returns after the release time.
+  void coll_run(Env& env, const Comm& comm, const void* src, void* dst,
+                long long a, long long b, std::size_t wire_bytes,
+                const std::function<void(CommImpl&)>& finalize);
+
+  // --- p2p ----------------------------------------------------------------
+  void deliver_p2p(int dst_world, P2pMsg&& msg, sim::Time t_del);
+  static bool p2p_match(const RequestState& r, const P2pMsg& m);
+
+  /// Schedule an engine event (thin wrapper over the engine).
+  void post_event(sim::Time t, std::function<void()> cb);
+
+  // --- RMA internals -------------------------------------------------------
+  sim::Time wire_latency(int a_world, int b_world, std::size_t bytes) const;
+  bool is_hw_op(const OpDesc& d) const;
+  /// Target-side software processing cost of an op.
+  sim::Time am_cost(const AmOp& op) const;
+  /// Schedule wire transfer + target-side execution of an op. The origin has
+  /// already paid its injection overhead (or the op comes from the delayed
+  /// lock-grant path). Increments outstanding.
+  void inject_op(WinImpl& win, int origin_comm, int target_comm, OpDesc&& d,
+                 sim::Time t_issue);
+  /// Route a delivered software op by the target's progress model.
+  void deliver_am(AmOp&& op, sim::Time t_del);
+  /// Agent-driven (thread / interrupt) processing of one op.
+  void agent_process(AmOp&& op, sim::Time t_del);
+  /// Rank-driven (poll) processing of one op; runs on the target's thread.
+  void poller_process(Env& env, AmOp& op);
+  /// Target-memory read phase at processing start; returns data the write
+  /// phase commits at processing end (the read-at-start / write-at-end model
+  /// that exposes lost updates under concurrent unsynchronized processing).
+  std::vector<std::byte> am_read_phase(const AmOp& op);
+  /// Commit phase: writes target memory, records the access for atomicity-
+  /// violation detection, and schedules the acknowledgment.
+  void am_write_phase(const AmOp& op, std::vector<std::byte>&& staged,
+                      sim::Time t0, sim::Time t1, int entity);
+  /// Execute a self-targeted op synchronously (loads/stores, not delayed).
+  void exec_self(Env& env, const AmOp& op);
+  void record_access(std::uintptr_t lo, std::uintptr_t hi, sim::Time t0,
+                     sim::Time t1, int entity, bool is_write);
+  void schedule_ack(const AmOp& op, sim::Time t_done,
+                    std::vector<std::byte>&& data);
+
+  // --- lock protocol -------------------------------------------------------
+  /// Ensure the delayed lock request for (win, target) has been sent.
+  void send_lock_request(Env& env, WinImpl& win, int target);
+  /// Target-side lock-manager request processing (grant or queue) at time t.
+  void lockmgr_request(WinImpl& win, int target, int origin, LockType type,
+                       sim::Time t);
+  /// Target-side release processing; grants pending compatible requests and
+  /// acknowledges the releaser.
+  void lockmgr_release(WinImpl& win, int target, int origin, LockType type,
+                       sim::Time t, bool notify_origin);
+  /// Origin-side grant arrival: mark granted, inject queued ops, wake origin.
+  void on_lock_granted(WinImpl& win, int origin, int target, sim::Time t);
+  void flush_target(Env& env, int target, WinImpl& win, bool force_lock);
+
+  RunConfig cfg_;
+  std::function<void(Env&)> user_main_;
+  std::vector<bool> dedicated_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::shared_ptr<Layer> layer_;
+  Comm world_;
+  std::vector<RankIo> io_;
+  /// Globally ordered in-flight software RMA accesses (absolute byte
+  /// ranges): overlapping windows alias memory, so violation detection must
+  /// work on addresses, not window coordinates.
+  std::vector<InflightOp> inflight_;
+  /// All windows ever created (weak): used for deadlock diagnostics.
+  std::vector<std::weak_ptr<WinImpl>> win_registry_;
+  void dump_comm_state() const;
+  int next_comm_id_ = 1;
+  int next_win_id_ = 1;
+  std::uint64_t next_opid_ = 1;
+};
+
+/// Convenience: build a runtime and run `user_main` on every rank.
+void exec(RunConfig cfg, std::function<void(Env&)> user_main,
+          LayerFactory layer = nullptr);
+
+}  // namespace casper::mpi

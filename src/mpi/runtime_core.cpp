@@ -1,0 +1,640 @@
+// Runtime core: construction, progress engine, the software active-message
+// path (poll / thread-agent / interrupt-agent), the lock manager with delayed
+// acquisition, and atomicity-violation detection.
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "mpi/check.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/pmpi.hpp"
+#include "mpi/runtime.hpp"
+
+namespace casper::mpi {
+
+using sim::Time;
+
+namespace {
+/// Byte address of a window segment position.
+std::byte* seg_addr(const WinImpl& win, int comm_rank, std::size_t disp_bytes) {
+  return win.segs[static_cast<std::size_t>(comm_rank)].base + disp_bytes;
+}
+}  // namespace
+
+Runtime::Runtime(RunConfig cfg, std::function<void(Env&)> user_main,
+                 LayerFactory layer)
+    : cfg_(std::move(cfg)), user_main_(std::move(user_main)) {
+  cfg_.machine.topo.validate();
+  const int n = cfg_.machine.topo.nranks();
+  io_.resize(static_cast<std::size_t>(n));
+  dedicated_.assign(static_cast<std::size_t>(n), false);
+
+  std::vector<int> all(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) all[static_cast<std::size_t>(r)] = r;
+  world_ = std::make_shared<CommImpl>(0, std::move(all));
+
+  sim::Engine::Options eo;
+  eo.nranks = n;
+  eo.seed = cfg_.seed;
+  eo.stack_bytes = cfg_.stack_bytes;
+  engine_ = std::make_unique<sim::Engine>(eo, [this](sim::Context& ctx) {
+    Env env(*this, ctx);
+    layer_->on_rank_start(env, user_main_);
+  });
+
+  layer_ = layer ? layer(*this) : std::make_shared<Pmpi>(*this);
+  MMPI_REQUIRE(layer_ != nullptr, "layer factory returned null");
+  engine_->set_deadlock_dump([this] { dump_comm_state(); });
+}
+
+void Runtime::dump_comm_state() const {
+  for (int r = 0; r < static_cast<int>(io_.size()); ++r) {
+    const auto& io = io_[static_cast<std::size_t>(r)];
+    if (!io.inbox.empty() || !io.posted.empty() || !io.unexpected.empty()) {
+      std::fprintf(stderr,
+                   "  rank %d: inbox=%zu posted_recvs=%zu unexpected=%zu\n",
+                   r, io.inbox.size(), io.posted.size(),
+                   io.unexpected.size());
+    }
+  }
+  for (const auto& wk : win_registry_) {
+    auto win = wk.lock();
+    if (!win) continue;
+    for (int o = 0; o < win->comm()->size(); ++o) {
+      const auto& ost = win->ost[static_cast<std::size_t>(o)];
+      for (int t = 0; t < win->comm()->size(); ++t) {
+        const auto& ts = ost.tgt[static_cast<std::size_t>(t)];
+        if (ts.outstanding != 0 || !ts.queued.empty() ||
+            ts.lock_st == OriginTargetState::LockSt::Requested ||
+            ts.release_pending) {
+          std::fprintf(stderr,
+                       "  win %d: origin %d -> target %d: outstanding=%d "
+                       "queued=%zu lock_st=%d release_pending=%d\n",
+                       win->id(), o, t, ts.outstanding, ts.queued.size(),
+                       static_cast<int>(ts.lock_st),
+                       static_cast<int>(ts.release_pending));
+        }
+      }
+    }
+  }
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::run() {
+  if (cfg_.progress.kind == progress::Kind::Thread &&
+      cfg_.progress.oversubscribed) {
+    for (int r = 0; r < engine_->nranks(); ++r) {
+      engine_->set_compute_scale(r, cfg_.progress.oversub_scale);
+    }
+  }
+  engine_->run();
+}
+
+void Runtime::call_prologue(Env& env) {
+  if (cfg_.progress.kind == progress::Kind::Thread) {
+    env.ctx().advance(profile().thread_call_overhead);
+  }
+}
+
+void Runtime::p_rank_main(Env& env,
+                          const std::function<void(Env&)>& user_main) {
+  user_main(env);
+  p_barrier(env, world_);  // finalize handshake
+}
+
+// ------------------------------------------------------------ progress ----
+
+void Runtime::progress_poll(Env& env) {
+  auto& io = io_[static_cast<std::size_t>(env.world_rank())];
+  while (!io.inbox.empty()) {
+    AmOp op = std::move(io.inbox.front());
+    io.inbox.pop_front();
+    poller_process(env, op);
+  }
+}
+
+void Runtime::progress_wait(Env& env, const std::function<bool()>& pred) {
+  auto& io = io_[static_cast<std::size_t>(env.world_rank())];
+  io.in_mpi = true;  // operations arriving now are serviced promptly
+  for (;;) {
+    progress_poll(env);
+    if (pred()) break;
+    engine_->block_self();
+  }
+  io.in_mpi = false;
+}
+
+Time Runtime::wire_latency(int a_world, int b_world,
+                           std::size_t bytes) const {
+  return profile().latency(topo().same_node(a_world, b_world), bytes);
+}
+
+bool Runtime::is_hw_op(const OpDesc& d) const {
+  switch (d.kind) {
+    case OpKind::Put:
+      return profile().hw_contig_put && d.tdt.contiguous();
+    case OpKind::Get:
+      return profile().hw_contig_get && d.tdt.contiguous();
+    case OpKind::Acc:
+    case OpKind::GetAcc:
+    case OpKind::Fao:
+    case OpKind::Cas:
+      return profile().hw_contig_acc && d.tdt.contiguous();
+    case OpKind::LockReq:
+    case OpKind::LockRelease:
+      return profile().hw_lock;
+  }
+  return false;
+}
+
+Time Runtime::am_cost(const AmOp& op) const {
+  if (op.kind == OpKind::LockReq || op.kind == OpKind::LockRelease) {
+    return profile().lock_handling;
+  }
+  const std::size_t moved =
+      std::max(op.payload.size(),
+               data_bytes(op.target_count, op.target_dt));
+  return profile().handling(moved, op.cross_numa);
+}
+
+// -------------------------------------------------------------- inject ----
+
+void Runtime::inject_op(WinImpl& win, int origin_comm, int target_comm,
+                        OpDesc&& d, Time t_issue) {
+  const int ow = win.comm()->world_rank(origin_comm);
+  const int tw = win.comm()->world_rank(target_comm);
+  auto& ots = win.ost[static_cast<std::size_t>(origin_comm)]
+                  .tgt[static_cast<std::size_t>(target_comm)];
+  ++ots.outstanding;
+
+  AmOp op;
+  op.kind = d.kind;
+  op.op = d.op;
+  op.opid = next_opid_++;
+  op.origin_world = ow;
+  op.target_world = tw;
+  op.win = &win;
+  op.origin_comm_rank = origin_comm;
+  op.target_comm_rank = target_comm;
+  op.target_disp = d.tdisp_bytes;
+  op.target_count = d.tcount;
+  op.target_dt = d.tdt;
+  op.payload = std::move(d.payload);
+  op.origin_result = d.origin_result;
+  op.origin_count = d.ocount;
+  op.origin_dt = d.odt;
+  op.cross_numa = d.cross_numa;
+  if (op.cross_numa) ++stats().counter("cross_numa_ops");
+
+  const bool request_like =
+      op.kind == OpKind::Get;  // request small, response carries data
+  const std::size_t wire_bytes = request_like ? 16 : op.payload.size();
+  const Time t_del = t_issue + wire_latency(ow, tw, wire_bytes);
+
+  if (is_hw_op(d)) {
+    ++stats().counter("hw_ops");
+    // Hardware execution: performed "by the NIC" instantly at delivery; the
+    // target CPU is not involved. NIC entity ids live above agent ids.
+    const int nic_entity = 2 * engine_->nranks() + tw;
+    post_event(t_del, [this, op = std::move(op), t_del, nic_entity]() mutable {
+      auto staged = am_read_phase(op);
+      am_write_phase(op, std::move(staged), t_del, t_del, nic_entity);
+    });
+  } else {
+    ++stats().counter("sw_ops");
+    post_event(t_del, [this, op = std::move(op), t_del]() mutable {
+      deliver_am(std::move(op), t_del);
+    });
+  }
+}
+
+void Runtime::post_event(Time t, std::function<void()> cb) {
+  engine_->post_event(t, std::move(cb));
+}
+
+// ------------------------------------------------------------- deliver ----
+
+void Runtime::deliver_am(AmOp&& op, Time t_del) {
+  op.delivered = t_del;
+  switch (cfg_.progress.kind) {
+    case progress::Kind::None: {
+      auto& io = io_[static_cast<std::size_t>(op.target_world)];
+      const int tw = op.target_world;
+      op.busy_arrival = !io.in_mpi;
+      ++stats().counter(op.busy_arrival ? "am_busy_arrival" : "am_prompt");
+      io.inbox.push_back(std::move(op));
+      engine_->wake(tw, t_del);
+      break;
+    }
+    case progress::Kind::Thread:
+    case progress::Kind::Interrupt:
+      agent_process(std::move(op), t_del);
+      break;
+  }
+}
+
+void Runtime::agent_process(AmOp&& op, Time t_del) {
+  auto& io = io_[static_cast<std::size_t>(op.target_world)];
+  const auto& prof = profile();
+  const bool interrupt = cfg_.progress.kind == progress::Kind::Interrupt;
+  const Time lead = interrupt ? prof.interrupt_cost : prof.thread_handoff;
+  const Time cost = am_cost(op);
+
+  // The per-message lead occupies the serving entity: for interrupts it is
+  // the handler entry/exit (the throughput limit Fig. 4(c) measures); for
+  // the background thread it is the thread-safety/lock-contention cost that
+  // makes thread progress expensive at scale (paper Section I, [8]).
+  const Time start = std::max(t_del, io.agent_busy_until);
+  const Time end = start + lead + cost;
+  io.agent_busy_until = end;
+
+  if (interrupt) {
+    ++stats().counter("interrupts");
+    // The interrupt handler preempts the target core: if the target is
+    // computing, the handler's time is stolen from the computation.
+    if (engine_->rank_computing(op.target_world)) {
+      engine_->add_compute_penalty(op.target_world, lead + cost);
+    }
+  }
+
+  const int entity = engine_->nranks() + op.target_world;  // agent id space
+  post_event(start, [this, op = std::move(op), start, end, entity]() mutable {
+    if (op.kind == OpKind::LockReq) {
+      lockmgr_request(*op.win, op.target_comm_rank, op.origin_comm_rank,
+                      op.lock_type, end);
+      return;
+    }
+    if (op.kind == OpKind::LockRelease) {
+      lockmgr_release(*op.win, op.target_comm_rank, op.origin_comm_rank,
+                      op.lock_type, end, /*notify_origin=*/true);
+      return;
+    }
+    // The agent serializes its operations (busy_until), so the
+    // read-modify-write commits atomically at the end event; the recorded
+    // [start, end) interval still exposes overlaps with *other* entities.
+    post_event(end, [this, op = std::move(op), start, end, entity]() mutable {
+      auto staged = am_read_phase(op);
+      am_write_phase(op, std::move(staged), start, end, entity);
+    });
+  });
+}
+
+void Runtime::poller_process(Env& env, AmOp& op) {
+  // In-application progress penalty: an application process drains software
+  // operations at degraded per-op efficiency, scaled by node-core contention
+  // (cache pollution, progress-engine entry, unexpected-queue matching under
+  // many-core pressure). Dedicated progress ranks — Casper ghosts parked
+  // inside the MPI runtime — serve at the base cost. This asymmetry is the
+  // paper's core premise (see net::Profile::busy_factor and DESIGN.md §5).
+  const double factor = dedicated_progress(env.world_rank())
+                            ? 1.0
+                            : profile().busy_factor(topo().cores_per_node);
+  const Time cost =
+      static_cast<Time>(static_cast<double>(am_cost(op)) * factor);
+  if (op.kind == OpKind::LockReq) {
+    env.ctx().advance(cost);
+    lockmgr_request(*op.win, op.target_comm_rank, op.origin_comm_rank,
+                    op.lock_type, env.now());
+    return;
+  }
+  if (op.kind == OpKind::LockRelease) {
+    env.ctx().advance(cost);
+    lockmgr_release(*op.win, op.target_comm_rank, op.origin_comm_rank,
+                    op.lock_type, env.now(), /*notify_origin=*/true);
+    return;
+  }
+  const Time t0 = env.now();
+  auto staged = am_read_phase(op);
+  env.ctx().advance(cost);
+  am_write_phase(op, std::move(staged), t0, env.now(), env.world_rank());
+}
+
+// ----------------------------------------------------------- execution ----
+
+std::vector<std::byte> Runtime::am_read_phase(const AmOp& op) {
+  std::byte* taddr = seg_addr(*op.win, op.target_comm_rank, op.target_disp);
+  const std::size_t nbytes = data_bytes(op.target_count, op.target_dt);
+  const std::size_t nelems = nbytes / op.target_dt.elem_size();
+
+  switch (op.kind) {
+    case OpKind::Put:
+    case OpKind::Get:
+      return {};  // Put writes payload; Get reads at commit time.
+    case OpKind::Acc: {
+      if (op.op == AccOp::Replace || op.op == AccOp::NoOp) return {};
+      // Read-modify-write: read target at processing start, combine, commit
+      // at processing end. Overlapping concurrent processing by different
+      // entities loses updates — by design, to model the real hazard.
+      auto staged = pack(taddr, op.target_count, op.target_dt);
+      reduce_contig(staged.data(), op.payload.data(), nelems, op.target_dt.base,
+                    op.op == AccOp::Sum ? AccOp::Sum : op.op);
+      // staged now holds op(target_old, origin): note reduce_contig computes
+      // dst = op(dst, src) with dst = target_old, src = origin. For Sum /
+      // Min / Max this matches MPI_Accumulate semantics.
+      return staged;
+    }
+    case OpKind::GetAcc:
+    case OpKind::Fao: {
+      auto old = pack(taddr, op.target_count, op.target_dt);
+      std::vector<std::byte> staged(old.size() * 2);
+      std::memcpy(staged.data(), old.data(), old.size());
+      std::memcpy(staged.data() + old.size(), old.data(), old.size());
+      if (op.op != AccOp::NoOp) {
+        if (op.op == AccOp::Replace) {
+          std::memcpy(staged.data() + old.size(), op.payload.data(),
+                      old.size());
+        } else {
+          reduce_contig(staged.data() + old.size(), op.payload.data(), nelems,
+                        op.target_dt.base, op.op);
+        }
+      }
+      return staged;  // [old | new]
+    }
+    case OpKind::Cas: {
+      const std::size_t es = op.target_dt.elem_size();
+      std::vector<std::byte> staged(es + 1);
+      std::memcpy(staged.data(), taddr, es);
+      const bool equal = std::memcmp(taddr, op.payload.data(), es) == 0;
+      staged[es] = static_cast<std::byte>(equal ? 1 : 0);
+      return staged;  // [old | matched?]
+    }
+    case OpKind::LockReq:
+    case OpKind::LockRelease:
+      break;
+  }
+  return {};
+}
+
+void Runtime::am_write_phase(const AmOp& op, std::vector<std::byte>&& staged,
+                             Time t0, Time t1, int entity) {
+  std::byte* taddr = seg_addr(*op.win, op.target_comm_rank, op.target_disp);
+  const std::size_t span = span_bytes(op.target_count, op.target_dt);
+  const auto lo = reinterpret_cast<std::uintptr_t>(taddr);
+  const auto hi = lo + span;
+
+  std::vector<std::byte> ack_data;
+  bool is_write = true;
+
+  switch (op.kind) {
+    case OpKind::Put:
+      unpack(taddr, op.target_count, op.target_dt, op.payload);
+      break;
+    case OpKind::Get:
+      ack_data = pack(taddr, op.target_count, op.target_dt);
+      is_write = false;
+      break;
+    case OpKind::Acc:
+      if (op.op == AccOp::NoOp) {
+        is_write = false;
+      } else if (op.op == AccOp::Replace) {
+        unpack(taddr, op.target_count, op.target_dt, op.payload);
+      } else {
+        unpack(taddr, op.target_count, op.target_dt, staged);
+      }
+      break;
+    case OpKind::GetAcc:
+    case OpKind::Fao: {
+      const std::size_t half = staged.size() / 2;
+      ack_data.assign(staged.begin(),
+                      staged.begin() + static_cast<std::ptrdiff_t>(half));
+      if (op.op != AccOp::NoOp) {
+        unpack(taddr, op.target_count, op.target_dt,
+               std::span<const std::byte>(staged.data() + half, half));
+      } else {
+        is_write = false;
+      }
+      break;
+    }
+    case OpKind::Cas: {
+      const std::size_t es = op.target_dt.elem_size();
+      ack_data.assign(staged.begin(),
+                      staged.begin() + static_cast<std::ptrdiff_t>(es));
+      if (staged[es] == static_cast<std::byte>(1)) {
+        // payload = [expected | desired]
+        std::memcpy(taddr, op.payload.data() + es, es);
+      } else {
+        is_write = false;
+      }
+      break;
+    }
+    case OpKind::LockReq:
+    case OpKind::LockRelease:
+      MMPI_REQUIRE(false, "lock ops do not reach am_write_phase");
+  }
+
+  record_access(lo, hi, t0, t1, entity, is_write);
+  schedule_ack(op, t1, std::move(ack_data));
+}
+
+void Runtime::exec_self(Env& env, const AmOp& op) {
+  // Self ops execute synchronously (MPI guarantees self locks and local
+  // load/store access are not delayed). Local cost only.
+  env.ctx().advance(sim::ns(80) + static_cast<Time>(
+                                      0.02 * static_cast<double>(
+                                                 op.payload.size())));
+  auto staged = am_read_phase(op);
+  // Commit immediately; reuse the write phase with a zero-width interval but
+  // bypass the ack (nothing is outstanding for self ops).
+  std::byte* taddr = seg_addr(*op.win, op.target_comm_rank, op.target_disp);
+  const std::size_t span = span_bytes(op.target_count, op.target_dt);
+  const auto lo = reinterpret_cast<std::uintptr_t>(taddr);
+  const Time t = env.now();
+
+  switch (op.kind) {
+    case OpKind::Put:
+      unpack(taddr, op.target_count, op.target_dt, op.payload);
+      record_access(lo, lo + span, t, t, env.world_rank(), true);
+      break;
+    case OpKind::Get:
+      if (op.origin_result) {
+        auto data = pack(taddr, op.target_count, op.target_dt);
+        unpack(op.origin_result, op.origin_count, op.origin_dt, data);
+      }
+      record_access(lo, lo + span, t, t, env.world_rank(), false);
+      break;
+    case OpKind::Acc: {
+      reduce_into(taddr, op.target_count, op.target_dt, op.payload, op.op);
+      record_access(lo, lo + span, t, t, env.world_rank(), op.op != AccOp::NoOp);
+      break;
+    }
+    case OpKind::GetAcc:
+    case OpKind::Fao: {
+      auto old = pack(taddr, op.target_count, op.target_dt);
+      if (op.origin_result) {
+        unpack(op.origin_result, op.origin_count, op.origin_dt, old);
+      }
+      reduce_into(taddr, op.target_count, op.target_dt, op.payload, op.op);
+      record_access(lo, lo + span, t, t, env.world_rank(), op.op != AccOp::NoOp);
+      break;
+    }
+    case OpKind::Cas: {
+      const std::size_t es = op.target_dt.elem_size();
+      if (op.origin_result) std::memcpy(op.origin_result, taddr, es);
+      if (std::memcmp(taddr, op.payload.data(), es) == 0) {
+        std::memcpy(taddr, op.payload.data() + es, es);
+      }
+      record_access(lo, lo + es, t, t, env.world_rank(), true);
+      break;
+    }
+    case OpKind::LockReq:
+    case OpKind::LockRelease:
+      MMPI_REQUIRE(false, "lock ops are not self-executed ops");
+  }
+  (void)staged;
+}
+
+void Runtime::record_access(std::uintptr_t lo, std::uintptr_t hi, Time t0,
+                            Time t1, int entity, bool is_write) {
+  // Processing-start times are nondecreasing in commit order, so entries
+  // whose interval ended at or before t0 can never overlap future accesses.
+  std::erase_if(inflight_, [t0](const InflightOp& e) { return e.t1 <= t0; });
+  for (const InflightOp& e : inflight_) {
+    if (e.entity == entity) continue;
+    if (!(e.is_write || is_write)) continue;
+    // Half-open interval overlap; a zero-width (instant) access is detected
+    // when it falls strictly inside another access's processing span.
+    const bool time_overlap = e.t0 < t1 && t0 < e.t1;
+    const bool byte_overlap = e.lo < hi && lo < e.hi;
+    if (time_overlap && byte_overlap) {
+      ++stats().counter("atomicity_violations");
+    }
+  }
+  inflight_.push_back(InflightOp{entity, lo, hi, t0, t1, is_write});
+}
+
+void Runtime::schedule_ack(const AmOp& op, Time t_done,
+                           std::vector<std::byte>&& data) {
+  const Time t_ack =
+      t_done + wire_latency(op.target_world, op.origin_world, data.size());
+  WinImpl* win = op.win;
+  const int oc = op.origin_comm_rank;
+  const int tc = op.target_comm_rank;
+  const int ow = op.origin_world;
+  void* res = op.origin_result;
+  const int rcount = op.origin_count;
+  const Datatype rdt = op.origin_dt;
+  post_event(t_ack, [this, win, oc, tc, ow, res, rcount, rdt,
+                     data = std::move(data), t_ack]() {
+    auto& ots = win->ost[static_cast<std::size_t>(oc)]
+                    .tgt[static_cast<std::size_t>(tc)];
+    --ots.outstanding;
+    MMPI_REQUIRE(ots.outstanding >= 0, "ack underflow");
+    if (res != nullptr && !data.empty()) {
+      unpack(res, rcount, rdt, data);
+    }
+    engine_->wake(ow, t_ack);
+  });
+}
+
+// -------------------------------------------------------- lock manager ----
+
+void Runtime::send_lock_request(Env& env, WinImpl& win, int target) {
+  const int me = win.comm()->rank_of_world(env.world_rank());
+  auto& ots = win.ost[static_cast<std::size_t>(me)]
+                  .tgt[static_cast<std::size_t>(target)];
+  MMPI_REQUIRE(ots.lock_st == OriginTargetState::LockSt::Intent,
+               "lock request already sent or no lock intent");
+  ots.lock_st = OriginTargetState::LockSt::Requested;
+
+  const int tw = win.comm()->world_rank(target);
+  const Time t_arr = env.now() + wire_latency(env.world_rank(), tw, 16);
+  WinImpl* w = &win;
+  const LockType type = ots.lock_type;
+
+  if (profile().hw_lock) {
+    // NIC-level lock handling: processed at delivery with no target software.
+    post_event(t_arr, [this, w, target, me, type, t_arr]() {
+      lockmgr_request(*w, target, me, type, t_arr);
+    });
+  } else {
+    AmOp op;
+    op.kind = OpKind::LockReq;
+    op.opid = next_opid_++;
+    op.origin_world = env.world_rank();
+    op.target_world = tw;
+    op.win = w;
+    op.origin_comm_rank = me;
+    op.target_comm_rank = target;
+    op.lock_type = type;
+    post_event(t_arr, [this, op = std::move(op), t_arr]() mutable {
+      deliver_am(std::move(op), t_arr);
+    });
+  }
+}
+
+void Runtime::lockmgr_request(WinImpl& win, int target, int origin,
+                              LockType type, Time t) {
+  auto& tl = win.locks[static_cast<std::size_t>(target)];
+  if (tl.grantable(type, origin) && tl.pending.empty()) {
+    tl.grant(type, origin);
+    const int ow = win.comm()->world_rank(origin);
+    const int tw = win.comm()->world_rank(target);
+    const Time t_ack = t + wire_latency(tw, ow, 0);
+    WinImpl* w = &win;
+    post_event(t_ack, [this, w, origin, target, t_ack]() {
+      on_lock_granted(*w, origin, target, t_ack);
+    });
+  } else {
+    tl.pending.push_back(TargetLockState::Pending{origin, type});
+  }
+}
+
+void Runtime::lockmgr_release(WinImpl& win, int target, int origin,
+                              LockType type, Time t, bool notify_origin) {
+  auto& tl = win.locks[static_cast<std::size_t>(target)];
+  tl.release(type, origin);
+
+  if (notify_origin) {
+    const int ow = win.comm()->world_rank(origin);
+    const int tw = win.comm()->world_rank(target);
+    const Time t_ack = t + wire_latency(tw, ow, 0);
+    WinImpl* w = &win;
+    post_event(t_ack, [this, w, origin, target, ow, t_ack]() {
+      auto& ots = w->ost[static_cast<std::size_t>(origin)]
+                      .tgt[static_cast<std::size_t>(target)];
+      ots.release_pending = false;
+      engine_->wake(ow, t_ack);
+    });
+  }
+
+  // Grant pending requests in FIFO order while compatible.
+  while (!tl.pending.empty() &&
+         tl.grantable(tl.pending.front().type, tl.pending.front().origin)) {
+    auto p = tl.pending.front();
+    tl.pending.pop_front();
+    tl.grant(p.type, p.origin);
+    const int ow = win.comm()->world_rank(p.origin);
+    const int tw = win.comm()->world_rank(target);
+    const Time t_ack = t + wire_latency(tw, ow, 0);
+    WinImpl* w = &win;
+    post_event(t_ack, [this, w, p, target, t_ack]() {
+      on_lock_granted(*w, p.origin, target, t_ack);
+    });
+  }
+}
+
+void Runtime::on_lock_granted(WinImpl& win, int origin, int target, Time t) {
+  auto& ots = win.ost[static_cast<std::size_t>(origin)]
+                  .tgt[static_cast<std::size_t>(target)];
+  ots.lock_st = OriginTargetState::LockSt::Granted;
+  // Inject all operations queued while the delayed lock was pending. The
+  // origin CPU cost of these injections was already paid when the operations
+  // were issued; here they just hit the wire in order.
+  Time ti = t;
+  auto queued = std::move(ots.queued);
+  ots.queued.clear();
+  for (auto& d : queued) {
+    ti += profile().op_inject;
+    inject_op(win, origin, target, std::move(d), ti);
+  }
+  engine_->wake(win.comm()->world_rank(origin), t);
+}
+
+void exec(RunConfig cfg, std::function<void(Env&)> user_main,
+          LayerFactory layer) {
+  Runtime rt(std::move(cfg), std::move(user_main), std::move(layer));
+  rt.run();
+}
+
+}  // namespace casper::mpi

@@ -1,0 +1,46 @@
+// Cluster topology: nodes x cores, NUMA domains, rank placement.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/profile.hpp"
+
+namespace casper::net {
+
+/// Placement of world ranks onto a (nodes x cores-per-node) cluster with
+/// block placement (ranks 0..cpn-1 on node 0, etc.) — the layout used by the
+/// paper's experiments.
+struct Topology {
+  int nodes = 1;
+  int cores_per_node = 1;
+  int numa_per_node = 2;
+
+  int nranks() const { return nodes * cores_per_node; }
+  int node_of(int rank) const { return rank / cores_per_node; }
+  int core_of(int rank) const { return rank % cores_per_node; }
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  /// NUMA domain of a rank within its node (cores split evenly).
+  int numa_of(int rank) const {
+    const int cores_per_numa =
+        (cores_per_node + numa_per_node - 1) / numa_per_node;
+    return core_of(rank) / cores_per_numa;
+  }
+
+  void validate() const {
+    if (nodes <= 0 || cores_per_node <= 0 || numa_per_node <= 0) {
+      std::fprintf(stderr, "net::Topology: invalid shape %dx%d (numa %d)\n",
+                   nodes, cores_per_node, numa_per_node);
+      std::abort();
+    }
+  }
+};
+
+/// A platform: profile + topology.
+struct Machine {
+  Profile profile;
+  Topology topo;
+};
+
+}  // namespace casper::net

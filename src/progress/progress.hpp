@@ -1,0 +1,38 @@
+// Baseline asynchronous-progress models (the approaches Casper is compared
+// against in the paper):
+//
+//  - Kind::None      "original MPI": software-path RMA operations complete
+//                    only when the target rank itself enters the MPI stack.
+//  - Kind::Thread    background-thread progress (MPICH/MVAPICH/Intel MPI
+//                    style): a per-process helper thread polls the network
+//                    and processes incoming software operations. Costs: a
+//                    thread-multiple overhead on *every* MPI call made by the
+//                    process, a handoff/lock-contention cost per serviced
+//                    operation, and either an oversubscribed core (compute
+//                    runs at half speed) or a dedicated core (half the cores
+//                    do no application work — arranged by the experiment's
+//                    rank layout, cf. Table I).
+//  - Kind::Interrupt DMAPP-style interrupt progress (Cray MPI, BG/P): every
+//                    incoming software operation raises an interrupt that
+//                    preempts the target core, costing a fixed interrupt
+//                    latency plus the handler time, stolen from application
+//                    computation. Interrupts are counted in stats
+//                    ("interrupts") — cf. Fig. 4(c).
+//
+// The delivery-path mechanics live in mpi::Runtime; this header defines the
+// configuration surface.
+#pragma once
+
+namespace casper::progress {
+
+enum class Kind { None, Thread, Interrupt };
+
+struct Config {
+  Kind kind = Kind::None;
+  /// Thread(O) in the paper: the progress thread shares the application
+  /// core, so application compute effectively runs at `oversub_scale` cost.
+  bool oversubscribed = false;
+  double oversub_scale = 2.0;
+};
+
+}  // namespace casper::progress

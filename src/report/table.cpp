@@ -1,0 +1,69 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace casper::report {
+
+void Table::print(std::ostream& os, bool csv) const {
+  if (csv) {
+    auto emit = [&os](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) os << ',';
+        os << cells[i];
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    for (const auto& r : rows_) emit(r);
+    return;
+  }
+  std::vector<std::size_t> width(headers_.size(), 0);
+  auto widen = [&width](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size() && i < width.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  widen(headers_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << "  " << c << std::string(width[i] - c.size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_count(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool csv_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  }
+  return false;
+}
+
+void banner(std::ostream& os, const std::string& id, const std::string& what) {
+  os << "== " << id << ": " << what << " ==\n";
+}
+
+}  // namespace casper::report

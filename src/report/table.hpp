@@ -1,0 +1,40 @@
+// Aligned-table / CSV printers used by every bench binary to emit the
+// paper's figure and table series.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace casper::report {
+
+/// A simple column-aligned table with an optional CSV mode.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Render aligned text (csv=false) or comma-separated (csv=true).
+  void print(std::ostream& os, bool csv = false) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision, trimming trailing zeros.
+std::string fmt(double v, int prec = 2);
+
+/// Format an integer-valued size/count.
+std::string fmt_count(std::uint64_t v);
+
+/// True when argv contains --csv.
+bool csv_mode(int argc, char** argv);
+
+/// Print a bench banner (figure id + description).
+void banner(std::ostream& os, const std::string& id,
+            const std::string& what);
+
+}  // namespace casper::report

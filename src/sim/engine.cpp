@@ -1,0 +1,259 @@
+#include "sim/engine.hpp"
+
+#include <limits.h>
+#include <pthread.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace casper::sim {
+
+namespace {
+thread_local Context* g_current_ctx = nullptr;
+
+struct TrampolineArg {
+  Engine* engine;
+  int rank;
+};
+}  // namespace
+
+// ---------------------------------------------------------------- Context --
+
+int Context::size() const { return engine_->nranks(); }
+Time Context::now() const { return engine_->rank_now(rank_); }
+Rng& Context::rng() const { return engine_->rank_rng(rank_); }
+
+void Context::advance(Time d) { engine_->advance_self_to(now() + d); }
+
+void Context::yield() { engine_->advance_self_to(now()); }
+
+// ----------------------------------------------------------------- Engine --
+
+Engine::Engine(Options opts, RankMain main)
+    : opts_(opts), main_(std::move(main)) {
+  if (opts_.nranks <= 0) {
+    std::fprintf(stderr, "sim::Engine: nranks must be positive\n");
+    std::abort();
+  }
+  ranks_.reserve(static_cast<std::size_t>(opts_.nranks));
+  for (int r = 0; r < opts_.nranks; ++r) {
+    ranks_.push_back(std::make_unique<RankState>(this, r));
+    ranks_.back()->rng = Rng(opts_.seed, static_cast<std::uint64_t>(r));
+  }
+}
+
+Engine::~Engine() {
+  // Join any threads that were started; run() normally joins them all.
+  for (auto& rs : ranks_) {
+    if (rs->thread_started) pthread_join(rs->thread, nullptr);
+  }
+}
+
+Time Engine::rank_now(int rank) const { return ranks_[rank]->now; }
+
+Context& Engine::current() {
+  if (g_current_ctx == nullptr) {
+    std::fprintf(stderr, "sim::Engine::current() called off a rank thread\n");
+    std::abort();
+  }
+  return *g_current_ctx;
+}
+
+void* Engine::thread_trampoline(void* arg) {
+  auto* ta = static_cast<TrampolineArg*>(arg);
+  Engine* e = ta->engine;
+  int rank = ta->rank;
+  delete ta;
+  e->rank_thread_body(rank);
+  return nullptr;
+}
+
+void Engine::rank_thread_body(int rank) {
+  RankState& rs = *ranks_[rank];
+  g_current_ctx = &rs.ctx;
+  wait_for_token(rank);
+  main_(rs.ctx);
+  rs.st = St::Done;
+  ++done_count_;
+  return_token_to_scheduler(rank);
+}
+
+void Engine::hand_token_to(int rank) {
+  RankState& rs = *ranks_[rank];
+  {
+    std::lock_guard<std::mutex> lk(rs.m);
+    rs.go = true;
+  }
+  rs.cv.notify_one();
+  // Wait until the rank gives the token back.
+  std::unique_lock<std::mutex> lk(sched_m_);
+  sched_cv_.wait(lk, [this] { return sched_go_; });
+  sched_go_ = false;
+}
+
+void Engine::return_token_to_scheduler(int rank) {
+  (void)rank;
+  {
+    std::lock_guard<std::mutex> lk(sched_m_);
+    sched_go_ = true;
+  }
+  sched_cv_.notify_one();
+}
+
+void Engine::wait_for_token(int rank) {
+  RankState& rs = *ranks_[rank];
+  std::unique_lock<std::mutex> lk(rs.m);
+  rs.cv.wait(lk, [&rs] { return rs.go; });
+  rs.go = false;
+  rs.st = St::Running;
+}
+
+void Engine::make_ready(int rank, Time t) {
+  RankState& rs = *ranks_[rank];
+  rs.st = St::Ready;
+  ready_.push(HeapItem{t, seq_++, rank});
+}
+
+void Engine::post_event(Time t, std::function<void()> cb) {
+  events_.push(Event{t, seq_++, std::move(cb)});
+}
+
+void Engine::advance_self_to(Time t) {
+  Context& ctx = current();
+  RankState& rs = *ranks_[ctx.rank()];
+  if (t < rs.now) t = rs.now;
+  // Fast path: if nothing else (event or rank) is scheduled at or before t,
+  // the scheduler would immediately hand the token back to this rank — skip
+  // the two thread context switches. Strict comparisons keep the global
+  // execution order identical to the slow path.
+  const bool event_earlier = !events_.empty() && events_.top().t <= t;
+  const bool rank_earlier = !ready_.empty() && ready_.top().t <= t;
+  if (!event_earlier && !rank_earlier) {
+    rs.now = t;
+    if (t > horizon_) horizon_ = t;
+    return;
+  }
+  make_ready(ctx.rank(), t);
+  return_token_to_scheduler(ctx.rank());
+  wait_for_token(ctx.rank());
+}
+
+void Engine::block_self() {
+  Context& ctx = current();
+  RankState& rs = *ranks_[ctx.rank()];
+  rs.st = St::Blocked;
+  return_token_to_scheduler(ctx.rank());
+  wait_for_token(ctx.rank());
+}
+
+void Engine::wake(int rank, Time t) {
+  RankState& rs = *ranks_[rank];
+  if (rs.st != St::Blocked) return;
+  make_ready(rank, t > rs.now ? t : rs.now);
+}
+
+void Engine::add_compute_penalty(int rank, Time t) {
+  ranks_[rank]->penalty += t;
+}
+
+bool Engine::rank_computing(int rank) const {
+  return ranks_[rank]->computing;
+}
+
+void Engine::set_compute_scale(int rank, double scale) {
+  ranks_[rank]->compute_scale = scale;
+}
+
+void Context::compute(Time d) {
+  Engine& e = *engine_;
+  auto& rs = *e.ranks_[rank_];
+  rs.computing = true;
+  rs.penalty = 0;
+  const auto scaled =
+      static_cast<Time>(static_cast<double>(d) * rs.compute_scale);
+  Time end = rs.now + scaled;
+  for (;;) {
+    e.advance_self_to(end);
+    if (rs.penalty > 0) {
+      end = rs.now + rs.penalty;
+      rs.penalty = 0;
+      continue;
+    }
+    break;
+  }
+  rs.computing = false;
+}
+
+void Engine::die_deadlocked() {
+  std::fprintf(stderr,
+               "sim::Engine: DEADLOCK at t=%.3f us — no runnable ranks and no "
+               "pending events. Blocked ranks:",
+               to_us(horizon_));
+  for (int r = 0; r < nranks(); ++r) {
+    if (ranks_[r]->st == St::Blocked) {
+      std::fprintf(stderr, " %d(t=%.3fus)", r, to_us(ranks_[r]->now));
+    }
+  }
+  std::fprintf(stderr, "\n");
+  if (deadlock_dump_) deadlock_dump_();
+  std::abort();
+}
+
+void Engine::run() {
+  running_ = true;
+  // Start all rank threads with small stacks; they immediately wait for the
+  // token, then are made runnable at t=0.
+  pthread_attr_t attr;
+  pthread_attr_init(&attr);
+  const std::size_t min_stack = static_cast<std::size_t>(PTHREAD_STACK_MIN);
+  pthread_attr_setstacksize(
+      &attr, opts_.stack_bytes < min_stack ? min_stack : opts_.stack_bytes);
+  for (int r = 0; r < nranks(); ++r) {
+    auto* ta = new TrampolineArg{this, r};
+    int rc = pthread_create(&ranks_[r]->thread, &attr,
+                            &Engine::thread_trampoline, ta);
+    if (rc != 0) {
+      std::fprintf(stderr, "sim::Engine: pthread_create failed (rc=%d)\n", rc);
+      std::abort();
+    }
+    ranks_[r]->thread_started = true;
+    make_ready(r, 0);
+  }
+  pthread_attr_destroy(&attr);
+
+  while (done_count_ < nranks()) {
+    const bool have_rank = !ready_.empty();
+    const bool have_event = !events_.empty();
+    if (!have_rank && !have_event) die_deadlocked();
+
+    // Events run before ranks at the same timestamp so that deliveries are
+    // visible to a rank resuming at that instant.
+    const bool run_event =
+        have_event && (!have_rank || events_.top().t <= ready_.top().t);
+    if (run_event) {
+      Event ev = events_.top();  // copy: cb may post more events
+      events_.pop();
+      if (ev.t > horizon_) horizon_ = ev.t;
+      ev.cb();
+      continue;
+    }
+
+    HeapItem item = ready_.top();
+    ready_.pop();
+    RankState& rs = *ranks_[item.rank];
+    if (rs.st != St::Ready) continue;  // stale entry (rank was re-queued)
+    if (item.t > rs.now) rs.now = item.t;
+    if (rs.now > horizon_) horizon_ = rs.now;
+    rs.st = St::Running;
+    hand_token_to(item.rank);
+  }
+  running_ = false;
+  for (auto& rs : ranks_) {
+    if (rs->thread_started) {
+      pthread_join(rs->thread, nullptr);
+      rs->thread_started = false;
+    }
+  }
+}
+
+}  // namespace casper::sim

@@ -1,0 +1,209 @@
+// Deterministic discrete-event engine with cooperatively scheduled ranks.
+//
+// Each simulated MPI rank is an OS thread with a small stack and a virtual
+// clock. Exactly one thread (a rank or the scheduler) runs at any moment; the
+// scheduler always resumes the runnable rank / event with the smallest
+// (virtual time, sequence number) key, so execution order — and therefore
+// every simulated result — is bit-reproducible.
+//
+// Rank code interacts with the engine through `Context`:
+//   ctx.compute(us(100));   // model computation (extendable by stolen cycles)
+//   ctx.advance(ns(500));   // model fixed software overhead
+//   engine.block_self();    // wait until another party calls wake()
+//
+// Event callbacks posted with post_event() run on the scheduler thread at
+// their timestamp, strictly interleaved with rank execution in time order.
+// They must not block; they typically deliver messages and wake ranks.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace casper::sim {
+
+class Engine;
+
+/// Per-rank handle passed to user rank code; all simulation interaction for a
+/// rank goes through its Context (valid only on that rank's thread).
+class Context {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+  Time now() const;
+  Engine& engine() const { return *engine_; }
+  Rng& rng() const;
+
+  /// Model computation of duration `d`. While "computing", interrupt-style
+  /// progress agents may steal cycles (add_compute_penalty), extending the
+  /// completion time. A compute-rate factor (see set_compute_scale) models
+  /// core oversubscription.
+  void compute(Time d);
+
+  /// Advance this rank's clock by `d` without the compute-penalty semantics
+  /// (models fixed software overheads inside the runtime).
+  void advance(Time d);
+
+  /// Yield to let any same-time events run, without advancing the clock.
+  void yield();
+
+ private:
+  friend class Engine;
+  Context(Engine* e, int r) : engine_(e), rank_(r) {}
+  Engine* engine_;
+  int rank_;
+};
+
+/// The discrete-event engine. Construct, then run() to execute all ranks'
+/// main functions to completion in virtual time.
+class Engine {
+ public:
+  struct Options {
+    int nranks = 1;
+    std::uint64_t seed = 12345;
+    std::size_t stack_bytes = 256 * 1024;
+  };
+  using RankMain = std::function<void(Context&)>;
+
+  Engine(Options opts, RankMain main);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Run the simulation to completion. Aborts with a diagnostic if the
+  /// simulation deadlocks (ranks blocked with no pending events).
+  void run();
+
+  int nranks() const { return static_cast<int>(ranks_.size()); }
+
+  /// Virtual clock of a rank.
+  Time rank_now(int rank) const;
+
+  /// Largest virtual time reached by any rank or event (the "makespan").
+  Time horizon() const { return horizon_; }
+
+  // --- services for the runtime layers (call only while holding the token,
+  //     i.e. from rank code or from an event callback) ---
+
+  /// Schedule `cb` to run on the scheduler thread at virtual time `t` (>= the
+  /// current global time).
+  void post_event(Time t, std::function<void()> cb);
+
+  /// Move the calling rank's clock to `t` and yield until then.
+  void advance_self_to(Time t);
+
+  /// Block the calling rank until some party calls wake() on it. The caller
+  /// must re-check its predicate on return (wakeups can be "spurious" when
+  /// several conditions share a waiter).
+  void block_self();
+
+  /// Make `rank` runnable no earlier than time `t` (no-op unless blocked).
+  void wake(int rank, Time t);
+
+  /// Add stolen compute time to `rank` (interrupt progress model). Only has
+  /// an effect while the rank is inside Context::compute().
+  void add_compute_penalty(int rank, Time t);
+
+  /// True while `rank` is inside Context::compute().
+  bool rank_computing(int rank) const;
+
+  /// Scale factor applied to all subsequent compute() durations of `rank`;
+  /// models core oversubscription (e.g. 2.0 when a progress thread shares
+  /// the core).
+  void set_compute_scale(int rank, double scale);
+
+  Stats& stats() { return stats_; }
+  Rng& rank_rng(int rank) { return ranks_[rank]->rng; }
+
+  /// Extra diagnostics printed when the simulation deadlocks (set by the
+  /// runtime layer to dump communication state).
+  void set_deadlock_dump(std::function<void()> dump) {
+    deadlock_dump_ = std::move(dump);
+  }
+
+  /// Context of the calling thread; aborts if called off a rank thread.
+  static Context& current();
+
+ private:
+  friend class Context;
+
+  enum class St : std::uint8_t { NotStarted, Ready, Running, Blocked, Done };
+
+  struct RankState {
+    explicit RankState(Engine* e, int r) : ctx(e, r), rng() {}
+    Context ctx;
+    Rng rng;
+    St st = St::NotStarted;
+    Time now = 0;
+    Time penalty = 0;         // stolen compute time not yet consumed
+    bool computing = false;   // inside Context::compute()
+    double compute_scale = 1.0;
+    pthread_t thread{};
+    bool thread_started = false;
+    // token handoff
+    std::mutex m;
+    std::condition_variable cv;
+    bool go = false;
+  };
+
+  struct HeapItem {
+    Time t;
+    std::uint64_t seq;
+    int rank;  // -1 for events
+    bool operator>(const HeapItem& o) const {
+      if (t != o.t) return t > o.t;
+      if (rank != o.rank) {
+        // Events (-1) before ranks at equal time, then lower rank first.
+        return rank > o.rank || (rank >= 0 && o.rank < 0);
+      }
+      return seq > o.seq;
+    }
+  };
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> cb;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  static void* thread_trampoline(void* arg);
+  void rank_thread_body(int rank);
+  void hand_token_to(int rank);
+  void return_token_to_scheduler(int rank);
+  void wait_for_token(int rank);
+  void make_ready(int rank, Time t);
+  [[noreturn]] void die_deadlocked();
+
+  Options opts_;
+  RankMain main_;
+  std::vector<std::unique_ptr<RankState>> ranks_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> ready_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t seq_ = 0;
+  Time horizon_ = 0;
+  int done_count_ = 0;
+  bool running_ = false;
+
+  // scheduler-side handoff
+  std::mutex sched_m_;
+  std::condition_variable sched_cv_;
+  bool sched_go_ = false;
+
+  std::function<void()> deadlock_dump_;
+  Stats stats_;
+};
+
+}  // namespace casper::sim

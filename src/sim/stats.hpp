@@ -1,0 +1,35 @@
+// Named counter registry for simulation-wide statistics.
+//
+// Counters are created on first use and only ever mutated by the thread that
+// currently holds the scheduler token, so no synchronization is needed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace casper::sim {
+
+/// A registry of named monotonic counters (interrupt counts, messages sent,
+/// software ops processed, ...). Snapshot-able for tests and benches.
+class Stats {
+ public:
+  /// Mutable reference to the counter named `name` (created at zero).
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+
+  /// Read a counter; returns 0 if it was never touched.
+  std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// All counters, for reporting.
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+
+  void clear() { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace casper::sim

@@ -1,0 +1,38 @@
+// Virtual-time primitives for the discrete-event cluster simulator.
+//
+// All simulation timestamps are integer nanoseconds so that event ordering is
+// exact and runs are bit-reproducible across hosts (no floating-point clock).
+#pragma once
+
+#include <cstdint>
+
+namespace casper::sim {
+
+/// A point in (or span of) virtual time, in nanoseconds.
+using Time = std::uint64_t;
+
+/// Sentinel meaning "no deadline / never".
+inline constexpr Time kNever = ~static_cast<Time>(0);
+
+/// Construct a span from nanoseconds.
+constexpr Time ns(std::uint64_t v) { return v; }
+
+/// Construct a span from microseconds.
+constexpr Time us(std::uint64_t v) { return v * 1000; }
+
+/// Construct a span from milliseconds.
+constexpr Time ms(std::uint64_t v) { return v * 1000 * 1000; }
+
+/// Construct a span from seconds.
+constexpr Time sec(std::uint64_t v) { return v * 1000 * 1000 * 1000; }
+
+/// Convert a virtual-time span to fractional microseconds (for reporting).
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1e3; }
+
+/// Convert a virtual-time span to fractional milliseconds (for reporting).
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e6; }
+
+/// Convert a virtual-time span to fractional seconds (for reporting).
+constexpr double to_sec(Time t) { return static_cast<double>(t) / 1e9; }
+
+}  // namespace casper::sim

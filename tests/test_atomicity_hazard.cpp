@@ -1,0 +1,117 @@
+// White-box demonstration of the hazard Casper's static binding prevents
+// (paper Section III.B): if operations targeting the same memory are
+// processed concurrently by *different* entities without a common lock
+// domain, MPI's accumulate atomicity breaks — updates are lost — and the
+// runtime's checker reports it.
+//
+// We construct the hazard directly in minimpi by exposing the SAME buffer
+// through two windows with different target ranks (exactly what Casper's
+// overlapping ghost windows do), then driving concurrent accumulates through
+// both paths with no binding discipline.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpi/runtime.hpp"
+#include "net/profile.hpp"
+
+namespace {
+
+using namespace casper;
+using mpi::AccOp;
+using mpi::Comm;
+using mpi::Dt;
+using mpi::Info;
+using mpi::LockType;
+using mpi::RunConfig;
+using mpi::Win;
+
+RunConfig cfg(int nodes, int cpn) {
+  RunConfig c;
+  c.machine.profile = net::cray_xc30_regular();
+  c.machine.topo.nodes = nodes;
+  c.machine.topo.cores_per_node = cpn;
+  return c;
+}
+
+TEST(AtomicityHazard, UnboundConcurrentAccumulatesLoseUpdatesAndAreDetected) {
+  // Ranks 0,1 act as "ghosts" both exposing rank 0's buffer; ranks 2,3 are
+  // origins that accumulate through DIFFERENT ghosts into the same bytes.
+  double final_value = 0;
+  std::uint64_t violations = 0;
+  mpi::exec(cfg(2, 2), [&](mpi::Env& env) {
+    Comm w = env.world();
+    static std::vector<double> shared_buf;  // rank 0's exposed memory
+    if (env.rank(w) == 0) shared_buf.assign(1, 0.0);
+    env.barrier(w);
+
+    // Both "ghosts" (ranks 0 and 1, same node) expose the same buffer.
+    const bool ghostish = env.rank(w) < 2;
+    void* mybase = ghostish ? shared_buf.data() : nullptr;
+    const std::size_t mysize = ghostish ? sizeof(double) : 0;
+    Win win = env.win_create(mybase, mysize, sizeof(double), Info{}, w);
+
+    env.barrier(w);
+    if (env.rank(w) >= 2) {
+      const int my_ghost = env.rank(w) - 2;  // origin 2 -> ghost 0, 3 -> 1
+      env.win_lock(LockType::Shared, my_ghost, 0, win);
+      double one = 1.0;
+      for (int i = 0; i < 50; ++i) {
+        env.accumulate(&one, 1, my_ghost, 0, AccOp::Sum, win);
+      }
+      env.win_unlock(my_ghost, win);
+    } else {
+      // The ghosts make progress (they are in the MPI runtime).
+      env.barrier(env.world());
+    }
+    if (env.rank(w) >= 2) env.barrier(env.world());
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      final_value = shared_buf[0];
+      violations = env.runtime().stats().get("atomicity_violations");
+    }
+    env.win_free(win);
+  });
+  // 100 increments were issued; interleaved unsynchronized RMW loses some.
+  EXPECT_LT(final_value, 100.0);
+  EXPECT_GT(violations, 0u);
+}
+
+TEST(AtomicityHazard, SameProcessingEntityStaysExact) {
+  // Control: both origins accumulate through the SAME target (rank binding
+  // discipline): serialization at one entity keeps the result exact.
+  double final_value = 0;
+  std::uint64_t violations = 1;
+  mpi::exec(cfg(2, 2), [&](mpi::Env& env) {
+    Comm w = env.world();
+    static std::vector<double> shared_buf;
+    if (env.rank(w) == 0) shared_buf.assign(1, 0.0);
+    env.barrier(w);
+    const bool ghostish = env.rank(w) < 2;
+    void* mybase = ghostish ? shared_buf.data() : nullptr;
+    const std::size_t mysize = ghostish ? sizeof(double) : 0;
+    Win win = env.win_create(mybase, mysize, sizeof(double), Info{}, w);
+    env.barrier(w);
+    if (env.rank(w) >= 2) {
+      env.win_lock(LockType::Shared, 0, 0, win);  // everyone via ghost 0
+      double one = 1.0;
+      for (int i = 0; i < 50; ++i) {
+        env.accumulate(&one, 1, 0, 0, AccOp::Sum, win);
+      }
+      env.win_unlock(0, win);
+    } else {
+      env.barrier(env.world());
+    }
+    if (env.rank(w) >= 2) env.barrier(env.world());
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      final_value = shared_buf[0];
+      violations = env.runtime().stats().get("atomicity_violations");
+    }
+    env.win_free(win);
+  });
+  EXPECT_EQ(final_value, 100.0);
+  EXPECT_EQ(violations, 0u);
+}
+
+}  // namespace

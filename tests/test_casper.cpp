@@ -1,0 +1,372 @@
+// Tests for the Casper layer: ghost deployment, window mapping, operation
+// redirection, asynchronous progress, binding policies, epoch translation,
+// and the epochs_used hint.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/casper.hpp"
+#include "core/layer_impl.hpp"
+#include "mpi/runtime.hpp"
+#include "net/profile.hpp"
+
+namespace {
+
+using namespace casper;
+using mpi::AccOp;
+using mpi::Comm;
+using mpi::Dt;
+using mpi::Info;
+using mpi::LockType;
+using mpi::RunConfig;
+using mpi::Win;
+
+RunConfig cfg(int nodes, int cpn,
+              net::Profile prof = net::cray_xc30_regular()) {
+  RunConfig c;
+  c.machine.profile = std::move(prof);
+  c.machine.topo.nodes = nodes;
+  c.machine.topo.cores_per_node = cpn;
+  return c;
+}
+
+core::Config csp(int ghosts, core::Binding b = core::Binding::Rank,
+                 core::DynamicLb d = core::DynamicLb::None) {
+  core::Config c;
+  c.ghosts_per_node = ghosts;
+  c.binding = b;
+  c.dynamic = d;
+  return c;
+}
+
+core::CasperLayer& layer_of(mpi::Env& env) {
+  return dynamic_cast<core::CasperLayer&>(env.runtime().layer());
+}
+
+TEST(CasperSetup, GhostCarvingAndUserWorld) {
+  auto rc = cfg(2, 4);
+  auto cc = csp(1);
+  EXPECT_EQ(core::user_ranks(rc.machine.topo, cc), 6);
+  int user_mains = 0;
+  mpi::exec(rc,
+            [&](mpi::Env& env) {
+              ++user_mains;
+              Comm w = env.world();
+              EXPECT_EQ(w->size(), 6);
+              // ghosts never appear in the user world
+              auto& L = layer_of(env);
+              for (int r : w->members()) {
+                EXPECT_FALSE(L.ghost_rank(r));
+              }
+            },
+            core::layer(cc));
+  EXPECT_EQ(user_mains, 6);
+}
+
+TEST(CasperSetup, TopologyAwareGhostPlacementSpreadsNuma) {
+  // 8-core node, 2 NUMA domains, 2 ghosts: one ghost per domain.
+  net::Topology topo;
+  topo.nodes = 1;
+  topo.cores_per_node = 8;
+  topo.numa_per_node = 2;
+  auto cc = csp(2);
+  std::vector<int> ghosts;
+  for (int r = 0; r < 8; ++r) {
+    if (core::is_ghost_rank(topo, cc, r)) ghosts.push_back(r);
+  }
+  ASSERT_EQ(ghosts.size(), 2u);
+  EXPECT_NE(topo.numa_of(ghosts[0]), topo.numa_of(ghosts[1]));
+}
+
+TEST(CasperRma, FencePutGetThroughGhosts) {
+  mpi::exec(cfg(2, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win = env.win_allocate(4 * sizeof(double), sizeof(double), Info{}, w,
+                               &base);
+    env.win_fence(mpi::kModeNoPrecede, win);
+    const int me = env.rank(w);
+    const int next = (me + 1) % w->size();
+    std::vector<double> v = {me + 1.0, me + 2.0};
+    env.put(v.data(), 2, next, 0, win);
+    env.win_fence(0, win);
+    const int prev = (me + w->size() - 1) % w->size();
+    auto* d = static_cast<double*>(base);
+    EXPECT_EQ(d[0], prev + 1.0);
+    EXPECT_EQ(d[1], prev + 2.0);
+    // read it back with get
+    std::vector<double> r(2, 0);
+    env.get(r.data(), 2, prev, 0, win);
+    env.win_fence(mpi::kModeNoSucceed, win);
+    EXPECT_EQ(r[0], (prev + w->size() - 1) % w->size() + 1.0);
+    env.win_free(win);
+  }, core::layer(csp(1)));
+}
+
+TEST(CasperRma, AsynchronousProgressWhileTargetComputes) {
+  // The headline behaviour: a software-path accumulate completes while the
+  // target user process is stuck in computation, because the ghost makes the
+  // progress. Without Casper (see MpiRma.SoftwareOpWaitsForTargetProgress)
+  // the same pattern waits for the target.
+  mpi::exec(cfg(2, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      double v = 2.5;
+      env.win_lock_all(0, win);
+      env.accumulate(&v, 1, 1, 0, AccOp::Sum, win);
+      env.win_unlock_all(win);
+      EXPECT_LT(env.now(), sim::us(150));  // did NOT wait for the target
+    } else if (env.rank(w) == 1) {
+      env.compute(sim::us(1000));
+    }
+    env.barrier(w);
+    if (env.rank(w) == 1) {
+      EXPECT_EQ(*static_cast<double*>(base), 2.5);
+    }
+    env.win_free(win);
+  }, core::layer(csp(1)));
+}
+
+TEST(CasperRma, LockPutUnlockRedirected) {
+  mpi::exec(cfg(2, 3), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win = env.win_allocate(2 * sizeof(double), sizeof(double), Info{}, w,
+                               &base);
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      double v = 9.0;
+      env.win_lock(LockType::Exclusive, 3, 0, win);
+      env.put(&v, 1, 3, 1, win);
+      env.win_unlock(3, win);
+    }
+    env.barrier(w);
+    if (env.rank(w) == 3) {
+      EXPECT_EQ(static_cast<double*>(base)[1], 9.0);
+    }
+    env.win_free(win);
+  }, core::layer(csp(1)));
+}
+
+TEST(CasperRma, ConcurrentAccumulatesRankBindingExact) {
+  // All users accumulate into user 0 concurrently under lockall with 2
+  // ghosts; static rank binding must keep atomicity: the sum is exact and
+  // no violation is detected.
+  mpi::exec(cfg(2, 4), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.barrier(w);
+    env.win_lock_all(0, win);
+    double one = 1.0;
+    for (int i = 0; i < 10; ++i) {
+      env.accumulate(&one, 1, 0, 0, AccOp::Sum, win);
+    }
+    env.win_unlock_all(win);
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      // 2 nodes x (4 cores - 2 ghosts) = 4 users, 10 accumulates each.
+      EXPECT_EQ(*static_cast<double*>(base), 40.0);
+    }
+    EXPECT_EQ(env.runtime().stats().get("atomicity_violations"), 0u);
+    env.win_free(win);
+  }, core::layer(csp(2)));
+}
+
+TEST(CasperRma, SegmentBindingSplitsAndStaysCorrect) {
+  // One user exposes a larger window; ops spanning multiple segments are
+  // split between ghosts; data must be exact and element-atomic.
+  mpi::exec(cfg(1, 4), [](mpi::Env& env) {
+    Comm w = env.world();
+    const std::size_t n = 64;
+    void* base = nullptr;
+    Win win = env.win_allocate(env.rank(w) == 0 ? n * sizeof(double) : 16,
+                               sizeof(double), Info{}, w, &base);
+    env.barrier(w);
+    env.win_lock_all(0, win);
+    if (env.rank(w) != 0) {
+      std::vector<double> v(n, 1.0);
+      env.accumulate(v.data(), static_cast<int>(n), 0, 0, AccOp::Sum, win);
+    }
+    env.win_unlock_all(win);
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      auto* d = static_cast<double*>(base);
+      for (std::size_t i = 0; i < n; ++i) {
+        // 1 node x (4 cores - 2 ghosts) = 2 users; one other user added 1.
+        EXPECT_EQ(d[i], 1.0) << "element " << i;
+      }
+    }
+    EXPECT_EQ(env.runtime().stats().get("atomicity_violations"), 0u);
+    EXPECT_GT(env.runtime().stats().get("casper_split_subops"), 0u);
+    env.win_free(win);
+  }, core::layer(csp(2, core::Binding::Segment)));
+}
+
+TEST(CasperRma, DynamicRandomSpreadsPuts) {
+  mpi::exec(cfg(2, 4), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win = env.win_allocate(8 * sizeof(double), sizeof(double), Info{}, w,
+                               &base);
+    env.barrier(w);
+    env.win_lock_all(0, win);
+    if (env.rank(w) == 1) {
+      double v = 1.5;
+      for (int i = 0; i < 8; ++i) {
+        env.put(&v, 1, 0, static_cast<std::size_t>(i), win);
+      }
+    }
+    env.win_unlock_all(win);
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      auto* d = static_cast<double*>(base);
+      for (int i = 0; i < 8; ++i) EXPECT_EQ(d[i], 1.5);
+    }
+    EXPECT_GT(env.runtime().stats().get("casper_dynamic_ops"), 0u);
+    env.win_free(win);
+  }, core::layer(csp(2, core::Binding::Rank, core::DynamicLb::Random)));
+}
+
+TEST(CasperRma, PscwTranslationCompletes) {
+  mpi::exec(cfg(2, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    if (env.rank(w) == 0) {
+      env.win_start(mpi::Group({1}), 0, win);
+      double v = 6.0;
+      env.accumulate(&v, 1, 1, 0, AccOp::Sum, win);
+      env.win_complete(win);
+    } else if (env.rank(w) == 1) {
+      env.win_post(mpi::Group({0}), 0, win);
+      env.win_wait(win);
+      EXPECT_EQ(*static_cast<double*>(base), 6.0);
+    }
+    env.barrier(w);
+    env.win_free(win);
+  }, core::layer(csp(1)));
+}
+
+TEST(CasperHints, EpochsUsedControlsWindowCount) {
+  // Default: one overlapping window per local user + the global window.
+  mpi::exec(cfg(2, 4), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    auto& L = layer_of(env);
+    EXPECT_EQ(L.internal_window_count(win), 3 + 1);  // 3 local users + global
+    env.win_free(win);
+
+    Info lockonly;
+    lockonly.set(core::kEpochsUsedKey, "lock");
+    Win win2 =
+        env.win_allocate(sizeof(double), sizeof(double), lockonly, w, &base);
+    EXPECT_EQ(L.internal_window_count(win2), 3);  // no global window
+    env.win_free(win2);
+
+    Info lockall_only;
+    lockall_only.set(core::kEpochsUsedKey, "lockall");
+    Win win3 = env.win_allocate(sizeof(double), sizeof(double), lockall_only,
+                                w, &base);
+    EXPECT_EQ(L.internal_window_count(win3), 1);  // single global window
+    env.win_free(win3);
+  }, core::layer(csp(1)));
+}
+
+TEST(CasperRma, SelfOpsExecuteLocally) {
+  mpi::exec(cfg(1, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.win_lock(LockType::Exclusive, env.rank(w), 0, win);
+    double v = 4.25;
+    env.put(&v, 1, env.rank(w), 0, win);
+    EXPECT_EQ(*static_cast<double*>(base), 4.25);
+    env.win_unlock(env.rank(w), win);
+    EXPECT_GT(env.runtime().stats().get("casper_self_ops"), 0u);
+    env.win_free(win);
+  }, core::layer(csp(1)));
+}
+
+TEST(CasperRma, FetchAndOpThroughGhost) {
+  mpi::exec(cfg(2, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.barrier(w);
+    env.win_lock_all(0, win);
+    double add = 1.0, old = -1.0;
+    env.fetch_and_op(&add, &old, Dt::Double, 0, 0, AccOp::Sum, win);
+    env.win_flush(0, win);
+    env.win_unlock_all(win);
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      EXPECT_EQ(*static_cast<double*>(base), 2.0);  // both users added 1
+    }
+    env.win_free(win);
+  }, core::layer(csp(1)));
+}
+
+TEST(CasperRma, MultipleWindowsCoexist) {
+  mpi::exec(cfg(2, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    void *b1 = nullptr, *b2 = nullptr;
+    Win w1 = env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &b1);
+    Win w2 = env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &b2);
+    env.barrier(w);
+    env.win_lock_all(0, w1);
+    env.win_lock_all(0, w2);
+    double x = 1.0, y = 10.0;
+    env.accumulate(&x, 1, 0, 0, AccOp::Sum, w1);
+    env.accumulate(&y, 1, 0, 0, AccOp::Sum, w2);
+    env.win_unlock_all(w1);
+    env.win_unlock_all(w2);
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      EXPECT_EQ(*static_cast<double*>(b1), 2.0);
+      EXPECT_EQ(*static_cast<double*>(b2), 20.0);
+    }
+    env.win_free(w2);
+    env.win_free(w1);
+  }, core::layer(csp(1)));
+}
+
+TEST(CasperRma, StridedAccumulateThroughGhost) {
+  mpi::exec(cfg(2, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win = env.win_allocate(8 * sizeof(double), sizeof(double), Info{}, w,
+                               &base);
+    env.barrier(w);
+    env.win_lock_all(0, win);
+    if (env.rank(w) == 1) {
+      std::vector<double> v = {1, 2, 3, 4};
+      auto vec = mpi::vector_of(Dt::Double, 1, 2);
+      env.accumulate(v.data(), 4, mpi::contig(Dt::Double), 0, 0, 4, vec,
+                     AccOp::Sum, win);
+    }
+    env.win_unlock_all(win);
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      auto* d = static_cast<double*>(base);
+      EXPECT_EQ(d[0], 1);
+      EXPECT_EQ(d[2], 2);
+      EXPECT_EQ(d[4], 3);
+      EXPECT_EQ(d[6], 4);
+      EXPECT_EQ(d[1], 0);
+    }
+    env.win_free(win);
+  }, core::layer(csp(1)));
+}
+
+}  // namespace

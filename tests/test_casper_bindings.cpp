@@ -1,0 +1,218 @@
+// Property-style parameterized sweeps: data integrity of Casper's
+// redirection must hold across every combination of binding policy, dynamic
+// load-balancing policy, ghost count, epoch type, and operation mix — and
+// the atomicity checker must stay silent throughout.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/casper.hpp"
+#include "mpi/runtime.hpp"
+#include "net/profile.hpp"
+
+namespace {
+
+using namespace casper;
+using mpi::AccOp;
+using mpi::Comm;
+using mpi::Dt;
+using mpi::Info;
+using mpi::LockType;
+using mpi::RunConfig;
+using mpi::Win;
+
+enum class EpochStyle { Fence, Pscw, Lock, LockAll };
+
+using Param = std::tuple<core::Binding, core::DynamicLb, int /*ghosts*/,
+                         EpochStyle>;
+
+class CasperIntegrity : public ::testing::TestWithParam<Param> {};
+
+// Every rank accumulates a known pattern into every other rank and writes a
+// put pattern to its own slot on every rank; verify the final array.
+void integrity_body(mpi::Env& env, EpochStyle style) {
+  Comm w = env.world();
+  const int p = env.size(w);
+  const int me = env.rank(w);
+  const int elems = 8;
+  // p slots for per-origin put signatures + one slot for accumulates
+  // (disjoint, so put/acc never overlap — overlapping them in one epoch
+  // would be an MPI usage error).
+  void* base = nullptr;
+  Win win = env.win_allocate(
+      static_cast<std::size_t>((p + 1) * elems) * sizeof(double),
+      sizeof(double), Info{}, w, &base);
+
+  std::vector<double> acc_v(static_cast<std::size_t>(elems), 1.0);
+  std::vector<double> put_v(static_cast<std::size_t>(elems), me + 100.0);
+
+  auto issue_all = [&]() {
+    for (int t = 0; t < p; ++t) {
+      // everyone accumulates ones into the shared accumulate slot
+      env.accumulate(acc_v.data(), elems, t,
+                     static_cast<std::size_t>(p * elems), AccOp::Sum, win);
+      // everyone puts its signature into its own slot on every rank
+      env.put(put_v.data(), elems, t,
+              static_cast<std::size_t>(me * elems), win);
+    }
+  };
+
+  switch (style) {
+    case EpochStyle::Fence:
+      env.win_fence(mpi::kModeNoPrecede, win);
+      issue_all();
+      env.win_fence(mpi::kModeNoSucceed, win);
+      break;
+    case EpochStyle::Pscw: {
+      std::vector<int> everyone;
+      for (int t = 0; t < p; ++t) everyone.push_back(t);
+      mpi::Group g(everyone);
+      env.win_post(g, 0, win);
+      env.win_start(g, 0, win);
+      issue_all();
+      env.win_complete(win);
+      env.win_wait(win);
+      break;
+    }
+    case EpochStyle::Lock:
+      for (int t = 0; t < p; ++t) {
+        env.win_lock(LockType::Shared, t, 0, win);
+      }
+      issue_all();
+      for (int t = 0; t < p; ++t) {
+        env.win_unlock(t, win);
+      }
+      break;
+    case EpochStyle::LockAll:
+      env.win_lock_all(0, win);
+      issue_all();
+      env.win_flush_all(win);
+      env.win_unlock_all(win);
+      break;
+  }
+  env.barrier(w);
+
+  auto* d = static_cast<double*>(base);
+  for (int s = 0; s < p; ++s) {
+    for (int e = 0; e < elems; ++e) {
+      EXPECT_EQ(d[s * elems + e], s + 100.0)
+          << "slot " << s << " elem " << e;
+    }
+  }
+  for (int e = 0; e < elems; ++e) {
+    EXPECT_EQ(d[p * elems + e], static_cast<double>(p))
+        << "acc elem " << e;
+  }
+  EXPECT_EQ(env.runtime().stats().get("atomicity_violations"), 0u);
+  env.win_free(win);
+
+  // Pure accumulate window for the exact-sum check.
+  void* base2 = nullptr;
+  Win win2 =
+      env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base2);
+  env.win_lock_all(0, win2);
+  double one = 1.0;
+  for (int t = 0; t < p; ++t) {
+    env.accumulate(&one, 1, t, 0, AccOp::Sum, win2);
+  }
+  env.win_flush_all(win2);
+  env.win_unlock_all(win2);
+  env.barrier(w);
+  EXPECT_EQ(*static_cast<double*>(base2), static_cast<double>(p));
+  env.win_free(win2);
+}
+
+TEST_P(CasperIntegrity, AllBindingsAllEpochs) {
+  auto [binding, dynamic, ghosts, style] = GetParam();
+  RunConfig rc;
+  rc.machine.profile = net::cray_xc30_regular();
+  rc.machine.topo.nodes = 2;
+  rc.machine.topo.cores_per_node = 3 + ghosts;
+  core::Config cc;
+  cc.ghosts_per_node = ghosts;
+  cc.binding = binding;
+  cc.dynamic = dynamic;
+  mpi::exec(rc, [style](mpi::Env& env) { integrity_body(env, style); },
+            core::layer(cc));
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto b = std::get<0>(info.param);
+  const auto d = std::get<1>(info.param);
+  const auto g = std::get<2>(info.param);
+  const auto e = std::get<3>(info.param);
+  std::string s;
+  s += b == core::Binding::Rank ? "Rank" : "Segment";
+  s += d == core::DynamicLb::None         ? "None"
+       : d == core::DynamicLb::Random     ? "Random"
+       : d == core::DynamicLb::OpCounting ? "OpCount"
+                                          : "ByteCount";
+  s += std::to_string(g) + "g";
+  s += e == EpochStyle::Fence  ? "Fence"
+       : e == EpochStyle::Pscw ? "Pscw"
+       : e == EpochStyle::Lock ? "Lock"
+                               : "LockAll";
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CasperIntegrity,
+    ::testing::Combine(
+        ::testing::Values(core::Binding::Rank, core::Binding::Segment),
+        ::testing::Values(core::DynamicLb::None, core::DynamicLb::Random,
+                          core::DynamicLb::OpCounting,
+                          core::DynamicLb::ByteCounting),
+        ::testing::Values(1, 2, 3),
+        ::testing::Values(EpochStyle::Fence, EpochStyle::Pscw,
+                          EpochStyle::Lock, EpochStyle::LockAll)),
+    sweep_name);
+
+// Strided (noncontiguous) accumulates through segment binding with several
+// ghost counts: element-exact results, no torn elements.
+class CasperStrided : public ::testing::TestWithParam<int> {};
+
+TEST_P(CasperStrided, SegmentSplitKeepsElementsIntact) {
+  const int ghosts = GetParam();
+  RunConfig rc;
+  rc.machine.profile = net::cray_xc30_regular();
+  rc.machine.topo.nodes = 1;
+  rc.machine.topo.cores_per_node = 2 + ghosts;
+  core::Config cc;
+  cc.ghosts_per_node = ghosts;
+  cc.binding = core::Binding::Segment;
+  mpi::exec(rc, [](mpi::Env& env) {
+    Comm w = env.world();
+    const std::size_t n = 48;
+    void* base = nullptr;
+    Win win = env.win_allocate(2 * n * sizeof(double), sizeof(double),
+                               Info{}, w, &base);
+    env.barrier(w);
+    env.win_lock_all(0, win);
+    if (env.rank(w) == 1) {
+      // accumulate into every other element of rank 0's window
+      std::vector<double> v(n, 2.5);
+      auto vec = mpi::vector_of(Dt::Double, 1, 2);
+      for (int round = 0; round < 3; ++round) {
+        env.accumulate(v.data(), static_cast<int>(n),
+                       mpi::contig(Dt::Double), 0, 0, static_cast<int>(n),
+                       vec, AccOp::Sum, win);
+      }
+    }
+    env.win_unlock_all(win);
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      auto* d = static_cast<double*>(base);
+      for (std::size_t i = 0; i < 2 * n; ++i) {
+        EXPECT_EQ(d[i], (i % 2 == 0) ? 7.5 : 0.0) << "elem " << i;
+      }
+    }
+    EXPECT_EQ(env.runtime().stats().get("atomicity_violations"), 0u);
+    env.win_free(win);
+  }, core::layer(cc));
+}
+
+INSTANTIATE_TEST_SUITE_P(GhostCounts, CasperStrided,
+                         ::testing::Values(1, 2, 4));
+
+}  // namespace

@@ -1,0 +1,333 @@
+// Casper epoch-translation corners: assert fast paths, the
+// static-binding-free interval, lockall<->lock conversion correctness, and
+// hint misuse diagnostics.
+#include <gtest/gtest.h>
+
+#include "core/casper.hpp"
+#include "core/layer_impl.hpp"
+#include "mpi/runtime.hpp"
+#include "net/profile.hpp"
+
+namespace {
+
+using namespace casper;
+using mpi::AccOp;
+using mpi::Comm;
+using mpi::Dt;
+using mpi::Info;
+using mpi::LockType;
+using mpi::RunConfig;
+using mpi::Win;
+
+RunConfig cfg(int nodes, int cpn) {
+  RunConfig c;
+  c.machine.profile = net::cray_xc30_regular();
+  c.machine.topo.nodes = nodes;
+  c.machine.topo.cores_per_node = cpn;
+  return c;
+}
+
+core::Config csp(int ghosts,
+                 core::DynamicLb d = core::DynamicLb::None) {
+  core::Config c;
+  c.ghosts_per_node = ghosts;
+  c.dynamic = d;
+  return c;
+}
+
+TEST(CasperEpochs, FenceAssertsSkipSynchronization) {
+  // A fully-asserted fence must be much cheaper than a plain fence.
+  sim::Time plain = 0, asserted = 0;
+  mpi::exec(cfg(2, 2), [&](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.barrier(w);
+    sim::Time t0 = env.now();
+    for (int i = 0; i < 10; ++i) env.win_fence(0, win);
+    if (env.rank(w) == 0) plain = env.now() - t0;
+    env.barrier(w);
+    t0 = env.now();
+    for (int i = 0; i < 10; ++i) {
+      env.win_fence(mpi::kModeNoStore | mpi::kModeNoPut |
+                        mpi::kModeNoPrecede,
+                    win);
+    }
+    if (env.rank(w) == 0) asserted = env.now() - t0;
+    env.barrier(w);
+    env.win_free(win);
+  }, core::layer(csp(1)));
+  EXPECT_LT(asserted * 3, plain);
+}
+
+TEST(CasperEpochs, PscwNoCheckSkipsHandshake) {
+  sim::Time with_check = 0, no_check = 0;
+  mpi::exec(cfg(2, 2), [&](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    auto round = [&](unsigned a) {
+      env.barrier(w);  // provides the ordering NOCHECK requires
+      const sim::Time t0 = env.now();
+      if (env.rank(w) == 0) {
+        env.win_start(mpi::Group({1}), a, win);
+        double v = 1.0;
+        env.accumulate(&v, 1, 1, 0, AccOp::Sum, win);
+        env.win_complete(win);
+      } else if (env.rank(w) == 1) {
+        env.win_post(mpi::Group({0}), a, win);
+        env.win_wait(win);
+      }
+      env.barrier(w);
+      return env.now() - t0;
+    };
+    const sim::Time a = round(0);
+    const sim::Time b = round(mpi::kModeNoCheck);
+    if (env.rank(w) == 0) {
+      with_check = a;
+      no_check = b;
+    }
+    env.win_free(win);
+  }, core::layer(csp(1)));
+  EXPECT_LT(no_check, with_check);
+}
+
+TEST(CasperEpochs, BindingFreeIntervalStartsAfterFlush) {
+  // Dynamic binding under an exclusive lock requires a completed flush;
+  // before the flush PUTs stay on the bound ghost, afterwards they spread.
+  mpi::exec(cfg(1, 5), [](mpi::Env& env) {
+    Comm w = env.world();  // 2 users + 3 ghosts
+    void* base = nullptr;
+    Win win = env.win_allocate(8 * sizeof(double), sizeof(double), Info{}, w,
+                               &base);
+    env.barrier(w);
+    if (env.rank(w) == 1) {
+      auto& rt = env.runtime();
+      env.win_lock(LockType::Exclusive, 0, 0, win);
+      double v = 1.0;
+      env.put(&v, 1, 0, 0, win);
+      const auto before = rt.stats().get("casper_dynamic_ops");
+      env.win_flush(0, win);  // starts the static-binding-free interval
+      for (int i = 0; i < 6; ++i) {
+        env.put(&v, 1, 0, static_cast<std::size_t>(i), win);
+      }
+      const auto after = rt.stats().get("casper_dynamic_ops");
+      env.win_unlock(0, win);
+      EXPECT_EQ(before, 0u);   // pre-flush put was statically bound
+      EXPECT_EQ(after, 6u);    // post-flush puts were dynamically balanced
+    }
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      auto* d = static_cast<double*>(base);
+      for (int i = 0; i < 6; ++i) EXPECT_EQ(d[i], 1.0);
+    }
+    env.win_free(win);
+  }, core::layer(csp(3, core::DynamicLb::Random)));
+}
+
+TEST(CasperEpochs, AccumulatesNeverDynamicallyBalanced) {
+  mpi::exec(cfg(1, 5), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.barrier(w);
+    env.win_lock_all(0, win);
+    double v = 1.0;
+    for (int i = 0; i < 10; ++i) {
+      env.accumulate(&v, 1, 0, 0, AccOp::Sum, win);
+    }
+    env.win_flush_all(win);
+    env.win_unlock_all(win);
+    env.barrier(w);
+    // dynamic ops counter only counts PUT/GET routed dynamically
+    EXPECT_EQ(env.runtime().stats().get("casper_dynamic_ops"), 0u);
+    if (env.rank(w) == 0) {
+      EXPECT_EQ(*static_cast<double*>(base), 20.0);  // 2 users x 10
+    }
+    env.win_free(win);
+  }, core::layer(csp(3, core::DynamicLb::Random)));
+}
+
+TEST(CasperEpochs, ExclusiveLockVsLockallIsSerialized) {
+  // Paper III.C.3: one origin holds an exclusive lock while another uses
+  // lockall on the same window. The lockall->per-ghost-lock conversion lets
+  // MPI's lock manager see the conflict; the accumulated result must be
+  // exact and no atomicity violation may occur.
+  mpi::exec(cfg(2, 4), [](mpi::Env& env) {
+    Comm w = env.world();
+    ASSERT_EQ(w->size(), 4);  // 2 nodes x (4 cores - 2 ghosts)
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.barrier(w);
+    const int me = env.rank(w);
+    double one = 1.0;
+    if (me == 1) {
+      env.win_lock(LockType::Exclusive, 0, 0, win);
+      for (int i = 0; i < 20; ++i) {
+        env.accumulate(&one, 1, 0, 0, AccOp::Sum, win);
+      }
+      env.win_unlock(0, win);
+    } else if (me == 2 || me == 3) {
+      env.win_lock_all(0, win);
+      for (int i = 0; i < 20; ++i) {
+        env.accumulate(&one, 1, 0, 0, AccOp::Sum, win);
+      }
+      env.win_unlock_all(win);
+    }
+    env.barrier(w);
+    if (me == 0) {
+      EXPECT_EQ(*static_cast<double*>(base), 60.0);
+    }
+    EXPECT_EQ(env.runtime().stats().get("atomicity_violations"), 0u);
+    env.win_free(win);
+  }, core::layer(csp(2)));
+}
+
+TEST(CasperEpochs, UnmanagedWindowPassthrough) {
+  // Windows over a sub-communicator are not Casper-managed but must still
+  // work (plain MPI semantics) and be counted.
+  mpi::exec(cfg(2, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    Comm half = env.comm_split(w, env.rank(w) % 2, env.rank(w));
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, half, &base);
+    env.win_lock_all(0, win);
+    double v = 2.0;
+    env.accumulate(&v, 1, 0, 0, AccOp::Sum, win);
+    env.win_flush_all(win);
+    env.win_unlock_all(win);
+    env.barrier(w);
+    EXPECT_GT(env.runtime().stats().get("casper_unmanaged_windows"), 0u);
+    if (env.rank(half) == 0) {
+      // one accumulate from each member of my half
+      EXPECT_EQ(*static_cast<double*>(base), 2.0 * half->size());
+    }
+    env.win_free(win);
+  }, core::layer(csp(1)));
+}
+
+TEST(CasperEpochs, GhostsServeMultipleWindowsConcurrently) {
+  // One ghost must make progress on several windows with different epoch
+  // types at once (the paper's "never block indefinitely" requirement).
+  mpi::exec(cfg(2, 3), [](mpi::Env& env) {
+    Comm w = env.world();
+    void *b1 = nullptr, *b2 = nullptr;
+    Info lockall_hint;
+    lockall_hint.set(core::kEpochsUsedKey, "lockall");
+    Win w1 = env.win_allocate(sizeof(double), sizeof(double), lockall_hint,
+                              w, &b1);
+    Info fence_hint;
+    fence_hint.set(core::kEpochsUsedKey, "fence");
+    Win w2 =
+        env.win_allocate(sizeof(double), sizeof(double), fence_hint, w, &b2);
+    env.barrier(w);
+    double v = 1.0;
+    // interleave a lockall epoch on w1 with fence epochs on w2
+    env.win_lock_all(0, w1);
+    env.win_fence(mpi::kModeNoPrecede, w2);
+    env.accumulate(&v, 1, 0, 0, AccOp::Sum, w1);
+    env.accumulate(&v, 1, 1, 0, AccOp::Sum, w2);
+    env.win_fence(mpi::kModeNoSucceed, w2);
+    env.win_flush_all(w1);
+    env.win_unlock_all(w1);
+    env.barrier(w);
+    const int p = w->size();
+    if (env.rank(w) == 0) {
+      EXPECT_EQ(*static_cast<double*>(b1), p * 1.0);
+    }
+    if (env.rank(w) == 1) {
+      EXPECT_EQ(*static_cast<double*>(b2), p * 1.0);
+    }
+    env.win_free(w2);
+    env.win_free(w1);
+  }, core::layer(csp(1)));
+}
+
+}  // namespace
+
+namespace {
+
+TEST(CasperNuma, TopologyAwareBindingAvoidsCrossDomainOps) {
+  // 2 NUMA domains, 2 ghosts: topology-aware placement puts one ghost per
+  // domain and binds users within their domain, so no redirected op crosses
+  // the domain interconnect.
+  auto run_with = [](bool aware) {
+    std::uint64_t crossed = 1;
+    mpi::RunConfig rc;
+    rc.machine.profile = net::cray_xc30_regular();
+    rc.machine.topo.nodes = 1;
+    rc.machine.topo.cores_per_node = 6;  // 4 users + 2 ghosts
+    rc.machine.topo.numa_per_node = 2;
+    core::Config cc;
+    cc.ghosts_per_node = 2;
+    cc.topology_aware = aware;
+    mpi::exec(rc, [&crossed](mpi::Env& env) {
+      mpi::Comm w = env.world();
+      void* base = nullptr;
+      mpi::Win win = env.win_allocate(sizeof(double), sizeof(double),
+                                      mpi::Info{}, w, &base);
+      env.win_lock_all(0, win);
+      double v = 1.0;
+      for (int t = 0; t < env.size(w); ++t) {
+        env.accumulate(&v, 1, t, 0, mpi::AccOp::Sum, win);
+      }
+      env.win_flush_all(win);
+      env.win_unlock_all(win);
+      env.barrier(w);
+      if (env.rank(w) == 0) {
+        crossed = env.runtime().stats().get("cross_numa_ops");
+      }
+      env.win_free(win);
+    }, core::layer(cc));
+    return crossed;
+  };
+  EXPECT_EQ(run_with(true), 0u);
+  EXPECT_GT(run_with(false), 0u);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(CasperStats, GhostLoadReportsBalancedRedirection) {
+  mpi::exec(cfg(1, 6), [](mpi::Env& env) {  // 4 users + 2 ghosts
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win = env.win_allocate(8 * sizeof(double), sizeof(double), Info{}, w,
+                               &base);
+    env.barrier(w);
+    env.win_lock_all(0, win);
+    double v = 1.0;
+    for (int t = 0; t < env.size(w); ++t) {
+      for (int k = 0; k < 4; ++k) {
+        env.put(&v, 1, t, 0, win);
+      }
+    }
+    env.win_flush_all(win);
+    env.win_unlock_all(win);
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      auto& L = dynamic_cast<core::CasperLayer&>(env.runtime().layer());
+      auto load = L.ghost_load(win);
+      ASSERT_EQ(load.size(), 2u);
+      std::uint64_t total_ops = 0, total_bytes = 0;
+      for (const auto& gl : load) {
+        total_ops += gl.ops;
+        total_bytes += gl.bytes;
+        EXPECT_GT(gl.ops, 0u);  // random policy touched both ghosts
+      }
+      // 4 users x 6 targets... each user issued 4 puts to each of 4 users
+      // = 4*4*4 = 64 redirected puts (self puts are local, not redirected).
+      EXPECT_EQ(total_ops, 4u * 3u * 4u);
+      EXPECT_EQ(total_bytes, total_ops * sizeof(double));
+    }
+    env.win_free(win);
+  }, core::layer(csp(2, core::DynamicLb::Random)));
+}
+
+}  // namespace

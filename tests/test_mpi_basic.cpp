@@ -1,0 +1,223 @@
+// Tests for minimpi point-to-point, collectives, and communicator
+// management.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+#include "net/profile.hpp"
+
+namespace {
+
+using namespace casper;
+using mpi::AccOp;
+using mpi::Comm;
+using mpi::Dt;
+using mpi::RunConfig;
+
+RunConfig cfg(int nodes, int cpn,
+              net::Profile prof = net::cray_xc30_regular()) {
+  RunConfig c;
+  c.machine.profile = std::move(prof);
+  c.machine.topo.nodes = nodes;
+  c.machine.topo.cores_per_node = cpn;
+  return c;
+}
+
+TEST(MpiP2p, SendRecvDeliversDataAndLatency) {
+  mpi::exec(cfg(2, 1), [](mpi::Env& env) {
+    Comm w = env.world();
+    if (env.rank(w) == 0) {
+      double x = 3.5;
+      env.send(&x, 1, Dt::Double, 1, 42, w);
+    } else {
+      double y = 0;
+      auto st = env.recv(&y, 1, Dt::Double, 0, 42, w);
+      EXPECT_EQ(y, 3.5);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 42);
+      EXPECT_EQ(st.bytes, sizeof(double));
+      // inter-node latency must have elapsed
+      EXPECT_GE(env.now(), sim::ns(1400));
+    }
+  });
+}
+
+TEST(MpiP2p, AnySourceAndUnexpectedQueue) {
+  mpi::exec(cfg(1, 4), [](mpi::Env& env) {
+    Comm w = env.world();
+    if (env.rank(w) != 0) {
+      int v = env.rank(w);
+      env.send(&v, 1, Dt::Int, 0, 7, w);
+    } else {
+      env.compute(sim::us(50));  // let messages arrive unexpected
+      int sum = 0;
+      for (int i = 0; i < 3; ++i) {
+        int v = -1;
+        auto st = env.recv(&v, 1, Dt::Int, mpi::kAnySource, 7, w);
+        EXPECT_EQ(v, st.source);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 1 + 2 + 3);
+    }
+  });
+}
+
+TEST(MpiP2p, TagMatching) {
+  mpi::exec(cfg(1, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    if (env.rank(w) == 0) {
+      int a = 10, b = 20;
+      env.send(&a, 1, Dt::Int, 1, 1, w);
+      env.send(&b, 1, Dt::Int, 1, 2, w);
+    } else {
+      int v = 0;
+      env.recv(&v, 1, Dt::Int, 0, 2, w);  // out of order by tag
+      EXPECT_EQ(v, 20);
+      env.recv(&v, 1, Dt::Int, 0, 1, w);
+      EXPECT_EQ(v, 10);
+    }
+  });
+}
+
+TEST(MpiColl, BarrierSynchronizesClocks) {
+  std::vector<sim::Time> after(4, 0);
+  mpi::exec(cfg(1, 4), [&](mpi::Env& env) {
+    Comm w = env.world();
+    env.compute(sim::us(static_cast<std::uint64_t>(env.rank(w)) * 10));
+    env.barrier(w);
+    after[static_cast<std::size_t>(env.rank(w))] = env.now();
+  });
+  // everyone leaves the barrier no earlier than the slowest arriver
+  for (auto t : after) EXPECT_GE(t, sim::us(30));
+}
+
+TEST(MpiColl, BcastReduceAllreduce) {
+  mpi::exec(cfg(2, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    const int me = env.rank(w);
+    double v = (me == 1) ? 99.0 : 0.0;
+    env.bcast(&v, 1, Dt::Double, 1, w);
+    EXPECT_EQ(v, 99.0);
+
+    double mine = me + 1.0, sum = 0.0;
+    env.reduce(&mine, &sum, 1, Dt::Double, AccOp::Sum, 0, w);
+    if (me == 0) {
+      EXPECT_EQ(sum, 1 + 2 + 3 + 4.0);
+    }
+
+    double amax = 0;
+    env.allreduce(&mine, &amax, 1, Dt::Double, AccOp::Max, w);
+    EXPECT_EQ(amax, 4.0);
+  });
+}
+
+TEST(MpiColl, AllgatherAlltoall) {
+  mpi::exec(cfg(1, 3), [](mpi::Env& env) {
+    Comm w = env.world();
+    const int me = env.rank(w);
+    int v = me * 100;
+    std::vector<int> all(3, -1);
+    env.allgather(&v, 1, Dt::Int, all.data(), w);
+    EXPECT_EQ(all[0], 0);
+    EXPECT_EQ(all[1], 100);
+    EXPECT_EQ(all[2], 200);
+
+    std::vector<int> snd = {me * 10 + 0, me * 10 + 1, me * 10 + 2};
+    std::vector<int> rcv(3, -1);
+    env.alltoall(snd.data(), 1, Dt::Int, rcv.data(), w);
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(rcv[j], j * 10 + me);
+  });
+}
+
+TEST(MpiComm, SplitByNodeAndKeyOrdering) {
+  mpi::exec(cfg(2, 3), [](mpi::Env& env) {
+    Comm w = env.world();
+    Comm node = env.comm_split_shared(w);
+    EXPECT_EQ(node->size(), 3);
+    // members must be the three world ranks of my node, ordered by rank
+    const int my_node = env.world_rank() / 3;
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(node->world_rank(i), my_node * 3 + i);
+    }
+  });
+}
+
+TEST(MpiComm, SplitWithUndefinedColor) {
+  mpi::exec(cfg(1, 4), [](mpi::Env& env) {
+    Comm w = env.world();
+    const int me = env.rank(w);
+    Comm c = env.comm_split(w, me % 2 == 0 ? 0 : -1, me);
+    if (me % 2 == 0) {
+      ASSERT_NE(c, nullptr);
+      EXPECT_EQ(c->size(), 2);
+    } else {
+      EXPECT_EQ(c, nullptr);
+    }
+  });
+}
+
+TEST(MpiComm, DupPreservesMembership) {
+  mpi::exec(cfg(1, 3), [](mpi::Env& env) {
+    Comm w = env.world();
+    Comm d = env.comm_dup(w);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->id(), w->id());
+    EXPECT_EQ(d->members(), w->members());
+    // The dup is usable for p2p independently of the parent.
+    if (env.rank(d) == 0) {
+      int x = 5;
+      env.send(&x, 1, Dt::Int, 1, 0, d);
+    } else if (env.rank(d) == 1) {
+      int x = 0;
+      env.recv(&x, 1, Dt::Int, 0, 0, d);
+      EXPECT_EQ(x, 5);
+    }
+  });
+}
+
+}  // namespace
+
+namespace {
+
+TEST(MpiColl, GatherScatter) {
+  mpi::exec(cfg(2, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    const int me = env.rank(w);
+    const int p = env.size(w);
+
+    int v = me * 3;
+    std::vector<int> all(static_cast<std::size_t>(p), -1);
+    env.gather(&v, 1, Dt::Int, all.data(), 1, w);
+    if (me == 1) {
+      for (int j = 0; j < p; ++j) EXPECT_EQ(all[static_cast<std::size_t>(j)], j * 3);
+    }
+
+    std::vector<int> src(static_cast<std::size_t>(p));
+    for (int j = 0; j < p; ++j) src[static_cast<std::size_t>(j)] = 100 + j;
+    int out = -1;
+    env.scatter(src.data(), 1, Dt::Int, &out, 2, w);
+    EXPECT_EQ(out, 100 + me);
+  });
+}
+
+TEST(MpiColl, GatherScatterRoundTrip) {
+  mpi::exec(cfg(1, 4), [](mpi::Env& env) {
+    Comm w = env.world();
+    const int me = env.rank(w);
+    const int p = env.size(w);
+    // scatter then gather must reproduce the original array at the root
+    std::vector<double> src(static_cast<std::size_t>(2 * p));
+    for (std::size_t i = 0; i < src.size(); ++i) src[i] = 0.5 * static_cast<double>(i);
+    std::vector<double> mine(2, -1);
+    env.scatter(src.data(), 2, Dt::Double, mine.data(), 0, w);
+    std::vector<double> back(static_cast<std::size_t>(2 * p), -1);
+    env.gather(mine.data(), 2, Dt::Double, back.data(), 0, w);
+    if (me == 0) {
+      EXPECT_EQ(src, back);
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,228 @@
+// Corner-case and error-path tests for minimpi: fence asserts,
+// get_accumulate, flush_local, zero-size windows, bounds checking and
+// epoch-misuse aborts (death tests).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpi/runtime.hpp"
+#include "net/profile.hpp"
+
+namespace {
+
+using namespace casper;
+using mpi::AccOp;
+using mpi::Comm;
+using mpi::Dt;
+using mpi::Info;
+using mpi::LockType;
+using mpi::RunConfig;
+using mpi::Win;
+
+RunConfig cfg(int nodes, int cpn,
+              net::Profile prof = net::cray_xc30_regular()) {
+  RunConfig c;
+  c.machine.profile = std::move(prof);
+  c.machine.topo.nodes = nodes;
+  c.machine.topo.cores_per_node = cpn;
+  return c;
+}
+
+TEST(MpiCorners, FenceNoPrecedeSkipsFlush) {
+  // A NOPRECEDE fence after ops would be a usage error in a real program;
+  // here we just verify that back-to-back asserted fences are cheaper than
+  // plain fences (the flush is skipped).
+  sim::Time plain = 0, asserted = 0;
+  mpi::exec(cfg(2, 1), [&](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.win_fence(mpi::kModeNoPrecede, win);
+    double v = 1.0;
+    // measure: fence after ops with and without NOPRECEDE
+    if (env.rank(w) == 0) env.accumulate(&v, 1, 1, 0, AccOp::Sum, win);
+    sim::Time t0 = env.now();
+    env.win_fence(0, win);
+    if (env.rank(w) == 0) plain = env.now() - t0;
+    if (env.rank(w) == 0) env.accumulate(&v, 1, 1, 0, AccOp::Sum, win);
+    env.win_fence(0, win);  // complete those ops properly
+    t0 = env.now();
+    env.win_fence(mpi::kModeNoPrecede | mpi::kModeNoSucceed, win);
+    if (env.rank(w) == 0) asserted = env.now() - t0;
+    env.win_free(win);
+  });
+  EXPECT_LE(asserted, plain);
+}
+
+TEST(MpiCorners, GetAccumulateFetchesOldAndApplies) {
+  mpi::exec(cfg(2, 1), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win = env.win_allocate(4 * sizeof(double), sizeof(double), Info{}, w,
+                               &base);
+    if (env.rank(w) == 1) {
+      auto* d = static_cast<double*>(base);
+      for (int i = 0; i < 4; ++i) d[i] = 10.0 * i;
+    }
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      std::vector<double> add = {1, 1, 1, 1};
+      std::vector<double> old(4, -1);
+      env.win_lock(LockType::Exclusive, 1, 0, win);
+      env.get_accumulate(add.data(), 4, mpi::contig(Dt::Double), old.data(),
+                         4, mpi::contig(Dt::Double), 1, 0, 4,
+                         mpi::contig(Dt::Double), AccOp::Sum, win);
+      env.win_unlock(1, win);
+      for (int i = 0; i < 4; ++i) EXPECT_EQ(old[static_cast<std::size_t>(i)], 10.0 * i);
+    }
+    env.barrier(w);
+    if (env.rank(w) == 1) {
+      auto* d = static_cast<double*>(base);
+      for (int i = 0; i < 4; ++i) EXPECT_EQ(d[i], 10.0 * i + 1.0);
+    }
+    env.win_free(win);
+  });
+}
+
+TEST(MpiCorners, GetAccumulateNoOpIsAtomicRead) {
+  mpi::exec(cfg(2, 1), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    if (env.rank(w) == 1) *static_cast<double*>(base) = 5.5;
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      double dummy = 0, old = -1;
+      env.win_lock(LockType::Shared, 1, 0, win);
+      env.get_accumulate(&dummy, 1, mpi::contig(Dt::Double), &old, 1,
+                         mpi::contig(Dt::Double), 1, 0, 1,
+                         mpi::contig(Dt::Double), AccOp::NoOp, win);
+      env.win_unlock(1, win);
+      EXPECT_EQ(old, 5.5);
+    }
+    env.barrier(w);
+    if (env.rank(w) == 1) {
+      EXPECT_EQ(*static_cast<double*>(base), 5.5);  // untouched
+    }
+    env.win_free(win);
+  });
+}
+
+TEST(MpiCorners, FlushLocalIsCheap) {
+  mpi::exec(cfg(2, 1), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      env.win_lock_all(0, win);
+      double v = 1.0;
+      env.accumulate(&v, 1, 1, 0, AccOp::Sum, win);
+      const sim::Time t0 = env.now();
+      env.win_flush_local_all(win);  // local completion: no remote wait
+      EXPECT_LT(env.now() - t0, sim::us(1));
+      env.win_unlock_all(win);
+    }
+    env.barrier(w);
+    env.win_free(win);
+  });
+}
+
+TEST(MpiCorners, ZeroSizeWindowMembersCoexist) {
+  mpi::exec(cfg(1, 3), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    const std::size_t bytes = env.rank(w) == 1 ? 8 * sizeof(double) : 0;
+    Win win = env.win_allocate(bytes, sizeof(double), Info{}, w, &base);
+    env.win_lock_all(0, win);
+    double v = env.rank(w) + 1.0;
+    env.accumulate(&v, 1, 1, static_cast<std::size_t>(env.rank(w)), AccOp::Sum,
+                   win);
+    env.win_flush_all(win);
+    env.win_unlock_all(win);
+    env.barrier(w);
+    if (env.rank(w) == 1) {
+      auto* d = static_cast<double*>(base);
+      EXPECT_EQ(d[0], 1.0);
+      EXPECT_EQ(d[1], 2.0);
+      EXPECT_EQ(d[2], 3.0);
+    }
+    env.win_free(win);
+  });
+}
+
+TEST(MpiCorners, BcastLargePayload) {
+  mpi::exec(cfg(2, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    std::vector<double> buf(4096, env.rank(w) == 0 ? 1.25 : 0.0);
+    env.bcast(buf.data(), 4096, Dt::Double, 0, w);
+    for (double x : buf) ASSERT_EQ(x, 1.25);
+  });
+}
+
+using MpiDeath = ::testing::Test;
+
+TEST(MpiDeath, RmaOutsideEpochAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      mpi::exec(cfg(2, 1),
+                [](mpi::Env& env) {
+                  Comm w = env.world();
+                  void* base = nullptr;
+                  Win win = env.win_allocate(8, 1, Info{}, w, &base);
+                  double v = 1.0;
+                  env.put(&v, 1, 1 - env.rank(w), 0, win);  // no epoch!
+                }),
+      "outside any epoch");
+}
+
+TEST(MpiDeath, RmaOutOfBoundsAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      mpi::exec(cfg(2, 1),
+                [](mpi::Env& env) {
+                  Comm w = env.world();
+                  void* base = nullptr;
+                  Win win =
+                      env.win_allocate(8, 1, Info{}, w, &base);
+                  env.win_lock_all(0, win);
+                  double v = 1.0;
+                  // 8-byte window, displacement 8 bytes + 8 bytes: overflow
+                  env.put(&v, 1, mpi::contig(Dt::Double), 1 - env.rank(w), 8,
+                          1, mpi::contig(Dt::Double), win);
+                }),
+      "out of bounds");
+}
+
+TEST(MpiDeath, NestedLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      mpi::exec(cfg(2, 1),
+                [](mpi::Env& env) {
+                  Comm w = env.world();
+                  void* base = nullptr;
+                  Win win = env.win_allocate(8, 1, Info{}, w, &base);
+                  env.win_lock(LockType::Shared, 0, 0, win);
+                  env.win_lock(LockType::Shared, 0, 0, win);  // nested
+                }),
+      "nested lock");
+}
+
+TEST(MpiDeath, DeadlockIsDiagnosed) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      mpi::exec(cfg(2, 1),
+                [](mpi::Env& env) {
+                  Comm w = env.world();
+                  if (env.rank(w) == 0) {
+                    int v = 0;
+                    env.recv(&v, 1, Dt::Int, 1, 0, w);  // never sent
+                  }
+                }),
+      "DEADLOCK");
+}
+
+}  // namespace

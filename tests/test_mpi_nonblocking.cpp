@@ -1,0 +1,167 @@
+// Tests for the nonblocking point-to-point API (isend/irecv/wait/test/
+// waitall), including overlap with computation and use under Casper.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/casper.hpp"
+#include "mpi/runtime.hpp"
+#include "net/profile.hpp"
+
+namespace {
+
+using namespace casper;
+using mpi::Comm;
+using mpi::Dt;
+using mpi::Request;
+using mpi::RunConfig;
+
+RunConfig cfg(int nodes, int cpn) {
+  RunConfig c;
+  c.machine.profile = net::cray_xc30_regular();
+  c.machine.topo.nodes = nodes;
+  c.machine.topo.cores_per_node = cpn;
+  return c;
+}
+
+TEST(NonBlocking, IrecvBeforeSendCompletes) {
+  mpi::exec(cfg(2, 1), [](mpi::Env& env) {
+    Comm w = env.world();
+    if (env.rank(w) == 0) {
+      double v = 0;
+      Request r = env.irecv(&v, 1, Dt::Double, 1, 5, w);
+      EXPECT_FALSE(r->done);  // nothing sent yet
+      auto st = env.wait(r);
+      EXPECT_EQ(v, 6.5);
+      EXPECT_EQ(st.source, 1);
+      EXPECT_EQ(st.tag, 5);
+    } else {
+      env.compute(sim::us(20));
+      double v = 6.5;
+      env.send(&v, 1, Dt::Double, 0, 5, w);
+    }
+  });
+}
+
+TEST(NonBlocking, IrecvMatchesUnexpected) {
+  mpi::exec(cfg(1, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    if (env.rank(w) == 0) {
+      int v = 77;
+      env.send(&v, 1, Dt::Int, 1, 9, w);
+    } else {
+      env.compute(sim::us(50));  // message arrives unexpected
+      int v = 0;
+      Request r = env.irecv(&v, 1, Dt::Int, 0, 9, w);
+      EXPECT_TRUE(r->done);  // matched immediately from the queue
+      env.wait(r);
+      EXPECT_EQ(v, 77);
+    }
+  });
+}
+
+TEST(NonBlocking, IsendCompletesLocallyImmediately) {
+  mpi::exec(cfg(2, 1), [](mpi::Env& env) {
+    Comm w = env.world();
+    if (env.rank(w) == 0) {
+      double v = 1.25;
+      Request r = env.isend(&v, 1, Dt::Double, 1, 0, w);
+      EXPECT_TRUE(r->done);  // eager buffered
+      v = -1;                // safe to reuse the buffer
+      env.wait(r);
+    } else {
+      double v = 0;
+      env.recv(&v, 1, Dt::Double, 0, 0, w);
+      EXPECT_EQ(v, 1.25);
+    }
+  });
+}
+
+TEST(NonBlocking, WaitallGathersFromManyPeers) {
+  mpi::exec(cfg(1, 5), [](mpi::Env& env) {
+    Comm w = env.world();
+    if (env.rank(w) == 0) {
+      std::vector<int> vals(4, -1);
+      std::vector<Request> reqs;
+      for (int s = 1; s < 5; ++s) {
+        reqs.push_back(env.irecv(&vals[static_cast<std::size_t>(s - 1)], 1,
+                                 Dt::Int, s, 0, w));
+      }
+      env.waitall(reqs.data(), static_cast<int>(reqs.size()));
+      for (int s = 1; s < 5; ++s) {
+        EXPECT_EQ(vals[static_cast<std::size_t>(s - 1)], s * 11);
+      }
+    } else {
+      int v = env.rank(w) * 11;
+      env.send(&v, 1, Dt::Int, 0, 0, w);
+    }
+  });
+}
+
+TEST(NonBlocking, TestPollsWithoutBlocking) {
+  mpi::exec(cfg(2, 1), [](mpi::Env& env) {
+    Comm w = env.world();
+    if (env.rank(w) == 0) {
+      double v = 0;
+      Request r = env.irecv(&v, 1, Dt::Double, 1, 0, w);
+      int polls = 0;
+      while (!env.test(r)) {
+        env.compute(sim::us(2));  // overlap with "work"
+        ++polls;
+        ASSERT_LT(polls, 10000);
+      }
+      EXPECT_EQ(v, 3.0);
+      EXPECT_GT(polls, 0);
+    } else {
+      env.compute(sim::us(30));
+      double v = 3.0;
+      env.send(&v, 1, Dt::Double, 0, 0, w);
+    }
+  });
+}
+
+TEST(NonBlocking, WorksUnderCasper) {
+  core::Config cc;
+  cc.ghosts_per_node = 1;
+  mpi::exec(cfg(2, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    const int me = env.rank(w);
+    const int p = env.size(w);
+    const int next = (me + 1) % p;
+    const int prev = (me + p - 1) % p;
+    double in = 0, out = me + 0.5;
+    Request r = env.irecv(&in, 1, Dt::Double, prev, 3, w);
+    env.send(&out, 1, Dt::Double, next, 3, w);
+    env.wait(r);
+    EXPECT_EQ(in, prev + 0.5);
+  }, core::layer(cc));
+}
+
+TEST(NonBlocking, IrecvServicesRmaProgressWhileWaiting) {
+  // A rank blocked in wait() must make progress on incoming software RMA
+  // ops (wait is a progress-making MPI call).
+  mpi::exec(cfg(2, 1), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    mpi::Win win = env.win_allocate(sizeof(double), sizeof(double),
+                                    mpi::Info{}, w, &base);
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      double v = 4.0;
+      env.win_lock_all(0, win);
+      env.accumulate(&v, 1, 1, 0, mpi::AccOp::Sum, win);
+      env.win_unlock_all(win);  // needs rank 1 to make progress
+      double token = 1;
+      env.send(&token, 1, Dt::Double, 1, 1, w);
+    } else {
+      double token = 0;
+      Request r = env.irecv(&token, 1, Dt::Double, 0, 1, w);
+      env.wait(r);  // services the accumulate while waiting
+      EXPECT_EQ(*static_cast<double*>(base), 4.0);
+    }
+    env.barrier(w);
+    env.win_free(win);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,361 @@
+// Tests for minimpi RMA: windows, epochs, put/get/accumulate semantics,
+// delayed lock acquisition, software vs hardware paths, progress behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpi/runtime.hpp"
+#include "net/profile.hpp"
+
+namespace {
+
+using namespace casper;
+using mpi::AccOp;
+using mpi::Comm;
+using mpi::Dt;
+using mpi::Info;
+using mpi::LockType;
+using mpi::RunConfig;
+using mpi::Win;
+
+RunConfig cfg(int nodes, int cpn,
+              net::Profile prof = net::cray_xc30_regular()) {
+  RunConfig c;
+  c.machine.profile = std::move(prof);
+  c.machine.topo.nodes = nodes;
+  c.machine.topo.cores_per_node = cpn;
+  return c;
+}
+
+TEST(MpiWin, AllocateExposesZeroedMemory) {
+  mpi::exec(cfg(1, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win = env.win_allocate(64, 1, Info{}, w, &base);
+    ASSERT_NE(base, nullptr);
+    auto* d = static_cast<const std::byte*>(base);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(d[i], std::byte{0});
+    env.win_free(win);
+  });
+}
+
+TEST(MpiWin, AllocateSharedMapsNodeMemory) {
+  mpi::exec(cfg(2, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    Comm node = env.comm_split_shared(w);
+    void* base = nullptr;
+    Win win = env.win_allocate_shared(32, 1, Info{}, node, &base);
+    // Local peer's segment is directly addressable.
+    auto seg0 = env.win_shared_query(win, 0);
+    auto seg1 = env.win_shared_query(win, 1);
+    ASSERT_NE(seg0.base, nullptr);
+    ASSERT_NE(seg1.base, nullptr);
+    if (env.rank(node) == 0) {
+      *reinterpret_cast<double*>(seg1.base) = 7.5;  // write peer's memory
+    }
+    env.barrier(node);
+    if (env.rank(node) == 1) {
+      EXPECT_EQ(*reinterpret_cast<double*>(base), 7.5);
+    }
+    env.win_free(win);
+  });
+}
+
+TEST(MpiRma, FencePutGet) {
+  mpi::exec(cfg(2, 1), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win = env.win_allocate(8 * sizeof(double), sizeof(double), Info{}, w,
+                               &base);
+    env.win_fence(mpi::kModeNoPrecede, win);
+    if (env.rank(w) == 0) {
+      std::vector<double> v = {1, 2, 3, 4};
+      env.put(v.data(), 4, 1, 0, win);
+    }
+    env.win_fence(0, win);
+    if (env.rank(w) == 1) {
+      auto* d = static_cast<double*>(base);
+      EXPECT_EQ(d[0], 1);
+      EXPECT_EQ(d[3], 4);
+    }
+    // read back through get
+    if (env.rank(w) == 1) {
+      std::vector<double> r(4, 0);
+      env.get(r.data(), 4, 1, 0, win);
+      env.win_fence(mpi::kModeNoSucceed, win);
+      EXPECT_EQ(r[1], 2);
+    } else {
+      env.win_fence(mpi::kModeNoSucceed, win);
+    }
+    env.win_free(win);
+  });
+}
+
+TEST(MpiRma, AccumulateSumsAtTarget) {
+  mpi::exec(cfg(1, 4), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.win_fence(mpi::kModeNoPrecede, win);
+    double one = 1.0;
+    env.accumulate(&one, 1, 0, 0, AccOp::Sum, win);
+    env.win_fence(mpi::kModeNoSucceed, win);
+    if (env.rank(w) == 0) {
+      EXPECT_EQ(*static_cast<double*>(base), 4.0);  // all four ranks added 1
+    }
+    env.win_free(win);
+  });
+}
+
+TEST(MpiRma, LockPutUnlock) {
+  mpi::exec(cfg(2, 1), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    if (env.rank(w) == 0) {
+      double v = 11.0;
+      env.win_lock(LockType::Exclusive, 1, 0, win);
+      env.put(&v, 1, 1, 0, win);
+      env.win_unlock(1, win);
+      int done = 1;
+      env.send(&done, 1, Dt::Int, 1, 0, w);
+    } else {
+      int done = 0;
+      env.recv(&done, 1, Dt::Int, 0, 0, w);
+      EXPECT_EQ(*static_cast<double*>(base), 11.0);
+    }
+    env.win_free(win);
+  });
+}
+
+TEST(MpiRma, SoftwareOpWaitsForTargetProgress) {
+  // Accumulate needs target software on the regular Cray profile. The target
+  // computes for 200us before its next MPI call, so the origin's unlock
+  // cannot complete earlier.
+  mpi::exec(cfg(2, 1), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      double v = 1.0;
+      env.win_lock(LockType::Exclusive, 1, 0, win);
+      env.accumulate(&v, 1, 1, 0, AccOp::Sum, win);
+      env.win_unlock(1, win);
+      EXPECT_GE(env.now(), sim::us(200));
+    } else {
+      env.compute(sim::us(200));
+    }
+    env.barrier(w);
+    env.win_free(win);
+  });
+}
+
+TEST(MpiRma, HardwarePutDoesNotWaitForTarget) {
+  // On the DMAPP profile contiguous PUT is pure hardware: the origin
+  // completes while the target is busy computing.
+  mpi::exec(cfg(2, 1, net::cray_xc30_dmapp()), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      double v = 1.0;
+      env.win_lock(LockType::Exclusive, 1, 0, win);
+      env.put(&v, 1, 1, 0, win);
+      env.win_unlock(1, win);
+      EXPECT_LT(env.now(), sim::us(100));  // far below target compute time
+    } else {
+      env.compute(sim::us(1000));
+    }
+    env.barrier(w);
+    EXPECT_EQ(env.runtime().stats().get("interrupts"), 0u);
+    env.win_free(win);
+  });
+}
+
+TEST(MpiRma, GetAccumulateAndFetchAndOp) {
+  mpi::exec(cfg(1, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    if (env.rank(w) == 0) *static_cast<double*>(base) = 10.0;
+    env.barrier(w);
+    if (env.rank(w) == 1) {
+      env.win_lock(LockType::Exclusive, 0, 0, win);
+      double add = 5.0, old = -1.0;
+      env.fetch_and_op(&add, &old, Dt::Double, 0, 0, AccOp::Sum, win);
+      env.win_unlock(0, win);
+      EXPECT_EQ(old, 10.0);
+    }
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      EXPECT_EQ(*static_cast<double*>(base), 15.0);
+    }
+    env.win_free(win);
+  });
+}
+
+TEST(MpiRma, CompareAndSwap) {
+  mpi::exec(cfg(1, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win = env.win_allocate(sizeof(int), sizeof(int), Info{}, w, &base);
+    env.barrier(w);
+    if (env.rank(w) == 1) {
+      env.win_lock(LockType::Exclusive, 0, 0, win);
+      int expected = 0, desired = 77, result = -1;
+      env.compare_and_swap(&expected, &desired, &result, Dt::Int, 0, 0, win);
+      env.win_unlock(0, win);
+      EXPECT_EQ(result, 0);  // old value
+    }
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      EXPECT_EQ(*static_cast<int*>(base), 77);
+    }
+    env.win_free(win);
+  });
+}
+
+TEST(MpiRma, StridedDatatypeRoundTrip) {
+  mpi::exec(cfg(2, 1), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win = env.win_allocate(16 * sizeof(double), sizeof(double), Info{}, w,
+                               &base);
+    env.win_fence(mpi::kModeNoPrecede, win);
+    if (env.rank(w) == 0) {
+      // Write 4 doubles to every other slot of target rank 1.
+      std::vector<double> v = {1, 2, 3, 4};
+      auto vec = mpi::vector_of(Dt::Double, 1, 2);
+      env.put(v.data(), 4, mpi::contig(Dt::Double), 1, 0, 4, vec, win);
+    }
+    env.win_fence(mpi::kModeNoSucceed, win);
+    if (env.rank(w) == 1) {
+      auto* d = static_cast<double*>(base);
+      EXPECT_EQ(d[0], 1);
+      EXPECT_EQ(d[2], 2);
+      EXPECT_EQ(d[4], 3);
+      EXPECT_EQ(d[6], 4);
+      EXPECT_EQ(d[1], 0);
+    }
+    env.win_free(win);
+  });
+}
+
+TEST(MpiRma, PscwCompletesOps) {
+  mpi::exec(cfg(2, 1), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    if (env.rank(w) == 0) {
+      env.win_start(mpi::Group({1}), 0, win);
+      double v = 3.0;
+      env.accumulate(&v, 1, 1, 0, AccOp::Sum, win);
+      env.win_complete(win);
+    } else {
+      env.win_post(mpi::Group({0}), 0, win);
+      env.win_wait(win);
+      EXPECT_EQ(*static_cast<double*>(base), 3.0);
+    }
+    env.win_free(win);
+  });
+}
+
+TEST(MpiRma, LockAllFlushAll) {
+  mpi::exec(cfg(2, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(4 * sizeof(double), sizeof(double), Info{}, w, &base);
+    env.barrier(w);
+    env.win_lock_all(0, win);
+    const int me = env.rank(w);
+    double v = me + 1.0;
+    for (int t = 0; t < 4; ++t) {
+      env.accumulate(&v, 1, t, static_cast<std::size_t>(me), AccOp::Sum, win);
+    }
+    env.win_flush_all(win);
+    env.win_unlock_all(win);
+    env.barrier(w);
+    auto* d = static_cast<double*>(base);
+    for (int slot = 0; slot < 4; ++slot) {
+      EXPECT_EQ(d[slot], slot + 1.0);  // slot written by origin `slot`
+    }
+    env.win_free(win);
+  });
+}
+
+TEST(MpiRma, ExclusiveLocksSerializeConflictingOrigins) {
+  // Two origins increment the same location under exclusive locks; the lock
+  // manager must serialize the read-modify-writes: result is exactly 2 and
+  // no atomicity violation is recorded.
+  mpi::exec(cfg(3, 1), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.barrier(w);
+    if (env.rank(w) != 2) {
+      double one = 1.0;
+      env.win_lock(LockType::Exclusive, 2, 0, win);
+      env.accumulate(&one, 1, 2, 0, AccOp::Sum, win);
+      env.win_unlock(2, win);
+    }
+    // The target services the incoming ops while blocked in this barrier.
+    env.barrier(w);
+    if (env.rank(w) == 2) {
+      EXPECT_EQ(*static_cast<double*>(base), 2.0);
+    }
+    EXPECT_EQ(env.runtime().stats().get("atomicity_violations"), 0u);
+    env.win_free(win);
+  });
+}
+
+TEST(MpiRma, SelfOpsExecuteImmediately) {
+  mpi::exec(cfg(1, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.win_lock(LockType::Exclusive, env.rank(w), 0, win);
+    double v = 42.0;
+    env.put(&v, 1, env.rank(w), 0, win);
+    EXPECT_EQ(*static_cast<double*>(base), 42.0);  // visible before unlock
+    env.win_unlock(env.rank(w), win);
+    env.win_free(win);
+  });
+}
+
+TEST(MpiRma, DelayedLockGrantOrderingNoCorruption) {
+  // Many origins lock-acc-unlock the same target while the target is busy;
+  // total must be exact once the target makes progress.
+  mpi::exec(cfg(1, 8), [](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.barrier(w);
+    if (env.rank(w) != 0) {
+      double one = 1.0;
+      env.win_lock(LockType::Exclusive, 0, 0, win);
+      env.accumulate(&one, 1, 0, 0, AccOp::Sum, win);
+      env.win_unlock(0, win);
+    } else {
+      env.compute(sim::us(300));
+    }
+    env.barrier(w);
+    if (env.rank(w) == 0) {
+      EXPECT_EQ(*static_cast<double*>(base), 7.0);
+    }
+    env.win_free(win);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Unit tests for the discrete-event engine: determinism, ordering, virtual
+// time, compute penalties, and events.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace casper;
+using sim::Engine;
+using sim::Time;
+
+Engine::Options opts(int n) {
+  Engine::Options o;
+  o.nranks = n;
+  return o;
+}
+
+TEST(SimEngine, SingleRankAdvancesClock) {
+  Time final_t = 0;
+  Engine e(opts(1), [&](sim::Context& ctx) {
+    EXPECT_EQ(ctx.now(), 0u);
+    ctx.advance(sim::us(5));
+    EXPECT_EQ(ctx.now(), sim::us(5));
+    ctx.compute(sim::us(10));
+    final_t = ctx.now();
+  });
+  e.run();
+  EXPECT_EQ(final_t, sim::us(15));
+  EXPECT_EQ(e.horizon(), sim::us(15));
+}
+
+TEST(SimEngine, RanksInterleaveByVirtualTime) {
+  // Rank 0 takes small steps, rank 1 one large step; the recorded global
+  // order must follow virtual time, not creation order.
+  std::vector<std::pair<int, Time>> order;
+  Engine e(opts(2), [&](sim::Context& ctx) {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 3; ++i) {
+        ctx.advance(sim::us(10));
+        order.emplace_back(0, ctx.now());
+      }
+    } else {
+      ctx.advance(sim::us(25));
+      order.emplace_back(1, ctx.now());
+    }
+  });
+  e.run();
+  ASSERT_EQ(order.size(), 4u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(order[i].second, order[i - 1].second);
+  }
+  // rank 1 at t=25 lands between rank 0's t=20 and t=30 steps
+  EXPECT_EQ(order[2].first, 1);
+}
+
+TEST(SimEngine, EventsRunAtTheirTimestamp) {
+  std::vector<Time> fired;
+  Engine* ep = nullptr;
+  Engine e(opts(1), [&](sim::Context& ctx) {
+    ep->post_event(sim::us(7), [&] { fired.push_back(sim::us(7)); });
+    ep->post_event(sim::us(3), [&] { fired.push_back(sim::us(3)); });
+    ctx.advance(sim::us(10));
+  });
+  ep = &e;
+  e.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], sim::us(3));
+  EXPECT_EQ(fired[1], sim::us(7));
+}
+
+TEST(SimEngine, BlockAndWake) {
+  Engine* ep = nullptr;
+  Time woke_at = 0;
+  Engine e(opts(2), [&](sim::Context& ctx) {
+    if (ctx.rank() == 0) {
+      ep->block_self();
+      woke_at = ctx.now();
+    } else {
+      ctx.advance(sim::us(42));
+      ep->wake(0, ctx.now());
+    }
+  });
+  ep = &e;
+  e.run();
+  EXPECT_EQ(woke_at, sim::us(42));
+}
+
+TEST(SimEngine, ComputePenaltyExtendsComputation) {
+  // An "interrupt" at t=10us steals 5us from a 100us computation.
+  Engine* ep = nullptr;
+  Time end_t = 0;
+  Engine e(opts(1), [&](sim::Context& ctx) {
+    ep->post_event(sim::us(10), [&] {
+      EXPECT_TRUE(ep->rank_computing(0));
+      ep->add_compute_penalty(0, sim::us(5));
+    });
+    ctx.compute(sim::us(100));
+    end_t = ctx.now();
+  });
+  ep = &e;
+  e.run();
+  EXPECT_EQ(end_t, sim::us(105));
+}
+
+TEST(SimEngine, ComputeScaleModelsOversubscription) {
+  Engine* ep = nullptr;
+  Time end_t = 0;
+  Engine e(opts(1), [&](sim::Context& ctx) {
+    ep->set_compute_scale(0, 2.0);
+    ctx.compute(sim::us(50));
+    end_t = ctx.now();
+  });
+  ep = &e;
+  e.run();
+  EXPECT_EQ(end_t, sim::us(100));
+}
+
+TEST(SimEngine, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    std::vector<std::uint64_t> trace;
+    Engine::Options o;
+    o.nranks = 4;
+    o.seed = seed;
+    Engine e(o, [&](sim::Context& ctx) {
+      for (int i = 0; i < 10; ++i) {
+        ctx.advance(sim::ns(ctx.rng().next_below(1000) + 1));
+        trace.push_back((static_cast<std::uint64_t>(ctx.rank()) << 48) ^
+                        ctx.now());
+      }
+    });
+    e.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST(SimEngine, ManyRanksSmallStacks) {
+  Engine::Options o;
+  o.nranks = 512;
+  o.stack_bytes = 64 * 1024;
+  int done = 0;
+  Engine e(o, [&](sim::Context& ctx) {
+    ctx.advance(sim::ns(static_cast<std::uint64_t>(ctx.rank()) + 1));
+    ++done;
+  });
+  e.run();
+  EXPECT_EQ(done, 512);
+}
+
+TEST(SimEngine, RngStreamsAreDecorrelated) {
+  sim::Rng a(1, 0), b(1, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
