@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_win_alloc.dir/fig3a_win_alloc.cpp.o"
+  "CMakeFiles/fig3a_win_alloc.dir/fig3a_win_alloc.cpp.o.d"
+  "fig3a_win_alloc"
+  "fig3a_win_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_win_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_fence_pscw.dir/fig3b_fence_pscw.cpp.o"
+  "CMakeFiles/fig3b_fence_pscw.dir/fig3b_fence_pscw.cpp.o.d"
+  "fig3b_fence_pscw"
+  "fig3b_fence_pscw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_fence_pscw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

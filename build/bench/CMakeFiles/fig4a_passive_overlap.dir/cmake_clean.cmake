@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_passive_overlap.dir/fig4a_passive_overlap.cpp.o"
+  "CMakeFiles/fig4a_passive_overlap.dir/fig4a_passive_overlap.cpp.o.d"
+  "fig4a_passive_overlap"
+  "fig4a_passive_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_passive_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_fence_overlap.dir/fig4b_fence_overlap.cpp.o"
+  "CMakeFiles/fig4b_fence_overlap.dir/fig4b_fence_overlap.cpp.o.d"
+  "fig4b_fence_overlap"
+  "fig4b_fence_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_fence_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

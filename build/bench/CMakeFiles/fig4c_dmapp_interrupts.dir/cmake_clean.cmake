@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_dmapp_interrupts.dir/fig4c_dmapp_interrupts.cpp.o"
+  "CMakeFiles/fig4c_dmapp_interrupts.dir/fig4c_dmapp_interrupts.cpp.o.d"
+  "fig4c_dmapp_interrupts"
+  "fig4c_dmapp_interrupts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_dmapp_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

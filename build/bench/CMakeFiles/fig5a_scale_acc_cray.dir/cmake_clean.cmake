@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_scale_acc_cray.dir/fig5a_scale_acc_cray.cpp.o"
+  "CMakeFiles/fig5a_scale_acc_cray.dir/fig5a_scale_acc_cray.cpp.o.d"
+  "fig5a_scale_acc_cray"
+  "fig5a_scale_acc_cray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_scale_acc_cray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

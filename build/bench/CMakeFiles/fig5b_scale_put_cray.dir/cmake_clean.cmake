@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_scale_put_cray.dir/fig5b_scale_put_cray.cpp.o"
+  "CMakeFiles/fig5b_scale_put_cray.dir/fig5b_scale_put_cray.cpp.o.d"
+  "fig5b_scale_put_cray"
+  "fig5b_scale_put_cray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_scale_put_cray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

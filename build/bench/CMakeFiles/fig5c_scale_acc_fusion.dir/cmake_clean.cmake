@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_scale_acc_fusion.dir/fig5c_scale_acc_fusion.cpp.o"
+  "CMakeFiles/fig5c_scale_acc_fusion.dir/fig5c_scale_acc_fusion.cpp.o.d"
+  "fig5c_scale_acc_fusion"
+  "fig5c_scale_acc_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_scale_acc_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

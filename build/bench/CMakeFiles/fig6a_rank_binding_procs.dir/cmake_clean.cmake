@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_rank_binding_procs.dir/fig6a_rank_binding_procs.cpp.o"
+  "CMakeFiles/fig6a_rank_binding_procs.dir/fig6a_rank_binding_procs.cpp.o.d"
+  "fig6a_rank_binding_procs"
+  "fig6a_rank_binding_procs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_rank_binding_procs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

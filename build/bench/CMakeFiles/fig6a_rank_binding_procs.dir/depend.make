@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6a_rank_binding_procs.
+# This may be replaced when dependencies are built.

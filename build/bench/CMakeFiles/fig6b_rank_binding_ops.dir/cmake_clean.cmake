@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_rank_binding_ops.dir/fig6b_rank_binding_ops.cpp.o"
+  "CMakeFiles/fig6b_rank_binding_ops.dir/fig6b_rank_binding_ops.cpp.o.d"
+  "fig6b_rank_binding_ops"
+  "fig6b_rank_binding_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_rank_binding_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6b_rank_binding_ops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_segment_binding.dir/fig6c_segment_binding.cpp.o"
+  "CMakeFiles/fig6c_segment_binding.dir/fig6c_segment_binding.cpp.o.d"
+  "fig6c_segment_binding"
+  "fig6c_segment_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_segment_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

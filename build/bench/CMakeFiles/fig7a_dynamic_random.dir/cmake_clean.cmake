@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_dynamic_random.dir/fig7a_dynamic_random.cpp.o"
+  "CMakeFiles/fig7a_dynamic_random.dir/fig7a_dynamic_random.cpp.o.d"
+  "fig7a_dynamic_random"
+  "fig7a_dynamic_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_dynamic_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_dynamic_opcount.dir/fig7b_dynamic_opcount.cpp.o"
+  "CMakeFiles/fig7b_dynamic_opcount.dir/fig7b_dynamic_opcount.cpp.o.d"
+  "fig7b_dynamic_opcount"
+  "fig7b_dynamic_opcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_dynamic_opcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_dynamic_bytecount.dir/fig7c_dynamic_bytecount.cpp.o"
+  "CMakeFiles/fig7c_dynamic_bytecount.dir/fig7c_dynamic_bytecount.cpp.o.d"
+  "fig7c_dynamic_bytecount"
+  "fig7c_dynamic_bytecount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_dynamic_bytecount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

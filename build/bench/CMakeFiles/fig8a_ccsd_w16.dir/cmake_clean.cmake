@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_ccsd_w16.dir/fig8a_ccsd_w16.cpp.o"
+  "CMakeFiles/fig8a_ccsd_w16.dir/fig8a_ccsd_w16.cpp.o.d"
+  "fig8a_ccsd_w16"
+  "fig8a_ccsd_w16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_ccsd_w16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8a_ccsd_w16.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8b_ccsd_c20.
+# This may be replaced when dependencies are built.

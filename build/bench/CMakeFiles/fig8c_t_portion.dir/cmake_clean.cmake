@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_t_portion.dir/fig8c_t_portion.cpp.o"
+  "CMakeFiles/fig8c_t_portion.dir/fig8c_t_portion.cpp.o.d"
+  "fig8c_t_portion"
+  "fig8c_t_portion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_t_portion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_deployment.dir/table1_deployment.cpp.o"
+  "CMakeFiles/table1_deployment.dir/table1_deployment.cpp.o.d"
+  "table1_deployment"
+  "table1_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_outer_product.dir/ga_outer_product.cpp.o"
+  "CMakeFiles/ga_outer_product.dir/ga_outer_product.cpp.o.d"
+  "ga_outer_product"
+  "ga_outer_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_outer_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

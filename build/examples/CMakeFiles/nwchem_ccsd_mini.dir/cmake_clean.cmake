@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwchem_ccsd_mini.dir/nwchem_ccsd_mini.cpp.o"
+  "CMakeFiles/nwchem_ccsd_mini.dir/nwchem_ccsd_mini.cpp.o.d"
+  "nwchem_ccsd_mini"
+  "nwchem_ccsd_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwchem_ccsd_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casper_ccsd.dir/ccsd.cpp.o"
+  "CMakeFiles/casper_ccsd.dir/ccsd.cpp.o.d"
+  "libcasper_ccsd.a"
+  "libcasper_ccsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casper_ccsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/layer_rma.cpp" "src/core/CMakeFiles/casper_core.dir/layer_rma.cpp.o" "gcc" "src/core/CMakeFiles/casper_core.dir/layer_rma.cpp.o.d"
+  "/root/repo/src/core/layer_setup.cpp" "src/core/CMakeFiles/casper_core.dir/layer_setup.cpp.o" "gcc" "src/core/CMakeFiles/casper_core.dir/layer_setup.cpp.o.d"
+  "/root/repo/src/core/layer_win.cpp" "src/core/CMakeFiles/casper_core.dir/layer_win.cpp.o" "gcc" "src/core/CMakeFiles/casper_core.dir/layer_win.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/casper_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/casper_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/casper_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casper_core.dir/layer_rma.cpp.o"
+  "CMakeFiles/casper_core.dir/layer_rma.cpp.o.d"
+  "CMakeFiles/casper_core.dir/layer_setup.cpp.o"
+  "CMakeFiles/casper_core.dir/layer_setup.cpp.o.d"
+  "CMakeFiles/casper_core.dir/layer_win.cpp.o"
+  "CMakeFiles/casper_core.dir/layer_win.cpp.o.d"
+  "libcasper_core.a"
+  "libcasper_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casper_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

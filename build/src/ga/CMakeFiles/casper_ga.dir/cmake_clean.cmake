@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casper_ga.dir/global_array.cpp.o"
+  "CMakeFiles/casper_ga.dir/global_array.cpp.o.d"
+  "libcasper_ga.a"
+  "libcasper_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casper_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

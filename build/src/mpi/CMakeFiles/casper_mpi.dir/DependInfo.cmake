@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/datatype.cpp" "src/mpi/CMakeFiles/casper_mpi.dir/datatype.cpp.o" "gcc" "src/mpi/CMakeFiles/casper_mpi.dir/datatype.cpp.o.d"
+  "/root/repo/src/mpi/env.cpp" "src/mpi/CMakeFiles/casper_mpi.dir/env.cpp.o" "gcc" "src/mpi/CMakeFiles/casper_mpi.dir/env.cpp.o.d"
+  "/root/repo/src/mpi/runtime_coll.cpp" "src/mpi/CMakeFiles/casper_mpi.dir/runtime_coll.cpp.o" "gcc" "src/mpi/CMakeFiles/casper_mpi.dir/runtime_coll.cpp.o.d"
+  "/root/repo/src/mpi/runtime_core.cpp" "src/mpi/CMakeFiles/casper_mpi.dir/runtime_core.cpp.o" "gcc" "src/mpi/CMakeFiles/casper_mpi.dir/runtime_core.cpp.o.d"
+  "/root/repo/src/mpi/runtime_win.cpp" "src/mpi/CMakeFiles/casper_mpi.dir/runtime_win.cpp.o" "gcc" "src/mpi/CMakeFiles/casper_mpi.dir/runtime_win.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/casper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/casper_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casper_mpi.dir/datatype.cpp.o"
+  "CMakeFiles/casper_mpi.dir/datatype.cpp.o.d"
+  "CMakeFiles/casper_mpi.dir/env.cpp.o"
+  "CMakeFiles/casper_mpi.dir/env.cpp.o.d"
+  "CMakeFiles/casper_mpi.dir/runtime_coll.cpp.o"
+  "CMakeFiles/casper_mpi.dir/runtime_coll.cpp.o.d"
+  "CMakeFiles/casper_mpi.dir/runtime_core.cpp.o"
+  "CMakeFiles/casper_mpi.dir/runtime_core.cpp.o.d"
+  "CMakeFiles/casper_mpi.dir/runtime_win.cpp.o"
+  "CMakeFiles/casper_mpi.dir/runtime_win.cpp.o.d"
+  "libcasper_mpi.a"
+  "libcasper_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casper_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casper_net.dir/profile.cpp.o"
+  "CMakeFiles/casper_net.dir/profile.cpp.o.d"
+  "libcasper_net.a"
+  "libcasper_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casper_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casper_report.dir/table.cpp.o"
+  "CMakeFiles/casper_report.dir/table.cpp.o.d"
+  "libcasper_report.a"
+  "libcasper_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casper_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

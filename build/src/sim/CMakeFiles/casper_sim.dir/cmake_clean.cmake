@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casper_sim.dir/engine.cpp.o"
+  "CMakeFiles/casper_sim.dir/engine.cpp.o.d"
+  "libcasper_sim.a"
+  "libcasper_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casper_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomicity_hazard.dir/test_atomicity_hazard.cpp.o"
+  "CMakeFiles/test_atomicity_hazard.dir/test_atomicity_hazard.cpp.o.d"
+  "test_atomicity_hazard"
+  "test_atomicity_hazard.pdb"
+  "test_atomicity_hazard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomicity_hazard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

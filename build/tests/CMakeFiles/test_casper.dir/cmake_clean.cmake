@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_casper.dir/test_casper.cpp.o"
+  "CMakeFiles/test_casper.dir/test_casper.cpp.o.d"
+  "test_casper"
+  "test_casper.pdb"
+  "test_casper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_casper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

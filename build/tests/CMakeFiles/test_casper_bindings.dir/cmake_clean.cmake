@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_casper_bindings.dir/test_casper_bindings.cpp.o"
+  "CMakeFiles/test_casper_bindings.dir/test_casper_bindings.cpp.o.d"
+  "test_casper_bindings"
+  "test_casper_bindings.pdb"
+  "test_casper_bindings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_casper_bindings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_casper_epochs.dir/test_casper_epochs.cpp.o"
+  "CMakeFiles/test_casper_epochs.dir/test_casper_epochs.cpp.o.d"
+  "test_casper_epochs"
+  "test_casper_epochs.pdb"
+  "test_casper_epochs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_casper_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_basic.dir/test_mpi_basic.cpp.o"
+  "CMakeFiles/test_mpi_basic.dir/test_mpi_basic.cpp.o.d"
+  "test_mpi_basic"
+  "test_mpi_basic.pdb"
+  "test_mpi_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

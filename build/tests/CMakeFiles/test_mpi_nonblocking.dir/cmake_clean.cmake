@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_nonblocking.dir/test_mpi_nonblocking.cpp.o"
+  "CMakeFiles/test_mpi_nonblocking.dir/test_mpi_nonblocking.cpp.o.d"
+  "test_mpi_nonblocking"
+  "test_mpi_nonblocking.pdb"
+  "test_mpi_nonblocking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mpi_nonblocking.
+# This may be replaced when dependencies are built.

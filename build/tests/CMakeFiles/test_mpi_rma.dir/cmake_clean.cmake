@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_rma.dir/test_mpi_rma.cpp.o"
+  "CMakeFiles/test_mpi_rma.dir/test_mpi_rma.cpp.o.d"
+  "test_mpi_rma"
+  "test_mpi_rma.pdb"
+  "test_mpi_rma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_rma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

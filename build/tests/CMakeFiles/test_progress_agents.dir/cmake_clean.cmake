@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_progress_agents.dir/test_progress_agents.cpp.o"
+  "CMakeFiles/test_progress_agents.dir/test_progress_agents.cpp.o.d"
+  "test_progress_agents"
+  "test_progress_agents.pdb"
+  "test_progress_agents[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_progress_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

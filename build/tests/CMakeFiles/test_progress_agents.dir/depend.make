@@ -1,0 +1,2 @@
+# Empty dependencies file for test_progress_agents.
+# This may be replaced when dependencies are built.

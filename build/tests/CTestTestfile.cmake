@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_rma[1]_include.cmake")
+include("/root/repo/build/tests/test_casper[1]_include.cmake")
+include("/root/repo/build/tests/test_ga[1]_include.cmake")
+include("/root/repo/build/tests/test_progress_agents[1]_include.cmake")
+include("/root/repo/build/tests/test_casper_bindings[1]_include.cmake")
+include("/root/repo/build/tests/test_atomicity_hazard[1]_include.cmake")
+include("/root/repo/build/tests/test_units[1]_include.cmake")
+include("/root/repo/build/tests/test_casper_epochs[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_nonblocking[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_corners[1]_include.cmake")
