@@ -1,0 +1,110 @@
+// Host-side throughput of the simulator scheduler itself: rank switches/sec
+// and event dispatches/sec at 16 / 256 / 1024 simulated ranks. Emits
+// BENCH_engine.json so successive PRs have a perf trajectory for the engine
+// (these are host costs, not virtual time).
+//
+// Usage: engine_throughput [--out PATH] [--switches N] [--events N]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+using namespace casper;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// All ranks repeatedly advance by 1 ns in lockstep, so every advance leaves
+/// and re-enters the scheduler: 2 fiber switches per advance, nranks at a
+/// time. Returns host-side switches/sec.
+double measure_switch_rate(int nranks, int switches_per_rank) {
+  sim::Engine::Options o;
+  o.nranks = nranks;
+  o.stack_bytes = 64 * 1024;
+  sim::Engine e(o, [switches_per_rank](sim::Context& ctx) {
+    for (int i = 0; i < switches_per_rank; ++i) ctx.advance(sim::ns(1));
+  });
+  const auto t0 = Clock::now();
+  e.run();
+  const double dt = seconds_since(t0);
+  // Each slow-path advance is one switch out + one switch back in.
+  const double switches =
+      2.0 * static_cast<double>(nranks) * switches_per_rank;
+  return switches / dt;
+}
+
+/// One designated rank posts batches of timestamp-ordered events; all other
+/// ranks just finish. Returns host-side events/sec through the scheduler
+/// heap + slot pool.
+double measure_event_rate(int nranks, int total_events) {
+  sim::Engine::Options o;
+  o.nranks = nranks;
+  o.stack_bytes = 64 * 1024;
+  const int batches = 64;
+  const int per_batch = total_events / batches;
+  sim::Engine e(o, [per_batch](sim::Context& ctx) {
+    if (ctx.rank() != 0) return;
+    for (int b = 0; b < batches; ++b) {
+      for (int i = 0; i < per_batch; ++i) {
+        ctx.engine().post_event(ctx.now() + sim::ns(1 + i % 7), [] {});
+      }
+      ctx.advance(sim::ns(16));  // drain the batch
+    }
+  });
+  const auto t0 = Clock::now();
+  e.run();
+  const double dt = seconds_since(t0);
+  return static_cast<double>(batches) * per_batch / dt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_engine.json";
+  int switches_per_rank = 2000;
+  int total_events = 200000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--switches") == 0 && i + 1 < argc) {
+      switches_per_rank = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      total_events = std::atoi(argv[++i]);
+    }
+  }
+
+  const std::vector<int> rank_counts = {16, 256, 1024};
+  std::string json = "{\n  \"bench\": \"engine_throughput\",\n"
+                     "  \"scheduler\": \"fiber\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rank_counts.size(); ++i) {
+    const int n = rank_counts[i];
+    const double sw = measure_switch_rate(n, switches_per_rank);
+    const double ev = measure_event_rate(n, total_events);
+    std::printf("nranks=%4d  switches/sec=%.3e  events/sec=%.3e\n", n, sw, ev);
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "    {\"nranks\": %d, \"switches_per_sec\": %.1f, "
+                  "\"events_per_sec\": %.1f}%s\n",
+                  n, sw, ev, i + 1 < rank_counts.size() ? "," : "");
+    json += line;
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "engine_throughput: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -46,6 +46,25 @@ static void BM_RankSwitch(benchmark::State& state) {
 }
 BENCHMARK(BM_RankSwitch);
 
+// Switch cost as rank count grows: with fibers this is flat per switch (the
+// heaps are O(log n)); with the old per-rank OS threads it also paid kernel
+// scheduler pressure. Argument = number of simulated ranks.
+static void BM_RankSwitchScaled(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const int switches = 200;
+  for (auto _ : state) {
+    sim::Engine::Options o;
+    o.nranks = nranks;
+    o.stack_bytes = 64 * 1024;
+    sim::Engine e(o, [switches](sim::Context& ctx) {
+      for (int i = 0; i < switches; ++i) ctx.advance(sim::ns(1));
+    });
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * switches * nranks);
+}
+BENCHMARK(BM_RankSwitchScaled)->Arg(16)->Arg(256)->Arg(1024);
+
 static void BM_PackStrided(benchmark::State& state) {
   const int blocks = static_cast<int>(state.range(0));
   std::vector<double> src(static_cast<std::size_t>(blocks) * 4);

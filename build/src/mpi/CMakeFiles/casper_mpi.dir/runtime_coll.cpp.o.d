@@ -222,18 +222,12 @@ src/mpi/CMakeFiles/casper_mpi.dir/runtime_coll.cpp.o: \
  /root/repo/src/sim/time.hpp /root/repo/src/mpi/comm.hpp \
  /root/repo/src/mpi/env.hpp /root/repo/src/mpi/layer.hpp \
  /root/repo/src/mpi/request.hpp /root/repo/src/mpi/win.hpp \
- /root/repo/src/sim/engine.hpp /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/rng.hpp /root/repo/src/sim/stats.hpp \
- /root/repo/src/net/topology.hpp /root/repo/src/net/profile.hpp \
- /root/repo/src/progress/progress.hpp
+ /root/repo/src/sim/engine.hpp /root/repo/src/sim/fiber.hpp \
+ /usr/include/ucontext.h \
+ /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
+ /usr/include/x86_64-linux-gnu/sys/ucontext.h \
+ /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
+ /root/repo/src/sim/heap.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/rng.hpp \
+ /root/repo/src/sim/stats.hpp /root/repo/src/net/topology.hpp \
+ /root/repo/src/net/profile.hpp /root/repo/src/progress/progress.hpp

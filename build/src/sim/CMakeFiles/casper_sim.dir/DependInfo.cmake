@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/casper_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/casper_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/sim/CMakeFiles/casper_sim.dir/fiber.cpp.o" "gcc" "src/sim/CMakeFiles/casper_sim.dir/fiber.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/casper_sim.dir/engine.cpp.o"
   "CMakeFiles/casper_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/casper_sim.dir/fiber.cpp.o"
+  "CMakeFiles/casper_sim.dir/fiber.cpp.o.d"
   "libcasper_sim.a"
   "libcasper_sim.pdb"
 )

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_fiber.dir/test_sim_fiber.cpp.o"
+  "CMakeFiles/test_sim_fiber.dir/test_sim_fiber.cpp.o.d"
+  "test_sim_fiber"
+  "test_sim_fiber.pdb"
+  "test_sim_fiber[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_fiber[1]_include.cmake")
 include("/root/repo/build/tests/test_mpi_basic[1]_include.cmake")
 include("/root/repo/build/tests/test_mpi_rma[1]_include.cmake")
 include("/root/repo/build/tests/test_casper[1]_include.cmake")

@@ -37,6 +37,10 @@ Runtime::Runtime(RunConfig cfg, std::function<void(Env&)> user_main,
   eo.nranks = n;
   eo.seed = cfg_.seed;
   eo.stack_bytes = cfg_.stack_bytes;
+  // Engine construction is cheap: rank fibers (and their guard-paged stacks)
+  // are only created inside run(). The rank body below therefore always sees
+  // layer_ assigned, even though the factory runs after this line so that it
+  // may inspect the constructed engine.
   engine_ = std::make_unique<sim::Engine>(eo, [this](sim::Context& ctx) {
     Env env(*this, ctx);
     layer_->on_rank_start(env, user_main_);
@@ -79,6 +83,9 @@ void Runtime::dump_comm_state() const {
   }
 }
 
+// Teardown is trivial: ~Engine reclaims fiber stacks deterministically, so a
+// Runtime that never ran (or whose run aborted) destructs without joining or
+// waking anything.
 Runtime::~Runtime() = default;
 
 void Runtime::run() {

@@ -1,20 +1,16 @@
 #include "sim/engine.hpp"
 
-#include <limits.h>
-#include <pthread.h>
-
 #include <cstdio>
 #include <cstdlib>
 
 namespace casper::sim {
 
 namespace {
+// Context of the rank fiber currently holding the token on this thread;
+// null while the scheduler fiber (or no engine) runs. All fibers of an
+// engine share the thread that called run(), so a plain thread_local is
+// both correct and nesting-safe (saved/restored around each handoff).
 thread_local Context* g_current_ctx = nullptr;
-
-struct TrampolineArg {
-  Engine* engine;
-  int rank;
-};
 }  // namespace
 
 // ---------------------------------------------------------------- Context --
@@ -42,70 +38,46 @@ Engine::Engine(Options opts, RankMain main)
   }
 }
 
-Engine::~Engine() {
-  // Join any threads that were started; run() normally joins them all.
-  for (auto& rs : ranks_) {
-    if (rs->thread_started) pthread_join(rs->thread, nullptr);
-  }
-}
+Engine::~Engine() = default;  // RankState::fiber unmaps each stack
 
 Time Engine::rank_now(int rank) const { return ranks_[rank]->now; }
 
 Context& Engine::current() {
   if (g_current_ctx == nullptr) {
-    std::fprintf(stderr, "sim::Engine::current() called off a rank thread\n");
+    std::fprintf(stderr, "sim::Engine::current() called off a rank fiber\n");
     std::abort();
   }
   return *g_current_ctx;
 }
 
-void* Engine::thread_trampoline(void* arg) {
-  auto* ta = static_cast<TrampolineArg*>(arg);
-  Engine* e = ta->engine;
-  int rank = ta->rank;
-  delete ta;
-  e->rank_thread_body(rank);
-  return nullptr;
+void Engine::fiber_trampoline(void* arg) {
+  auto* rs = static_cast<RankState*>(arg);
+  rs->ctx.engine().rank_fiber_body(rs->ctx.rank());
 }
 
-void Engine::rank_thread_body(int rank) {
+void Engine::rank_fiber_body(int rank) {
   RankState& rs = *ranks_[rank];
-  g_current_ctx = &rs.ctx;
-  wait_for_token(rank);
+  rs.st = St::Running;
   main_(rs.ctx);
   rs.st = St::Done;
   ++done_count_;
-  return_token_to_scheduler(rank);
+  yield_to_scheduler(rank, /*exiting=*/true);
+  // Unreachable: a Done fiber is never resumed (Fiber aborts if it is).
 }
 
 void Engine::hand_token_to(int rank) {
   RankState& rs = *ranks_[rank];
-  {
-    std::lock_guard<std::mutex> lk(rs.m);
-    rs.go = true;
-  }
-  rs.cv.notify_one();
-  // Wait until the rank gives the token back.
-  std::unique_lock<std::mutex> lk(sched_m_);
-  sched_cv_.wait(lk, [this] { return sched_go_; });
-  sched_go_ = false;
+  Context* prev = g_current_ctx;
+  g_current_ctx = &rs.ctx;
+  Fiber::switch_to(sched_fiber_, *rs.fiber);
+  g_current_ctx = prev;
+  if (rs.st == St::Done) rs.fiber.reset();  // reclaim the stack eagerly
 }
 
-void Engine::return_token_to_scheduler(int rank) {
-  (void)rank;
-  {
-    std::lock_guard<std::mutex> lk(sched_m_);
-    sched_go_ = true;
-  }
-  sched_cv_.notify_one();
-}
-
-void Engine::wait_for_token(int rank) {
+void Engine::yield_to_scheduler(int rank, bool exiting) {
   RankState& rs = *ranks_[rank];
-  std::unique_lock<std::mutex> lk(rs.m);
-  rs.cv.wait(lk, [&rs] { return rs.go; });
-  rs.go = false;
-  rs.st = St::Running;
+  Fiber::switch_to(*rs.fiber, sched_fiber_, exiting);
+  // Execution resumes here when the scheduler hands the token back.
 }
 
 void Engine::make_ready(int rank, Time t) {
@@ -115,7 +87,16 @@ void Engine::make_ready(int rank, Time t) {
 }
 
 void Engine::post_event(Time t, std::function<void()> cb) {
-  events_.push(Event{t, seq_++, std::move(cb)});
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(event_cbs_.size());
+    event_cbs_.push_back(std::move(cb));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    event_cbs_[slot] = std::move(cb);
+  }
+  events_.push(EventKey{t, seq_++, slot});
 }
 
 void Engine::advance_self_to(Time t) {
@@ -124,8 +105,8 @@ void Engine::advance_self_to(Time t) {
   if (t < rs.now) t = rs.now;
   // Fast path: if nothing else (event or rank) is scheduled at or before t,
   // the scheduler would immediately hand the token back to this rank — skip
-  // the two thread context switches. Strict comparisons keep the global
-  // execution order identical to the slow path.
+  // the two fiber switches. Strict comparisons keep the global execution
+  // order identical to the slow path.
   const bool event_earlier = !events_.empty() && events_.top().t <= t;
   const bool rank_earlier = !ready_.empty() && ready_.top().t <= t;
   if (!event_earlier && !rank_earlier) {
@@ -134,16 +115,14 @@ void Engine::advance_self_to(Time t) {
     return;
   }
   make_ready(ctx.rank(), t);
-  return_token_to_scheduler(ctx.rank());
-  wait_for_token(ctx.rank());
+  yield_to_scheduler(ctx.rank());
 }
 
 void Engine::block_self() {
   Context& ctx = current();
   RankState& rs = *ranks_[ctx.rank()];
   rs.st = St::Blocked;
-  return_token_to_scheduler(ctx.rank());
-  wait_for_token(ctx.rank());
+  yield_to_scheduler(ctx.rank());
 }
 
 void Engine::wake(int rank, Time t) {
@@ -201,25 +180,13 @@ void Engine::die_deadlocked() {
 
 void Engine::run() {
   running_ = true;
-  // Start all rank threads with small stacks; they immediately wait for the
-  // token, then are made runnable at t=0.
-  pthread_attr_t attr;
-  pthread_attr_init(&attr);
-  const std::size_t min_stack = static_cast<std::size_t>(PTHREAD_STACK_MIN);
-  pthread_attr_setstacksize(
-      &attr, opts_.stack_bytes < min_stack ? min_stack : opts_.stack_bytes);
+  // Create all rank fibers (suspended at their entry) and make them runnable
+  // at t=0; each starts executing main_ when first scheduled.
   for (int r = 0; r < nranks(); ++r) {
-    auto* ta = new TrampolineArg{this, r};
-    int rc = pthread_create(&ranks_[r]->thread, &attr,
-                            &Engine::thread_trampoline, ta);
-    if (rc != 0) {
-      std::fprintf(stderr, "sim::Engine: pthread_create failed (rc=%d)\n", rc);
-      std::abort();
-    }
-    ranks_[r]->thread_started = true;
+    ranks_[r]->fiber = std::make_unique<Fiber>(
+        &Engine::fiber_trampoline, ranks_[r].get(), opts_.stack_bytes);
     make_ready(r, 0);
   }
-  pthread_attr_destroy(&attr);
 
   while (done_count_ < nranks()) {
     const bool have_rank = !ready_.empty();
@@ -231,15 +198,18 @@ void Engine::run() {
     const bool run_event =
         have_event && (!have_rank || events_.top().t <= ready_.top().t);
     if (run_event) {
-      Event ev = events_.top();  // copy: cb may post more events
-      events_.pop();
-      if (ev.t > horizon_) horizon_ = ev.t;
-      ev.cb();
+      const EventKey key = events_.pop();
+      // Move the callback out and recycle its slot *before* invoking: the
+      // callback may post events (growing event_cbs_) or run nested engines.
+      std::function<void()> cb = std::move(event_cbs_[key.slot]);
+      event_cbs_[key.slot] = nullptr;
+      free_slots_.push_back(key.slot);
+      if (key.t > horizon_) horizon_ = key.t;
+      cb();
       continue;
     }
 
-    HeapItem item = ready_.top();
-    ready_.pop();
+    const HeapItem item = ready_.pop();
     RankState& rs = *ranks_[item.rank];
     if (rs.st != St::Ready) continue;  // stale entry (rank was re-queued)
     if (item.t > rs.now) rs.now = item.t;
@@ -248,12 +218,6 @@ void Engine::run() {
     hand_token_to(item.rank);
   }
   running_ = false;
-  for (auto& rs : ranks_) {
-    if (rs->thread_started) {
-      pthread_join(rs->thread, nullptr);
-      rs->thread_started = false;
-    }
-  }
 }
 
 }  // namespace casper::sim

@@ -1,30 +1,45 @@
 // Deterministic discrete-event engine with cooperatively scheduled ranks.
 //
-// Each simulated MPI rank is an OS thread with a small stack and a virtual
-// clock. Exactly one thread (a rank or the scheduler) runs at any moment; the
-// scheduler always resumes the runnable rank / event with the smallest
-// (virtual time, sequence number) key, so execution order — and therefore
-// every simulated result — is bit-reproducible.
+// Each simulated MPI rank is a user-level stackful fiber (sim::Fiber — a
+// ucontext coroutine with its own guard-paged stack) multiplexed on the one
+// OS thread that calls run(). Exactly one party (a rank fiber or the
+// scheduler) runs at any moment; the scheduler always resumes the runnable
+// rank / event with the smallest (virtual time, sequence number) key, so
+// execution order — and therefore every simulated result — is
+// bit-reproducible. A rank switch is a ~100 ns userspace register swap, not
+// the mutex/condvar OS-thread handoff (two kernel context switches plus lock
+// traffic) earlier versions paid per scheduling decision.
+//
+// Determinism argument: scheduling decisions depend only on the (t, seq)
+// min-heaps, seq is a single monotonically increasing counter, and every tie
+// is broken by seq — a total order. Fibers make the interleaving literally
+// single-threaded, so no OS scheduler choice, lock handoff, or memory-model
+// subtlety can perturb it; Options::stack_bytes changes where stacks live,
+// never what order code runs in.
+//
+// Stack sizing: Options::stack_bytes sizes each rank fiber's stack (rounded
+// up to whole pages, minimum Fiber::kMinStackBytes). A PROT_NONE guard page
+// below each stack turns overflow into a deterministic fault, preserving the
+// overflow safety pthread stacks used to provide.
 //
 // Rank code interacts with the engine through `Context`:
 //   ctx.compute(us(100));   // model computation (extendable by stolen cycles)
 //   ctx.advance(ns(500));   // model fixed software overhead
 //   engine.block_self();    // wait until another party calls wake()
 //
-// Event callbacks posted with post_event() run on the scheduler thread at
+// Event callbacks posted with post_event() run on the scheduler fiber at
 // their timestamp, strictly interleaved with rank execution in time order.
 // They must not block; they typically deliver messages and wake ranks.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "sim/fiber.hpp"
+#include "sim/heap.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -34,7 +49,7 @@ namespace casper::sim {
 class Engine;
 
 /// Per-rank handle passed to user rank code; all simulation interaction for a
-/// rank goes through its Context (valid only on that rank's thread).
+/// rank goes through its Context (valid only on that rank's fiber).
 class Context {
  public:
   int rank() const { return rank_; }
@@ -70,11 +85,15 @@ class Engine {
   struct Options {
     int nranks = 1;
     std::uint64_t seed = 12345;
+    /// Usable stack bytes per rank fiber (page-rounded, guard page added).
     std::size_t stack_bytes = 256 * 1024;
   };
   using RankMain = std::function<void(Context&)>;
 
   Engine(Options opts, RankMain main);
+
+  /// Destruction reclaims all fiber stacks deterministically — including
+  /// when run() was never called or ranks never finished; nothing can hang.
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -95,7 +114,7 @@ class Engine {
   // --- services for the runtime layers (call only while holding the token,
   //     i.e. from rank code or from an event callback) ---
 
-  /// Schedule `cb` to run on the scheduler thread at virtual time `t` (>= the
+  /// Schedule `cb` to run on the scheduler fiber at virtual time `t` (>= the
   /// current global time).
   void post_event(Time t, std::function<void()> cb);
 
@@ -131,7 +150,7 @@ class Engine {
     deadlock_dump_ = std::move(dump);
   }
 
-  /// Context of the calling thread; aborts if called off a rank thread.
+  /// Context of the calling fiber; aborts if called off a rank fiber.
   static Context& current();
 
  private:
@@ -148,12 +167,7 @@ class Engine {
     Time penalty = 0;         // stolen compute time not yet consumed
     bool computing = false;   // inside Context::compute()
     double compute_scale = 1.0;
-    pthread_t thread{};
-    bool thread_started = false;
-    // token handoff
-    std::mutex m;
-    std::condition_variable cv;
-    bool go = false;
+    std::unique_ptr<Fiber> fiber;  // created by run(), freed when Done
   };
 
   struct HeapItem {
@@ -170,37 +184,40 @@ class Engine {
     }
   };
 
-  struct Event {
+  /// Heap entry for a pending event; the callback lives in a pooled slot
+  /// (event_cbs_) so heap sifts move 24 plain bytes, never a std::function.
+  struct EventKey {
     Time t;
     std::uint64_t seq;
-    std::function<void()> cb;
-    bool operator>(const Event& o) const {
+    std::uint32_t slot;
+    bool operator>(const EventKey& o) const {
       return t != o.t ? t > o.t : seq > o.seq;
     }
   };
 
-  static void* thread_trampoline(void* arg);
-  void rank_thread_body(int rank);
+  static void fiber_trampoline(void* arg);
+  void rank_fiber_body(int rank);
   void hand_token_to(int rank);
-  void return_token_to_scheduler(int rank);
-  void wait_for_token(int rank);
+  void yield_to_scheduler(int rank, bool exiting = false);
   void make_ready(int rank, Time t);
   [[noreturn]] void die_deadlocked();
 
   Options opts_;
   RankMain main_;
   std::vector<std::unique_ptr<RankState>> ranks_;
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> ready_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  MinHeap<HeapItem> ready_;
+  MinHeap<EventKey> events_;
+  // Pooled event-callback slots, indexed by EventKey::slot; free_slots_ is
+  // the recycle list. At steady state the pool stops growing, so posting an
+  // event costs no allocation beyond the caller's own closure.
+  std::vector<std::function<void()>> event_cbs_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t seq_ = 0;
   Time horizon_ = 0;
   int done_count_ = 0;
   bool running_ = false;
 
-  // scheduler-side handoff
-  std::mutex sched_m_;
-  std::condition_variable sched_cv_;
-  bool sched_go_ = false;
+  Fiber sched_fiber_;  // adopts the thread that calls run()
 
   std::function<void()> deadlock_dump_;
   Stats stats_;

@@ -1,0 +1,127 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#if CASPER_ASAN_FIBERS
+#include <pthread.h>
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     std::size_t* size_old);
+}
+#endif
+
+namespace casper::sim {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up_pages(std::size_t bytes) {
+  const std::size_t ps = page_size();
+  return (bytes + ps - 1) / ps * ps;
+}
+
+}  // namespace
+
+Fiber::Fiber() {
+#if CASPER_ASAN_FIBERS
+  // ASan needs the bounds of the adopted (native thread) stack to announce
+  // switches back to it.
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* lo = nullptr;
+    std::size_t sz = 0;
+    pthread_attr_getstack(&attr, &lo, &sz);
+    stack_lo_ = lo;
+    stack_bytes_ = sz;
+    pthread_attr_destroy(&attr);
+  }
+#endif
+}
+
+Fiber::Fiber(Entry entry, void* arg, std::size_t stack_bytes)
+    : entry_(entry), arg_(arg) {
+  const std::size_t ps = page_size();
+  stack_bytes_ = round_up_pages(
+      stack_bytes < kMinStackBytes ? kMinStackBytes : stack_bytes);
+  map_bytes_ = stack_bytes_ + ps;  // + low guard page
+  void* base = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (base == MAP_FAILED) {
+    std::fprintf(stderr, "sim::Fiber: mmap of %zu-byte stack failed\n",
+                 map_bytes_);
+    std::abort();
+  }
+  if (mprotect(base, ps, PROT_NONE) != 0) {
+    std::fprintf(stderr, "sim::Fiber: mprotect of guard page failed\n");
+    std::abort();
+  }
+  map_base_ = base;
+  stack_lo_ = static_cast<char*>(base) + ps;
+
+  if (getcontext(&ctx_) != 0) {
+    std::fprintf(stderr, "sim::Fiber: getcontext failed\n");
+    std::abort();
+  }
+  ctx_.uc_stack.ss_sp = stack_lo_;
+  ctx_.uc_stack.ss_size = stack_bytes_;
+  ctx_.uc_link = nullptr;  // entry must never return
+  // makecontext() only forwards int arguments portably; the classic idiom
+  // splits the Fiber* into two 32-bit halves reassembled in trampoline().
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() {
+  if (map_base_ != nullptr) munmap(map_base_, map_bytes_);
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* f = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+#if CASPER_ASAN_FIBERS
+  // First entry: complete the switch that started in switch_to(). There is
+  // no prior fake stack to restore (fake_stack_ is still null).
+  __sanitizer_finish_switch_fiber(f->fake_stack_, nullptr, nullptr);
+#endif
+  f->entry_(f->arg_);
+  // A fiber must end by switching away for the last time, not by returning
+  // (with uc_link == nullptr a return would exit the whole thread).
+  std::fprintf(stderr, "sim::Fiber: entry returned instead of switching\n");
+  std::abort();
+}
+
+void Fiber::switch_to(Fiber& from, Fiber& to, bool from_exiting) {
+#if CASPER_ASAN_FIBERS
+  // Passing a null save slot tells ASan the departing fiber is done and its
+  // fake stack can be destroyed.
+  __sanitizer_start_switch_fiber(from_exiting ? nullptr : &from.fake_stack_,
+                                 to.stack_lo_, to.stack_bytes_);
+#else
+  (void)from_exiting;
+#endif
+  if (swapcontext(&from.ctx_, &to.ctx_) != 0) {
+    std::fprintf(stderr, "sim::Fiber: swapcontext failed\n");
+    std::abort();
+  }
+#if CASPER_ASAN_FIBERS
+  // We are back on `from` (some other fiber switched to it): restore its
+  // fake stack.
+  __sanitizer_finish_switch_fiber(from.fake_stack_, nullptr, nullptr);
+#endif
+}
+
+}  // namespace casper::sim

@@ -1,0 +1,97 @@
+// User-level stackful coroutines ("fibers") for the deterministic scheduler.
+//
+// A Fiber is a suspended computation with its own call stack. Switching
+// between two fibers is a userspace register swap (`swapcontext`), roughly
+// two orders of magnitude cheaper than the mutex/condvar token handoff
+// between OS threads it replaces: no futex, no kernel scheduler, no
+// cacheline ping-pong between cores. All fibers of an Engine run on the one
+// OS thread that called Engine::run(), so `thread_local` state is shared and
+// no synchronization is ever needed.
+//
+// Stack contract:
+//   - Fiber stacks are anonymous private mappings of `stack_bytes` rounded
+//     up to whole pages (minimum kMinStackBytes), plus one PROT_NONE guard
+//     page at the low end. Stacks grow down on every supported target, so
+//     overflowing a fiber stack faults deterministically on the guard page
+//     instead of silently corrupting a neighbouring allocation — the same
+//     safety pthread stacks provided before.
+//   - The adopting constructor (`Fiber()`) wraps the calling thread's native
+//     stack; it owns no memory and is only a switch target/source.
+//
+// AddressSanitizer: ASan tracks one shadow "fake stack" per call stack, so
+// every switch must be announced via __sanitizer_start_switch_fiber /
+// __sanitizer_finish_switch_fiber or ASan reports false stack-use-after-
+// return errors and misattributes frames. switch_to() does this when built
+// with -fsanitize=address (clang `__has_feature` or gcc
+// `__SANITIZE_ADDRESS__`), and is zero-cost otherwise.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define CASPER_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CASPER_ASAN_FIBERS 1
+#endif
+#endif
+
+namespace casper::sim {
+
+/// A stackful user-level coroutine. Non-copyable, non-movable: the engine
+/// stores fibers behind stable pointers and contexts hold self-addresses.
+class Fiber {
+ public:
+  using Entry = void (*)(void*);
+
+  /// Smallest usable fiber stack (before the guard page is added). Rank
+  /// bodies run real code; anything below this cannot even enter main_.
+  static constexpr std::size_t kMinStackBytes = 16 * 1024;
+
+  /// Adopt the calling thread's native stack. The resulting fiber has no
+  /// entry point; it becomes resumable the first time switch_to() switches
+  /// *away* from it.
+  Fiber();
+
+  /// Create a suspended fiber that will invoke `entry(arg)` when first
+  /// switched to. `entry` must never return: a fiber ends by switching away
+  /// for the last time (the engine aborts if entry falls off the end).
+  /// `stack_bytes` is rounded up to whole pages and clamped to
+  /// kMinStackBytes; one extra guard page is mapped below the stack.
+  Fiber(Entry entry, void* arg, std::size_t stack_bytes);
+
+  /// Unmaps the stack (if owned). Destroying a fiber that is suspended
+  /// mid-execution reclaims its stack without unwinding it — deterministic,
+  /// but objects on that stack are not destructed; the engine only does this
+  /// for fibers that are finished or were never started.
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Suspend `from` (which must be the running fiber) and resume `to`.
+  /// Returns when something switches back to `from`. If `from_exiting` is
+  /// true, `from` will never be resumed: its ASan fake stack is released.
+  static void switch_to(Fiber& from, Fiber& to, bool from_exiting = false);
+
+  /// True for fibers created with an entry point (owning a mapped stack).
+  bool owns_stack() const { return map_base_ != nullptr; }
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+
+  ucontext_t ctx_{};
+  Entry entry_ = nullptr;
+  void* arg_ = nullptr;
+  void* map_base_ = nullptr;     // mmap base (guard page), null if adopted
+  std::size_t map_bytes_ = 0;    // total mapping incl. guard page
+  void* stack_lo_ = nullptr;     // usable stack bottom (above guard page)
+  std::size_t stack_bytes_ = 0;  // usable stack size
+#if CASPER_ASAN_FIBERS
+  void* fake_stack_ = nullptr;   // ASan fake-stack save slot while suspended
+#endif
+};
+
+}  // namespace casper::sim

@@ -1,0 +1,67 @@
+// Minimal binary min-heap with move-out pop.
+//
+// std::priority_queue only exposes `const T& top()`, which forces a deep copy
+// before pop() — for the engine's event queue that meant copying a
+// std::function (a heap allocation) per event on the hottest path. This heap
+// pops by move. Elements order via `operator>` (smallest on top), exactly the
+// comparator std::priority_queue<T, vector<T>, greater<>> used before, so the
+// pop order — and therefore the simulation's execution order — is unchanged:
+// the engine's comparators are total orders (unique sequence numbers break
+// every tie), which makes heap-internal layout differences unobservable.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace casper::sim {
+
+/// Binary min-heap over T using `a > b` ("a after b") for ordering.
+template <typename T>
+class MinHeap {
+ public:
+  bool empty() const { return v_.empty(); }
+  std::size_t size() const { return v_.size(); }
+  const T& top() const { return v_.front(); }
+
+  void push(T x) {
+    v_.push_back(std::move(x));
+    std::size_t i = v_.size() - 1;
+    while (i > 0) {
+      const std::size_t p = (i - 1) / 2;
+      if (!(v_[p] > v_[i])) break;
+      std::swap(v_[p], v_[i]);
+      i = p;
+    }
+  }
+
+  /// Remove and return the smallest element (by move, no copy).
+  T pop() {
+    T out = std::move(v_.front());
+    T last = std::move(v_.back());
+    v_.pop_back();
+    if (!v_.empty()) {
+      // Sift `last` down from the root, moving smaller children up into the
+      // hole instead of swapping.
+      std::size_t i = 0;
+      const std::size_t n = v_.size();
+      for (;;) {
+        std::size_t c = 2 * i + 1;
+        if (c >= n) break;
+        if (c + 1 < n && v_[c] > v_[c + 1]) c = c + 1;
+        if (!(last > v_[c])) break;
+        v_[i] = std::move(v_[c]);
+        i = c;
+      }
+      v_[i] = std::move(last);
+    }
+    return out;
+  }
+
+  void reserve(std::size_t n) { v_.reserve(n); }
+
+ private:
+  std::vector<T> v_;
+};
+
+}  // namespace casper::sim

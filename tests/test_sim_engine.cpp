@@ -2,6 +2,9 @@
 // time, compute penalties, and events.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -149,6 +152,78 @@ TEST(SimEngine, ManyRanksSmallStacks) {
   });
   e.run();
   EXPECT_EQ(done, 512);
+}
+
+TEST(SimEngine, DestroyWithoutRunDoesNotHang) {
+  // Regression: the pthread engine joined rank threads in ~Engine; an engine
+  // whose ranks never ran (or never finished) could hang on a token that was
+  // never handed over. Fiber stacks are reclaimed deterministically instead.
+  for (int n : {1, 8, 64}) {
+    Engine e(opts(n), [](sim::Context&) { FAIL() << "must never run"; });
+    // destroyed here without run()
+  }
+  SUCCEED();
+}
+
+// A seeded multi-rank workload exercising every scheduler edge: random
+// advances, compute with penalties, block/wake pairs, same-time events, and
+// stats counters. Returns a full observable snapshot of the run.
+struct RunSnapshot {
+  Time horizon = 0;
+  std::vector<Time> clocks;
+  std::map<std::string, std::uint64_t> stats;
+  std::vector<std::uint64_t> trace;
+  bool operator==(const RunSnapshot&) const = default;
+};
+
+RunSnapshot run_mixed_workload(std::uint64_t seed, std::size_t stack_bytes) {
+  RunSnapshot snap;
+  Engine::Options o;
+  o.nranks = 8;
+  o.seed = seed;
+  o.stack_bytes = stack_bytes;
+  Engine e(o, [&](sim::Context& ctx) {
+    Engine& eng = ctx.engine();
+    const int me = ctx.rank();
+    for (int i = 0; i < 50; ++i) {
+      ctx.advance(sim::ns(ctx.rng().next_below(500) + 1));
+      eng.stats().counter("advances") += 1;
+      if (i % 7 == me % 7) {
+        // Post an event at our own current time: it must run before we
+        // resume (events precede ranks at equal timestamps).
+        eng.post_event(ctx.now(), [&eng] { eng.stats().counter("events") += 1; });
+        ctx.yield();
+      }
+      if (i % 11 == 3 && me + 1 < ctx.size()) {
+        eng.wake(me + 1, ctx.now());
+      }
+      if (i % 13 == 5) {
+        eng.post_event(ctx.now() + sim::ns(10),
+                       [&eng, me] { eng.wake(me, 0); });
+        eng.block_self();
+      }
+      ctx.compute(sim::ns(ctx.rng().next_below(200)));
+      snap.trace.push_back((static_cast<std::uint64_t>(me) << 48) ^ ctx.now());
+    }
+  });
+  e.run();
+  snap.horizon = e.horizon();
+  for (int r = 0; r < e.nranks(); ++r) snap.clocks.push_back(e.rank_now(r));
+  snap.stats = e.stats().all();
+  return snap;
+}
+
+TEST(SimEngine, DeterministicAcrossRunsAndStackSizes) {
+  // The guard that the fiber rewrite preserved scheduling order: identical
+  // horizon, per-rank clocks, stats counters, and full execution trace
+  // across repeated runs and across different fiber stack sizes.
+  const auto a = run_mixed_workload(42, 64 * 1024);
+  const auto b = run_mixed_workload(42, 64 * 1024);
+  const auto c = run_mixed_workload(42, 512 * 1024);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  const auto d = run_mixed_workload(43, 64 * 1024);
+  EXPECT_NE(a.trace, d.trace);
 }
 
 TEST(SimEngine, RngStreamsAreDecorrelated) {
