@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full local gate: tier-1 tests, the conformance fuzzer at its fixed seed
+# corpus, then an ASan build running the fuzzer smoke corpus. Run from the
+# repo root:  scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build
+BUILD_ASAN=build-asan
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "== [1/3] tier-1: build + ctest =="
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j"$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
+
+echo "== [2/3] conformance fuzzer: fixed seed corpus =="
+# A larger sweep than the ctest-time run; still deterministic (fixed base
+# seed), so failures here are reproducible verbatim.
+"./$BUILD/tests/fuzz_conformance" --base-seed 1 --cases 500 --schedules 8 \
+  --out "$BUILD/tests"
+
+echo "== [3/3] ASan: fuzzer smoke corpus =="
+cmake -B "$BUILD_ASAN" -S . -DCASPER_ASAN=ON >/dev/null
+cmake --build "$BUILD_ASAN" -j"$JOBS" --target fuzz_conformance \
+  test_check_oracle
+"./$BUILD_ASAN/tests/test_check_oracle"
+"./$BUILD_ASAN/tests/fuzz_conformance" --base-seed 1 --cases 50 \
+  --schedules 4 --out "$BUILD_ASAN/tests"
+
+echo "check.sh: all gates passed"

@@ -1,0 +1,641 @@
+#include "check/fuzz.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+
+#include "mpi/datatype.hpp"
+#include "mpi/runtime.hpp"
+#include "net/profile.hpp"
+#include "sim/rng.hpp"
+
+namespace casper::check {
+
+using mpi::AccOp;
+using mpi::Datatype;
+using mpi::Dt;
+using mpi::OpKind;
+
+const char* to_string(EpochStyle e) {
+  switch (e) {
+    case EpochStyle::Fence: return "fence";
+    case EpochStyle::Pscw: return "pscw";
+    case EpochStyle::Lock: return "lock";
+    case EpochStyle::LockAll: return "lockall";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* dt_name(Dt d) {
+  switch (d) {
+    case Dt::Byte: return "byte";
+    case Dt::Int: return "int";
+    case Dt::Double: return "double";
+  }
+  return "?";
+}
+
+const char* kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::Put: return "put";
+    case OpKind::Get: return "get";
+    case OpKind::Acc: return "acc";
+    case OpKind::GetAcc: return "getacc";
+    case OpKind::Fao: return "fao";
+    case OpKind::Cas: return "cas";
+    default: return "?";
+  }
+}
+
+const char* aop_name(AccOp a) {
+  switch (a) {
+    case AccOp::Replace: return "replace";
+    case AccOp::Sum: return "sum";
+    case AccOp::Min: return "min";
+    case AccOp::Max: return "max";
+    case AccOp::NoOp: return "noop";
+  }
+  return "?";
+}
+
+std::uint64_t fnv1a(const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Fill `n` basic elements of type `base` at `dst` with val, val+1, ...
+void fill_elems(std::byte* dst, int n, Dt base, std::int64_t val) {
+  for (int j = 0; j < n; ++j) {
+    const std::int64_t v = val + j;
+    switch (base) {
+      case Dt::Byte: {
+        dst[j] = static_cast<std::byte>(v & 0xff);
+        break;
+      }
+      case Dt::Int: {
+        const std::int32_t x = static_cast<std::int32_t>(v);
+        std::memcpy(dst + 4 * j, &x, 4);
+        break;
+      }
+      case Dt::Double: {
+        const double x = static_cast<double>(v);
+        std::memcpy(dst + 8 * j, &x, 8);
+        break;
+      }
+    }
+  }
+}
+
+/// Per-origin PUT datatype: fixed per origin so repeated puts to the same
+/// slot bytes always use the same element layout.
+Dt put_dt_of(int origin) {
+  switch (origin % 3) {
+    case 0: return Dt::Double;
+    case 1: return Dt::Int;
+    default: return Dt::Byte;
+  }
+}
+
+/// Issues one op. Origin and result buffers are parked in `keep`: MPI origin
+/// buffers must stay valid until the epoch's completing synchronization (the
+/// runtime unpacks GET/GET_ACC/FAO/CAS results into them at completion time).
+void issue_one(mpi::Env& env, const OpRec& op, const mpi::Win& win,
+               std::vector<std::vector<std::byte>>& keep) {
+  const std::size_t db = mpi::data_bytes(op.count, op.tdt);
+  const int oc = op.count * op.tdt.blocklen;
+  const Datatype odt = mpi::contig(op.tdt.base);
+  keep.emplace_back(db);
+  std::byte* buf = keep.back().data();
+  keep.emplace_back(db);
+  std::byte* res = keep.back().data();
+  fill_elems(buf, oc, op.tdt.base, op.val);
+  switch (op.kind) {
+    case OpKind::Put:
+      env.put(buf, oc, odt, op.target, op.disp, op.count, op.tdt, win);
+      break;
+    case OpKind::Get:
+      env.get(res, oc, odt, op.target, op.disp, op.count, op.tdt, win);
+      break;
+    case OpKind::Acc:
+      env.accumulate(buf, oc, odt, op.target, op.disp, op.count, op.tdt,
+                     op.aop, win);
+      break;
+    case OpKind::GetAcc:
+      env.get_accumulate(buf, oc, odt, res, oc, odt, op.target, op.disp,
+                         op.count, op.tdt, op.aop, win);
+      break;
+    case OpKind::Fao:
+      env.fetch_and_op(buf, res, op.tdt.base, op.target, op.disp, op.aop,
+                       win);
+      break;
+    case OpKind::Cas: {
+      const std::size_t es = op.tdt.elem_size();
+      keep.emplace_back(2 * es);
+      std::byte* cd = keep.back().data();
+      fill_elems(cd, 1, op.tdt.base, op.val & 0xff);
+      fill_elems(cd + es, 1, op.tdt.base, (op.val >> 8) & 0xff);
+      env.compare_and_swap(cd, cd + es, res, op.tdt.base, op.target, op.disp,
+                           win);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void fuzz_body(mpi::Env& env, const FuzzCase& fc, RunOutcome& out) {
+  mpi::Comm w = env.world();
+  const int me = env.rank(w);
+  const int p = env.size(w);
+  mpi::Info info;
+  if (fc.hint_exact) info.set(core::kEpochsUsedKey, to_string(fc.epoch));
+  void* base = nullptr;
+  mpi::Win win = env.win_allocate(fc.seg_bytes(), 1, info, w, &base);
+
+  std::vector<int> everyone(static_cast<std::size_t>(p));
+  std::iota(everyone.begin(), everyone.end(), 0);
+  mpi::Group g(everyone);
+
+  // Origin/result scratch buffers. MPI origin buffers must stay valid until
+  // the epoch's completing synchronization, and under the fence style a
+  // middle round is only completed by the NEXT round's fence call — so the
+  // buffers live for the whole body, released after the final sync.
+  std::vector<std::vector<std::byte>> keep;
+
+  for (int r = 0; r < fc.rounds; ++r) {
+    std::vector<const OpRec*> mine;
+    for (const auto& op : fc.ops) {
+      if (op.round == r && op.origin == me) mine.push_back(&op);
+    }
+
+    switch (fc.epoch) {
+      case EpochStyle::Fence:
+        // First fence opens with NOPRECEDE; middle fences close the previous
+        // round and open the next in one call.
+        env.win_fence(r == 0 ? mpi::kModeNoPrecede : 0u, win);
+        break;
+      case EpochStyle::Pscw: {
+        const unsigned a = fc.pscw_nocheck ? mpi::kModeNoCheck : 0u;
+        env.win_post(g, a, win);
+        // NOCHECK is only legal when the post→start ordering is guaranteed
+        // by other means; a barrier provides it.
+        if (fc.pscw_nocheck) env.barrier(w);
+        env.win_start(g, a, win);
+        break;
+      }
+      case EpochStyle::Lock:
+        for (int t = 0; t < p; ++t) {
+          env.win_lock(mpi::LockType::Shared, t, 0, win);
+        }
+        break;
+      case EpochStyle::LockAll:
+        env.win_lock_all(0, win);
+        break;
+    }
+
+    const std::size_t half = mine.size() / 2;
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      if (fc.mid_flush && i == half && i != 0) {
+        // Completes everything issued so far and (under a lock) opens the
+        // static-binding-free interval dynamic binding needs (III.B.3).
+        env.win_flush_all(win);
+      }
+      issue_one(env, *mine[i], win, keep);
+    }
+
+    switch (fc.epoch) {
+      case EpochStyle::Fence:
+        if (r == fc.rounds - 1) env.win_fence(mpi::kModeNoSucceed, win);
+        break;
+      case EpochStyle::Pscw:
+        env.win_complete(win);
+        env.win_wait(win);
+        break;
+      case EpochStyle::Lock:
+        for (int t = 0; t < p; ++t) env.win_unlock(t, win);
+        break;
+      case EpochStyle::LockAll:
+        env.win_unlock_all(win);
+        break;
+    }
+  }
+
+  env.barrier(w);
+  out.content_hash[static_cast<std::size_t>(me)] =
+      fnv1a(base, fc.seg_bytes());
+  env.win_free(win);
+}
+
+}  // namespace
+
+FuzzCase make_case(std::uint64_t seed, bool reduced) {
+  sim::Rng rng(seed, 0xfa22);
+  FuzzCase fc;
+  fc.seed = seed;
+  fc.nodes = 1 + static_cast<int>(rng.next_below(2));
+  fc.users_per_node = 1 + static_cast<int>(rng.next_below(3));
+  if (fc.nodes * fc.users_per_node < 2) fc.users_per_node = 2;
+  fc.ghosts = 1 + static_cast<int>(rng.next_below(2));
+  fc.binding =
+      rng.next_below(2) ? core::Binding::Segment : core::Binding::Rank;
+  switch (rng.next_below(4)) {
+    case 0: fc.dynamic = core::DynamicLb::None; break;
+    case 1: fc.dynamic = core::DynamicLb::Random; break;
+    case 2: fc.dynamic = core::DynamicLb::OpCounting; break;
+    default: fc.dynamic = core::DynamicLb::ByteCounting; break;
+  }
+  fc.epoch = static_cast<EpochStyle>(rng.next_below(4));
+  fc.rounds = 1 + static_cast<int>(rng.next_below(2));
+  fc.mid_flush = (fc.epoch == EpochStyle::Lock ||
+                  fc.epoch == EpochStyle::LockAll) &&
+                 rng.next_below(2) != 0;
+  fc.pscw_nocheck = fc.epoch == EpochStyle::Pscw && rng.next_below(4) == 0;
+  fc.hint_exact = rng.next_below(2) != 0;
+  fc.acc_dt = rng.next_below(2) ? Dt::Double : Dt::Int;
+  switch (rng.next_below(3)) {
+    case 0: fc.acc_op = AccOp::Sum; break;
+    case 1: fc.acc_op = AccOp::Min; break;
+    default: fc.acc_op = AccOp::Max; break;
+  }
+  fc.order_sensitive = rng.next_below(4) == 0;
+  fc.slot_bytes = reduced ? 64 : 128;
+
+  const int nu = fc.nusers();
+  const int per_origin =
+      (reduced ? 2 : 4) + static_cast<int>(rng.next_below(reduced ? 4 : 6));
+  const std::size_t acc_base =
+      static_cast<std::size_t>(nu) * fc.slot_bytes;
+  const std::size_t ro_base = acc_base + fc.slot_bytes;
+  const std::size_t acc_es = dt_size(fc.acc_dt);
+  const std::size_t acc_cap = fc.slot_bytes / acc_es;
+
+  // Place an accumulate-class op into the shared acc region; returns it
+  // fully resolved except kind (caller picks Acc / GetAcc / Fao / Cas).
+  auto acc_shape = [&](OpRec& op) {
+    bool strided = rng.next_below(4) == 0;
+    int count = 1 + static_cast<int>(rng.next_below(4));
+    std::size_t span_e =
+        strided ? 2 * static_cast<std::size_t>(count) - 1
+                : static_cast<std::size_t>(count);
+    if (span_e > acc_cap) {
+      strided = false;
+      count = 1;
+      span_e = 1;
+    }
+    const std::size_t idx = rng.next_below(acc_cap - span_e + 1);
+    op.tdt = strided ? mpi::vector_of(fc.acc_dt, 1, 2)
+                     : mpi::contig(fc.acc_dt);
+    op.count = count;
+    op.disp = acc_base + idx * acc_es;
+    op.aop = fc.acc_op;
+    switch (fc.acc_op) {
+      case AccOp::Sum:
+        op.val = 1 + static_cast<std::int64_t>(rng.next_below(4));
+        break;
+      case AccOp::Min:
+        op.val = -1 - static_cast<std::int64_t>(rng.next_below(100));
+        break;
+      default:
+        op.val = 1 + static_cast<std::int64_t>(rng.next_below(100));
+        break;
+    }
+  };
+
+  for (int r = 0; r < fc.rounds; ++r) {
+    // Per-(origin, target) bump cursor keeps one round's puts from one
+    // origin byte-disjoint (conflicting same-epoch puts are an MPI usage
+    // error and would be order-sensitive anyway). Rounds are separated by a
+    // completing sync, so the cursor resets.
+    std::vector<std::size_t> cursor(
+        static_cast<std::size_t>(nu) * static_cast<std::size_t>(nu), 0);
+    for (int o = 0; o < nu; ++o) {
+      for (int i = 0; i < per_origin; ++i) {
+        OpRec op;
+        op.origin = o;
+        op.round = r;
+        op.target = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(nu)));
+        std::uint64_t roll = rng.next_below(100);
+        if (fc.order_sensitive && rng.next_below(5) == 0) {
+          // Order-sensitive spice: CAS or ACC-Replace on the acc region.
+          acc_shape(op);
+          if (rng.next_below(2) != 0) {
+            op.kind = OpKind::Cas;
+            op.count = 1;
+            op.tdt = mpi::contig(fc.acc_dt);
+            op.disp = acc_base;
+            op.val = static_cast<std::int64_t>(rng.next_below(1 << 16));
+          } else {
+            op.kind = OpKind::Acc;
+            op.aop = AccOp::Replace;
+            op.val = static_cast<std::int64_t>(rng.next_below(256));
+          }
+          fc.ops.push_back(op);
+          continue;
+        }
+        if (roll < 40) {
+          // PUT into my exclusive slot on the target.
+          const Dt pdt = put_dt_of(o);
+          const std::size_t es = dt_size(pdt);
+          const bool strided = rng.next_below(4) == 0;
+          const int count = 1 + static_cast<int>(rng.next_below(4));
+          const Datatype tdt =
+              strided ? mpi::vector_of(pdt, 1, 2) : mpi::contig(pdt);
+          const std::size_t span = mpi::span_bytes(count, tdt);
+          const std::size_t span8 = (span + 7) & ~std::size_t{7};
+          std::size_t& cur = cursor[static_cast<std::size_t>(o) *
+                                        static_cast<std::size_t>(nu) +
+                                    static_cast<std::size_t>(op.target)];
+          if (cur + span8 <= fc.slot_bytes) {
+            op.kind = OpKind::Put;
+            op.tdt = tdt;
+            op.count = count;
+            op.disp = static_cast<std::size_t>(o) * fc.slot_bytes + cur;
+            op.val = 16 * (o + 1) +
+                     static_cast<std::int64_t>(rng.next_below(16));
+            cur += span8;
+            (void)es;
+            fc.ops.push_back(op);
+            continue;
+          }
+          roll = 50 + rng.next_below(50);  // slot full: fall through
+        }
+        if (roll < 55) {
+          // GET from the never-written read-only slot.
+          const bool strided = rng.next_below(4) == 0;
+          const int count = 1 + static_cast<int>(rng.next_below(4));
+          const Datatype tdt = strided ? mpi::vector_of(Dt::Double, 1, 2)
+                                       : mpi::contig(Dt::Double);
+          const std::size_t cap = fc.slot_bytes / 8;
+          const std::size_t span_e =
+              strided ? 2 * static_cast<std::size_t>(count) - 1
+                      : static_cast<std::size_t>(count);
+          const std::size_t idx =
+              span_e >= cap ? 0 : rng.next_below(cap - span_e + 1);
+          op.kind = OpKind::Get;
+          op.tdt = tdt;
+          op.count = span_e >= cap ? 1 : count;
+          op.disp = ro_base + idx * 8;
+          fc.ops.push_back(op);
+          continue;
+        }
+        if (roll < 80) {
+          acc_shape(op);
+          op.kind = OpKind::Acc;
+        } else if (roll < 90) {
+          acc_shape(op);
+          op.kind = OpKind::GetAcc;
+        } else {
+          acc_shape(op);
+          op.kind = OpKind::Fao;
+          op.count = 1;
+          op.tdt = mpi::contig(fc.acc_dt);
+        }
+        fc.ops.push_back(op);
+      }
+    }
+  }
+  return fc;
+}
+
+RunOutcome run_case(const FuzzCase& fc, std::uint64_t perturb_seed,
+                    bool inject_flip_fault) {
+  mpi::RunConfig rc;
+  rc.machine.profile = net::cray_xc30_regular();
+  rc.machine.topo.nodes = fc.nodes;
+  rc.machine.topo.cores_per_node = fc.users_per_node + fc.ghosts;
+  rc.seed = fc.seed;
+  rc.perturb_seed = perturb_seed;
+  core::Config cc;
+  cc.ghosts_per_node = fc.ghosts;
+  cc.binding = fc.binding;
+  cc.dynamic = fc.dynamic;
+  cc.fault.flip_segment_binding = inject_flip_fault;
+
+  RunOutcome out;
+  out.content_hash.assign(static_cast<std::size_t>(fc.nusers()), 0);
+  ShadowOracle oracle;
+  mpi::Runtime rt(
+      rc, [&fc, &out](mpi::Env& env) { fuzz_body(env, fc, out); },
+      core::layer(cc));
+  rt.set_observer(&oracle);
+  rt.engine().set_schedule_trace(&out.trace);
+  rt.run();
+  out.atomicity_violations = rt.stats().get("atomicity_violations");
+  out.divergences = oracle.divergences();
+  out.commits = oracle.commits_seen();
+  return out;
+}
+
+std::uint64_t perturb_for(std::uint64_t seed, int s) {
+  if (s == 0) return 0;  // schedule 0 is always the classic order
+  sim::Rng rng(seed, 0x5eed + static_cast<std::uint64_t>(s));
+  const std::uint64_t v = rng.next_u64();
+  return v == 0 ? 1 : v;
+}
+
+int minimize_prefix(int total, const std::function<bool(int)>& fails) {
+  int lo = 1, hi = total;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (fails(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  // The bisection assumes failing prefixes stay failing when extended; the
+  // final check catches the (rare) non-monotone case.
+  return fails(lo) ? lo : total;
+}
+
+std::string write_repro(const Repro& r, const FuzzCase& fc,
+                        const RunOutcome& out, const std::string& dir) {
+  char name[128];
+  std::snprintf(name, sizeof(name),
+                "casper_repro_s%" PRIu64 "_p%" PRIu64 ".txt", r.seed,
+                r.perturb);
+  const std::string path = dir.empty() ? name : dir + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return {};
+  std::fprintf(f, "# casper conformance repro v1\n");
+  std::fprintf(f, "# replay: fuzz_conformance --replay %s\n", path.c_str());
+  std::fprintf(f, "kind %s\n", r.kind.c_str());
+  std::fprintf(f, "seed %" PRIu64 "\n", r.seed);
+  std::fprintf(f, "perturb %" PRIu64 "\n", r.perturb);
+  std::fprintf(f, "base_perturb %" PRIu64 "\n", r.base_perturb);
+  std::fprintf(f, "prefix %d\n", r.prefix_ops);
+  std::fprintf(f, "reduced %d\n", r.reduced ? 1 : 0);
+  std::fprintf(f, "fault %d\n", r.fault ? 1 : 0);
+  std::fprintf(
+      f,
+      "case nodes=%d users_per_node=%d ghosts=%d binding=%s dynamic=%d "
+      "epoch=%s rounds=%d mid_flush=%d pscw_nocheck=%d hint_exact=%d "
+      "acc_dt=%s acc_op=%s order_sensitive=%d slot_bytes=%zu\n",
+      fc.nodes, fc.users_per_node, fc.ghosts,
+      fc.binding == core::Binding::Segment ? "segment" : "rank",
+      static_cast<int>(fc.dynamic), to_string(fc.epoch), fc.rounds,
+      fc.mid_flush ? 1 : 0, fc.pscw_nocheck ? 1 : 0, fc.hint_exact ? 1 : 0,
+      dt_name(fc.acc_dt), aop_name(fc.acc_op), fc.order_sensitive ? 1 : 0,
+      fc.slot_bytes);
+  const int nshow = std::min<int>(r.prefix_ops,
+                                  static_cast<int>(fc.ops.size()));
+  for (int i = 0; i < nshow; ++i) {
+    const OpRec& op = fc.ops[static_cast<std::size_t>(i)];
+    std::fprintf(f,
+                 "op %d kind=%s aop=%s origin=%d target=%d round=%d "
+                 "disp=%zu count=%d dt=%s blocklen=%d stride=%d val=%lld\n",
+                 i, kind_name(op.kind), aop_name(op.aop), op.origin,
+                 op.target, op.round, op.disp, op.count, dt_name(op.tdt.base),
+                 op.tdt.blocklen, op.tdt.stride,
+                 static_cast<long long>(op.val));
+  }
+  for (const Divergence& d : out.divergences) {
+    std::fprintf(f,
+                 "divergence t=%.3fus where=\"%s\" win=%d span_off=%zu "
+                 "real=0x%02x shadow=0x%02x nbytes=%zu\n",
+                 sim::to_us(d.t), d.where.c_str(), d.win_id, d.span_off,
+                 d.real, d.shadow, d.nbytes);
+  }
+  std::fprintf(f, "violations %" PRIu64 "\n", out.atomicity_violations);
+  // Schedule-trace prefix: enough to show WHERE the failing interleaving
+  // departs from the classic one.
+  const std::size_t ntr = std::min<std::size_t>(out.trace.size(), 64);
+  std::fprintf(f, "sched");
+  for (std::size_t i = 0; i < ntr; ++i) {
+    std::fprintf(f, " %.3f:%d", sim::to_us(out.trace[i].t),
+                 out.trace[i].rank);
+  }
+  std::fprintf(f, "\n");
+  std::fclose(f);
+  return path;
+}
+
+bool parse_repro(const std::string& path, Repro& out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char line[512];
+  bool have_seed = false, have_kind = false;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    char kind[64];
+    int b = 0;
+    if (std::sscanf(line, "kind %63s", kind) == 1) {
+      out.kind = kind;
+      have_kind = true;
+    } else if (std::sscanf(line, "seed %" SCNu64, &out.seed) == 1) {
+      have_seed = true;
+    } else if (std::sscanf(line, "perturb %" SCNu64, &out.perturb) == 1) {
+    } else if (std::sscanf(line, "base_perturb %" SCNu64,
+                           &out.base_perturb) == 1) {
+    } else if (std::sscanf(line, "prefix %d", &out.prefix_ops) == 1) {
+    } else if (std::sscanf(line, "reduced %d", &b) == 1) {
+      out.reduced = b != 0;
+    } else if (std::sscanf(line, "fault %d", &b) == 1) {
+      out.fault = b != 0;
+    }
+  }
+  std::fclose(f);
+  return have_seed && have_kind;
+}
+
+bool replay(const Repro& r) {
+  FuzzCase fc = make_case(r.seed, r.reduced);
+  if (r.prefix_ops > 0 &&
+      r.prefix_ops < static_cast<int>(fc.ops.size())) {
+    fc.ops.resize(static_cast<std::size_t>(r.prefix_ops));
+  }
+  const RunOutcome out = run_case(fc, r.perturb, r.fault);
+  if (r.kind == "schedule-divergence") {
+    const RunOutcome base = run_case(fc, r.base_perturb, r.fault);
+    return out.content_hash != base.content_hash;
+  }
+  return !out.oracle_clean();
+}
+
+CampaignResult run_campaign(const CampaignOptions& opt) {
+  CampaignResult res;
+  for (int c = 0; c < opt.cases; ++c) {
+    const std::uint64_t seed = opt.base_seed + static_cast<std::uint64_t>(c);
+    const FuzzCase fc = make_case(seed, opt.reduced);
+    ++res.cases_run;
+
+    std::vector<RunOutcome> outs;
+    outs.reserve(static_cast<std::size_t>(opt.schedules));
+    int bad_schedule = -1;
+    for (int s = 0; s < opt.schedules; ++s) {
+      outs.push_back(run_case(fc, perturb_for(seed, s)));
+      ++res.runs;
+      res.total_commits += outs.back().commits;
+      if (!outs.back().oracle_clean() && bad_schedule < 0) bad_schedule = s;
+    }
+
+    if (bad_schedule >= 0) {
+      const std::uint64_t p = perturb_for(seed, bad_schedule);
+      const int k = minimize_prefix(
+          static_cast<int>(fc.ops.size()), [&](int n) {
+            FuzzCase t = fc;
+            t.ops.resize(static_cast<std::size_t>(n));
+            return !run_case(t, p).oracle_clean();
+          });
+      FuzzCase t = fc;
+      t.ops.resize(static_cast<std::size_t>(k));
+      const RunOutcome rerun = run_case(t, p);
+      Repro rp{seed, p, 0, k, opt.reduced, false, "oracle-divergence"};
+      Failure fl;
+      fl.seed = seed;
+      fl.perturb = p;
+      fl.kind = rp.kind;
+      fl.minimized_ops = k;
+      fl.repro_path = write_repro(rp, fc, rerun, opt.repro_dir);
+      res.failures.push_back(std::move(fl));
+      continue;
+    }
+
+    if (!fc.order_sensitive) {
+      for (int s = 1; s < opt.schedules; ++s) {
+        if (outs[static_cast<std::size_t>(s)].content_hash ==
+            outs[0].content_hash) {
+          continue;
+        }
+        const std::uint64_t p = perturb_for(seed, s);
+        const int k = minimize_prefix(
+            static_cast<int>(fc.ops.size()), [&](int n) {
+              FuzzCase t = fc;
+              t.ops.resize(static_cast<std::size_t>(n));
+              return run_case(t, p).content_hash !=
+                     run_case(t, 0).content_hash;
+            });
+        FuzzCase t = fc;
+        t.ops.resize(static_cast<std::size_t>(k));
+        const RunOutcome rerun = run_case(t, p);
+        Repro rp{seed, p, 0, k, opt.reduced, false, "schedule-divergence"};
+        Failure fl;
+        fl.seed = seed;
+        fl.perturb = p;
+        fl.kind = rp.kind;
+        fl.minimized_ops = k;
+        fl.repro_path = write_repro(rp, fc, rerun, opt.repro_dir);
+        res.failures.push_back(std::move(fl));
+        break;
+      }
+    }
+
+    if (opt.verbose && (c + 1) % 50 == 0) {
+      std::fprintf(stderr, "fuzz: %d/%d cases, %d runs, %" PRIu64
+                           " commits, %zu failure(s)\n",
+                   c + 1, opt.cases, res.runs, res.total_commits,
+                   res.failures.size());
+    }
+  }
+  return res;
+}
+
+}  // namespace casper::check

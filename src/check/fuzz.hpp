@@ -1,0 +1,157 @@
+// Randomized RMA conformance fuzzer.
+//
+// A seed deterministically generates a small RMA program (topology, Casper
+// config, epoch style, and an op stream of PUT/GET/ACC/GET_ACC/FAO — plus
+// CAS and ACC-Replace in explicitly order-sensitive cases), which is then run
+// under several perturbed fiber schedules (sim::Engine::Options::perturb_seed)
+// with the shadow-memory oracle attached. A case fails when
+//   * the oracle finds real window bytes diverging from the sequentially
+//     consistent reference at a synchronization point, or
+//   * the runtime's atomicity-violation detector fires, or
+//   * two legal schedules of a schedule-invariant program produce different
+//     final window contents.
+// Failures are minimized to the shortest failing op prefix and written as a
+// replayable repro file (seed + schedule + op trace).
+//
+// Programs are constructed to be schedule-invariant unless marked
+// order-sensitive: PUT targets per-origin-exclusive, per-round-disjoint slot
+// ranges with deterministic values; accumulates use one commutative operation
+// per case (Sum on exactly-representable values, or Min/Max) on a shared
+// region; GETs read a never-written slot. Order-sensitive cases (CAS,
+// ACC-Replace, mixed accumulate ops) keep every oracle check but skip the
+// cross-schedule content comparison.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/oracle.hpp"
+#include "core/casper.hpp"
+#include "mpi/types.hpp"
+#include "sim/engine.hpp"
+
+namespace casper::check {
+
+enum class EpochStyle { Fence, Pscw, Lock, LockAll };
+
+const char* to_string(EpochStyle e);
+
+/// One generated operation, fully resolved (so truncating the op stream is a
+/// pure prefix of the program).
+struct OpRec {
+  mpi::OpKind kind = mpi::OpKind::Put;
+  mpi::AccOp aop = mpi::AccOp::Replace;
+  int origin = 0;          ///< user rank issuing the op
+  int target = 0;          ///< user rank owning the memory
+  int round = 0;           ///< epoch round the op belongs to
+  std::size_t disp = 0;    ///< byte displacement in the target segment
+  int count = 0;           ///< target datatype blocks
+  mpi::Datatype tdt;       ///< target datatype (contig or stride-2 vector)
+  std::int64_t val = 0;    ///< deterministic value seed for the payload
+};
+
+/// A complete generated test case.
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  int nodes = 1;
+  int users_per_node = 2;
+  int ghosts = 1;
+  core::Binding binding = core::Binding::Rank;
+  core::DynamicLb dynamic = core::DynamicLb::None;
+  EpochStyle epoch = EpochStyle::Fence;
+  int rounds = 1;
+  bool mid_flush = false;    ///< Lock/LockAll: flush_all halfway (III.B.3)
+  bool pscw_nocheck = false; ///< PSCW: barrier + MPI_MODE_NOCHECK variant
+  bool hint_exact = false;   ///< set epochs_used info to exactly the style
+  mpi::Dt acc_dt = mpi::Dt::Double;
+  mpi::AccOp acc_op = mpi::AccOp::Sum;  ///< the case's commutative acc op
+  bool order_sensitive = false;
+  std::size_t slot_bytes = 64;  ///< per-slot bytes; layout below
+  std::vector<OpRec> ops;
+
+  int nusers() const { return nodes * users_per_node; }
+  /// Segment layout: nusers() per-origin put slots, then the shared
+  /// accumulate region, then a never-written read-only slot.
+  std::size_t seg_bytes() const {
+    return slot_bytes * static_cast<std::size_t>(nusers() + 2);
+  }
+};
+
+/// Deterministically generate the case for `seed`. `reduced` shrinks op
+/// counts and slot sizes for the ctest-time corpus.
+FuzzCase make_case(std::uint64_t seed, bool reduced);
+
+/// Outcome of one simulated run of a case.
+struct RunOutcome {
+  std::vector<Divergence> divergences;
+  std::uint64_t atomicity_violations = 0;
+  std::uint64_t commits = 0;
+  std::vector<std::uint64_t> content_hash;  ///< per user rank, own segment
+  std::vector<sim::Engine::SchedRecord> trace;
+
+  bool oracle_clean() const {
+    return divergences.empty() && atomicity_violations == 0;
+  }
+};
+
+/// Run the case once under schedule `perturb_seed` (0 = classic order).
+/// `inject_flip_fault` enables the deliberate segment→ghost binding bug.
+RunOutcome run_case(const FuzzCase& fc, std::uint64_t perturb_seed,
+                    bool inject_flip_fault = false);
+
+/// Schedule perturb seed of schedule index `s` for a case (s == 0 → 0).
+std::uint64_t perturb_for(std::uint64_t seed, int s);
+
+/// Smallest k in [1, total] for which `fails(k)` holds, assuming rough
+/// monotonicity (verified; falls back to `total` when the assumption broke).
+int minimize_prefix(int total, const std::function<bool(int)>& fails);
+
+/// Everything needed to replay one failure.
+struct Repro {
+  std::uint64_t seed = 0;
+  std::uint64_t perturb = 0;       ///< the failing schedule
+  std::uint64_t base_perturb = 0;  ///< comparison schedule (content diffs)
+  int prefix_ops = 0;              ///< minimized op-stream prefix length
+  bool reduced = true;
+  bool fault = false;
+  std::string kind;  ///< "oracle-divergence" | "schedule-divergence"
+};
+
+/// Write a human-readable, machine-replayable repro file; returns its path.
+std::string write_repro(const Repro& r, const FuzzCase& fc,
+                        const RunOutcome& out, const std::string& dir);
+bool parse_repro(const std::string& path, Repro& out);
+/// Re-run a parsed repro; true when the recorded failure reproduces.
+bool replay(const Repro& r);
+
+struct CampaignOptions {
+  std::uint64_t base_seed = 1;
+  int cases = 200;
+  int schedules = 4;
+  bool reduced = true;
+  std::string repro_dir = ".";
+  bool verbose = false;
+};
+
+struct Failure {
+  std::uint64_t seed = 0;
+  std::uint64_t perturb = 0;
+  std::string kind;
+  int minimized_ops = 0;
+  std::string repro_path;
+};
+
+struct CampaignResult {
+  int cases_run = 0;
+  int runs = 0;
+  std::uint64_t total_commits = 0;
+  std::vector<Failure> failures;
+};
+
+/// Run `cases` seeds × `schedules` schedules; minimize and write a repro for
+/// every failure.
+CampaignResult run_campaign(const CampaignOptions& opt);
+
+}  // namespace casper::check

@@ -1,0 +1,103 @@
+// Shadow-memory oracle: a sequentially consistent reference copy of every
+// simulated window, validated against real window bytes at synchronization
+// points.
+//
+// Key design decision — the shadow is keyed by PHYSICAL ADDRESS, not by
+// window. Casper deliberately aliases memory: its internal windows (the
+// per-local-user overlapping windows, the fence/pscw/lockall window, and the
+// node shared-memory windows) expose the very same node buffers as the user
+// window. A per-window shadow would diverge from itself the moment an op
+// arrives through a different alias. Address-keyed spans see one byte of
+// simulated memory exactly once, whatever window name an op used to reach it.
+//
+// Soundness argument (why a mismatch is always a real bug, never a false
+// positive): real target memory and the shadow are both mutated at the same
+// simulated instant — the runtime's commit (write phase / self-op execution)
+// calls the observer synchronously right after writing real bytes. Both
+// copies therefore step through identical states UNLESS the runtime's commit
+// was computed from a stale read: the software path reads target memory at
+// processing START and commits the derived value at processing END, so a
+// different entity committing in between makes the real write clobber that
+// update while the shadow (which applies the operation to its CURRENT state)
+// keeps it. That read-at-start/write-at-end overlap between different
+// processing entities is precisely the atomicity/ordering hazard the paper's
+// static binding exists to prevent (Section III.B) — i.e. the oracle
+// diverges exactly when MPI semantics were violated.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpi/observe.hpp"
+#include "sim/time.hpp"
+
+namespace casper::check {
+
+/// One detected mismatch between real window memory and the shadow copy.
+struct Divergence {
+  sim::Time t = 0;          ///< virtual time of the validating sync
+  std::string where;        ///< e.g. "flush_all by world rank 3"
+  int win_id = -1;          ///< a window whose registration covers the byte
+  std::uintptr_t addr = 0;  ///< absolute address of first differing byte
+  std::size_t span_off = 0; ///< offset of that byte inside its span
+  std::uint8_t real = 0;
+  std::uint8_t shadow = 0;
+  std::size_t nbytes = 0;   ///< total differing bytes in the span
+};
+
+class ShadowOracle final : public mpi::RmaObserver {
+ public:
+  // ---- mpi::RmaObserver ---------------------------------------------------
+  void on_win_register(mpi::WinImpl& win) override;
+  void on_win_free(mpi::WinImpl& win) override;
+  void on_op_commit(const mpi::AmOp& op, sim::Time t, int entity) override;
+  void on_sync(mpi::WinImpl& win, int world_rank, mpi::SyncKind kind,
+               sim::Time t) override;
+
+  /// Compare every registered byte against its shadow; returns the number of
+  /// NEW divergences found (also appended to divergences(), capped).
+  std::size_t validate(sim::Time t, const std::string& where);
+
+  const std::vector<Divergence>& divergences() const { return divs_; }
+  bool clean() const { return divs_.empty(); }
+
+  std::uint64_t commits_seen() const { return commits_; }
+  std::uint64_t syncs_seen() const { return syncs_; }
+  std::uint64_t validations() const { return validations_; }
+  std::uint64_t bytes_tracked() const;
+
+  /// Drop all spans and recorded divergences (reuse across runs).
+  void reset();
+
+ private:
+  /// A coalesced range of simulated memory with its reference copy. Spans
+  /// never overlap; registration merges intersecting/adjacent ranges.
+  struct Span {
+    std::uintptr_t lo = 0;
+    std::vector<std::byte> shadow;
+    int win_id = -1;  ///< most recent window registering any part of it
+    std::uintptr_t hi() const { return lo + shadow.size(); }
+  };
+
+  /// Register [lo, hi): merge with intersecting/adjacent spans and re-copy
+  /// the merged range from real memory (window creation is collective and
+  /// quiescent, so real == the correct reference state here; this also
+  /// handles heap-address reuse after a window free).
+  void add_range(std::uintptr_t lo, std::uintptr_t hi, int win_id);
+
+  /// Shadow storage for [addr, addr+len), or nullptr when the range is not
+  /// fully inside one registered span.
+  std::byte* shadow_at(std::uintptr_t addr, std::size_t len);
+
+  std::map<std::uintptr_t, Span> spans_;  // keyed by Span::lo
+  std::vector<Divergence> divs_;
+  std::uint64_t commits_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::uint64_t validations_ = 0;
+
+  static constexpr std::size_t kMaxRecorded = 32;
+};
+
+}  // namespace casper::check

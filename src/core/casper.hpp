@@ -64,6 +64,16 @@ struct Config {
   /// their own domain (paper II.A "topology-aware ghost placement").
   bool topology_aware = true;
   std::uint64_t seed = 7;
+  /// Test-only fault injection, used by the conformance harness to prove the
+  /// shadow oracle detects real binding bugs. Never set outside tests.
+  struct Fault {
+    /// Mirror the segment→ghost owner mapping for odd user origins: even and
+    /// odd origins then route the same segment to different ghosts, so two
+    /// processing entities read-modify-write the same bytes concurrently —
+    /// exactly the hazard static segment binding exists to prevent
+    /// (paper III.B.2). Requires ghosts_per_node >= 2 to have any effect.
+    bool flip_segment_binding = false;
+  } fault;
 };
 
 /// Layer factory to pass to mpi::exec / mpi::Runtime: installs Casper

@@ -234,10 +234,12 @@ class CasperLayer final : public mpi::Layer {
   /// The internal window carrying operations to user target `u` under the
   /// currently active epoch of `origin`.
   mpi::Win& route_window(CspWin& cw, int origin, int target);
-  /// Static binding: resolve an op on user target `u` into sub-ops.
-  void resolve_static(CspWin& cw, int target, std::size_t disp_bytes,
-                      int tcount, const mpi::Datatype& tdt,
-                      std::vector<SubOp>& out);
+  /// Static binding: resolve an op from user `origin` on user target `u`
+  /// into sub-ops. (`origin` only matters under fault injection, where the
+  /// segment→ghost map is deliberately made origin-dependent.)
+  void resolve_static(CspWin& cw, int origin, int target,
+                      std::size_t disp_bytes, int tcount,
+                      const mpi::Datatype& tdt, std::vector<SubOp>& out);
   /// Dynamic binding ghost choice (paper III.B.3), PUT/GET only.
   int choose_dynamic_ghost(mpi::Env& env, CspWin& cw, int origin, int node,
                            std::size_t bytes);

@@ -48,7 +48,7 @@ mpi::Win& CasperLayer::route_window(CspWin& cw, int origin, int target) {
   return cw.global_win;
 }
 
-void CasperLayer::resolve_static(CspWin& cw, int target,
+void CasperLayer::resolve_static(CspWin& cw, int origin, int target,
                                  std::size_t disp_bytes, int tcount,
                                  const Datatype& tdt,
                                  std::vector<SubOp>& out) {
@@ -72,7 +72,13 @@ void CasperLayer::resolve_static(CspWin& cw, int target,
   if (chunk == 0) chunk = mpi::kMaxBasicDtSize;
 
   auto owner = [&](std::size_t b) {
-    return std::min(b / chunk, g - 1);
+    std::size_t ow = std::min(b / chunk, g - 1);
+    // Injected fault (tests only): odd origins see a mirrored map, so two
+    // ghosts end up serving the same segment concurrently. A *consistent*
+    // flip would still be a valid binding; only the origin dependence
+    // breaks the one-segment-one-ghost invariant.
+    if (cfg_.fault.flip_segment_binding && (origin & 1)) ow = g - 1 - ow;
+    return ow;
   };
 
   const std::size_t es = tdt.elem_size();
@@ -259,16 +265,19 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
 
   // --- static binding -------------------------------------------------------
   std::vector<SubOp> subs;
-  resolve_static(cw, target, disp_bytes, tc, tdt, subs);
+  resolve_static(cw, me_u, target, disp_bytes, tc, tdt, subs);
 
-  // GetAcc cannot be split across ghosts (single fetched result); fall back
-  // to rank binding for such ops under segment binding.
-  if (subs.size() > 1 &&
-      (kind == OpKind::GetAcc || kind == OpKind::Fao || kind == OpKind::Cas)) {
-    subs.clear();
-    subs.push_back(SubOp{ti.bound_ghost, ti.offset + disp_bytes, tc, tdt, 0});
-    ++rt_->stats().counter("casper_segment_fallback_ops");
-  }
+  // Accumulate atomicity requires every target byte to be read-modify-
+  // written by exactly ONE processing entity, regardless of which op shapes
+  // touch it. Segment binding satisfies this because every accumulate-class
+  // op is routed (splitting if necessary) along the same byte->segment-owner
+  // map: chunk boundaries are 16B aligned, so a split never divides a basic
+  // element, and any two overlapping accumulates meet at the same ghost for
+  // the bytes they share. FAO/CAS operate on a single aligned basic element
+  // and therefore always fit in one segment.
+  MMPI_REQUIRE(subs.size() == 1 ||
+                   (kind != OpKind::Fao && kind != OpKind::Cas),
+               "casper: single-element op split a segment boundary");
 
   if (subs.size() == 1 && subs[0].payload_off == 0 &&
       mpi::data_bytes(subs[0].tcount, subs[0].tdt) == bytes) {
@@ -305,13 +314,16 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
   }
 
   // Split path (segment binding): pack the origin data once, then issue each
-  // piece as a contiguous op against its owning ghost.
+  // piece as a contiguous op against its owning ghost. GET_ACCUMULATE splits
+  // like GET on the result side: fetched pieces land in `gather` and are
+  // reassembled after a flush.
   MMPI_REQUIRE(kind == OpKind::Put || kind == OpKind::Get ||
-                   kind == OpKind::Acc,
+                   kind == OpKind::Acc || kind == OpKind::GetAcc,
                "casper: split not supported for this op kind");
+  const bool fetches = kind == OpKind::Get || kind == OpKind::GetAcc;
   std::vector<std::byte> packed;
   if (kind != OpKind::Get) packed = mpi::pack(o, oc, odt);
-  std::vector<std::byte> gather(kind == OpKind::Get ? bytes : 0);
+  std::vector<std::byte> gather(fetches ? bytes : 0);
 
   for (const SubOp& s : subs) {
     ++ep.ops_to_ghost[static_cast<std::size_t>(s.ghost)];
@@ -331,12 +343,18 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
         pmpi_->get(env, gather.data() + s.payload_off, s.tcount, s.tdt,
                    s.ghost, s.tdisp, s.tcount, s.tdt, iw);
         break;
+      case OpKind::GetAcc:
+        pmpi_->get_accumulate(env, packed.data() + s.payload_off, s.tcount,
+                              s.tdt, gather.data() + s.payload_off, s.tcount,
+                              s.tdt, s.ghost, s.tdisp, s.tcount, s.tdt, op,
+                              iw);
+        break;
       default:
         break;
     }
     ++rt_->stats().counter("casper_split_subops");
   }
-  if (kind == OpKind::Get) {
+  if (fetches) {
     // The pieces land in `gather` asynchronously; unpacking into the user's
     // (possibly strided) origin buffer must wait for completion. We wait
     // here (a flush on the involved ghosts), trading a little overlap for
@@ -392,6 +410,31 @@ void CasperLayer::exec_self(Env& env, OpKind kind, AccOp op, const void* o,
       MMPI_REQUIRE(false, "casper: bad self op");
   }
   ++rt_->stats().counter("casper_self_ops");
+
+  if (rt_->observer() != nullptr) {
+    // Self PUT/GET bypass the runtime's AM path entirely (direct load/store
+    // above); synthesize the committed op so the shadow oracle sees it.
+    mpi::AmOp aop;
+    aop.kind = kind;
+    aop.op = op;
+    aop.origin_world = env.world_rank();
+    aop.target_world = env.world_rank();
+    aop.win = cw.user_win.get();
+    aop.origin_comm_rank = target;
+    aop.target_comm_rank = target;
+    aop.target_disp = disp_bytes;
+    aop.target_count = tc;
+    aop.target_dt = tdt;
+    if (kind == OpKind::Cas) {
+      const std::size_t es = tdt.elem_size();
+      aop.payload.resize(2 * es);
+      std::memcpy(aop.payload.data(), o, es);
+      std::memcpy(aop.payload.data() + es, o2, es);
+    } else if (kind != OpKind::Get) {
+      aop.payload = mpi::pack(o, oc, odt);
+    }
+    rt_->observe_commit(aop, env.now(), env.world_rank());
+  }
 }
 
 // ---------------------------------------------------------- public RMA ----
@@ -468,6 +511,10 @@ void CasperLayer::win_fence(Env& env, unsigned mode_assert, const Win& w) {
     pmpi_->win_sync(env, cw->global_win);
   }
   ep.fence_open = !(mode_assert & mpi::kModeNoSucceed);
+  // Report the *user-facing* sync on the user window: the oracle validates
+  // real window bytes here, after the translated completion above.
+  rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Fence,
+                    env.now());
 }
 
 void CasperLayer::win_post(Env& env, const mpi::Group& g, unsigned mode_assert,
@@ -533,6 +580,8 @@ void CasperLayer::win_complete(Env& env, const Win& w) {
                 user_world_);
   }
   ep.access_group.clear();
+  rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Complete,
+                    env.now());
 }
 
 void CasperLayer::win_wait(Env& env, const Win& w) {
@@ -552,6 +601,8 @@ void CasperLayer::win_wait(Env& env, const Win& w) {
   }
   ep.exposure_group.clear();
   pmpi_->win_sync(env, cw->global_win);
+  rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Wait,
+                    env.now());
 }
 
 void CasperLayer::win_lock(Env& env, mpi::LockType type, int target,
@@ -608,6 +659,8 @@ void CasperLayer::win_unlock(Env& env, int target, const Win& w) {
   }
   tl.locked = false;
   tl.binding_free = false;
+  rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Unlock,
+                    env.now());
 }
 
 void CasperLayer::win_lock_all(Env& env, unsigned mode_assert, const Win& w) {
@@ -662,6 +715,8 @@ void CasperLayer::win_unlock_all(Env& env, const Win& w) {
   }
   ep.lockall = false;
   for (auto& tl : ep.tl) tl.binding_free = false;
+  rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::UnlockAll,
+                    env.now());
 }
 
 void CasperLayer::win_flush(Env& env, int target, const Win& w) {
@@ -685,6 +740,8 @@ void CasperLayer::win_flush(Env& env, int target, const Win& w) {
   // After a completed flush the lock is known acquired: the
   // static-binding-free interval begins (paper III.B.3).
   if (tl.locked) tl.binding_free = true;
+  rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Flush,
+                    env.now());
 }
 
 void CasperLayer::win_flush_all(Env& env, const Win& w) {
@@ -701,6 +758,8 @@ void CasperLayer::win_flush_all(Env& env, const Win& w) {
     }
   }
   (void)me_u;
+  rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::FlushAll,
+                    env.now());
 }
 
 void CasperLayer::win_flush_local(Env& env, int target, const Win& w) {

@@ -1,0 +1,72 @@
+// Passive observation hooks for RMA conformance checking.
+//
+// An RmaObserver registered with the Runtime sees three kinds of facts, all
+// reported at the simulated instant they become true:
+//   * window lifetime     — a window finished collective creation / was freed;
+//   * operation commits   — a software-path or self-executed RMA operation
+//                           committed its target-memory write (the write phase
+//                           of the read-at-start / write-at-end model), i.e.
+//                           the moment real window bytes changed;
+//   * synchronization     — a rank completed a synchronization call (fence,
+//                           unlock, flush, complete/wait) after which MPI
+//                           guarantees its operations are visible.
+//
+// Observers are strictly passive: they may read simulated memory but must not
+// issue MPI calls, advance time, or touch engine state. The runtime invokes
+// them synchronously while holding the token, so the simulation is quiescent
+// at every callback. A null observer costs one pointer test per commit.
+#pragma once
+
+#include "mpi/am.hpp"
+#include "sim/time.hpp"
+
+namespace casper::mpi {
+
+class WinImpl;
+
+/// Which synchronization primitive completed (from the caller's view; the
+/// Casper layer reports the *user-facing* call, not its internal translation).
+enum class SyncKind {
+  Fence,
+  Unlock,
+  UnlockAll,
+  Flush,
+  FlushAll,
+  Complete,
+  Wait,
+};
+
+inline const char* to_string(SyncKind k) {
+  switch (k) {
+    case SyncKind::Fence: return "fence";
+    case SyncKind::Unlock: return "unlock";
+    case SyncKind::UnlockAll: return "unlock_all";
+    case SyncKind::Flush: return "flush";
+    case SyncKind::FlushAll: return "flush_all";
+    case SyncKind::Complete: return "complete";
+    case SyncKind::Wait: return "wait";
+  }
+  return "?";
+}
+
+class RmaObserver {
+ public:
+  virtual ~RmaObserver() = default;
+
+  /// A window finished collective creation; every rank's segments are final.
+  virtual void on_win_register(WinImpl& win) = 0;
+
+  /// A window is about to be freed (memory may be reused afterwards).
+  virtual void on_win_free(WinImpl& win) = 0;
+
+  /// Operation `op` committed against target memory at time `t`, processed
+  /// by world rank `entity` (the target itself when polling / self-executing,
+  /// or the serving agent / ghost).
+  virtual void on_op_commit(const AmOp& op, sim::Time t, int entity) = 0;
+
+  /// World rank `world_rank` completed synchronization `kind` on `win`.
+  virtual void on_sync(WinImpl& win, int world_rank, SyncKind kind,
+                       sim::Time t) = 0;
+};
+
+}  // namespace casper::mpi

@@ -31,6 +31,7 @@
 #include "mpi/comm.hpp"
 #include "mpi/env.hpp"
 #include "mpi/layer.hpp"
+#include "mpi/observe.hpp"
 #include "mpi/request.hpp"
 #include "mpi/types.hpp"
 #include "mpi/win.hpp"
@@ -51,6 +52,11 @@ struct RunConfig {
   /// PROT_NONE guard page below — see sim::Fiber). Stacks are lazily-faulted
   /// private mappings, so large rank counts cost address space, not memory.
   std::size_t stack_bytes = 256 * 1024;
+  /// Forwarded to sim::Engine::Options::perturb_seed: non-zero explores a
+  /// seeded alternative (but reproducible) tie-break order for equal-time
+  /// scheduling decisions. The conformance fuzzer sweeps this to enumerate
+  /// interleavings of one program.
+  std::uint64_t perturb_seed = 0;
 };
 
 /// Factory for the interception layer of a run (PMPI model); receives the
@@ -194,6 +200,20 @@ class Runtime {
     return dedicated_[static_cast<std::size_t>(world_rank)];
   }
 
+  // ------------------------------------------------------------------------
+  // Conformance observation (see mpi/observe.hpp). The observer outlives the
+  // run; layers report user-facing sync events through observe_sync.
+  // ------------------------------------------------------------------------
+  void set_observer(RmaObserver* obs) { observer_ = obs; }
+  RmaObserver* observer() const { return observer_; }
+  void observe_commit(const AmOp& op, sim::Time t, int entity) {
+    if (observer_) observer_->on_op_commit(op, t, entity);
+  }
+  void observe_sync(WinImpl& win, int world_rank, SyncKind kind,
+                    sim::Time t) {
+    if (observer_) observer_->on_sync(win, world_rank, kind, t);
+  }
+
  private:
   struct RankIo {
     std::deque<AmOp> inbox;        // software RMA ops awaiting progress
@@ -283,6 +303,7 @@ class Runtime {
   int next_comm_id_ = 1;
   int next_win_id_ = 1;
   std::uint64_t next_opid_ = 1;
+  RmaObserver* observer_ = nullptr;
 };
 
 /// Convenience: build a runtime and run `user_main` on every rank.

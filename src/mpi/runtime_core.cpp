@@ -37,6 +37,7 @@ Runtime::Runtime(RunConfig cfg, std::function<void(Env&)> user_main,
   eo.nranks = n;
   eo.seed = cfg_.seed;
   eo.stack_bytes = cfg_.stack_bytes;
+  eo.perturb_seed = cfg_.perturb_seed;
   // Engine construction is cheap: rank fibers (and their guard-paged stacks)
   // are only created inside run(). The rank body below therefore always sees
   // layer_ assigned, even though the factory runs after this line so that it
@@ -431,6 +432,7 @@ void Runtime::am_write_phase(const AmOp& op, std::vector<std::byte>&& staged,
   }
 
   record_access(lo, hi, t0, t1, entity, is_write);
+  observe_commit(op, t1, entity);
   schedule_ack(op, t1, std::move(ack_data));
 }
 
@@ -488,6 +490,7 @@ void Runtime::exec_self(Env& env, const AmOp& op) {
     case OpKind::LockRelease:
       MMPI_REQUIRE(false, "lock ops are not self-executed ops");
   }
+  observe_commit(op, t, env.world_rank());
   (void)staged;
 }
 

@@ -95,6 +95,7 @@ Win Runtime::p_win_allocate(Env& env, std::size_t bytes,
           }
         }
         win_registry_.push_back(win);
+        if (observer_) observer_->on_win_register(*win);
         for (const auto& p : cm.coll.parts) {
           *static_cast<Win*>(p.dst) = win;
         }
@@ -127,6 +128,7 @@ Win Runtime::p_win_create(Env& env, void* base, std::size_t bytes,
       seg.disp_unit = static_cast<std::size_t>(p.b);
     }
     win_registry_.push_back(win);
+    if (observer_) observer_->on_win_register(*win);
     for (const auto& p : parts) {
       *static_cast<Win*>(p.dst) = win;
     }
@@ -146,6 +148,9 @@ void Runtime::p_win_free(Env& env, Win& win) {
                  "win_free with incomplete operations");
   }
   p_barrier(env, win->comm());
+  // Report once (from the lowest-ranked member) so the observer drops its
+  // reference copy exactly when the collective free completes.
+  if (observer_ && me == 0) observer_->on_win_free(*win);
   win.reset();
 }
 
@@ -283,6 +288,7 @@ void Runtime::p_win_fence(Env& env, unsigned mode_assert, const Win& win) {
   p_barrier(env, win->comm());
   my.fence_open = !(mode_assert & kModeNoSucceed);
   my.epoch = my.fence_open ? EpochKind::Fence : EpochKind::None;
+  observe_sync(*win, env.world_rank(), SyncKind::Fence, env.now());
 }
 
 // -------------------------------------------------------- PSCW epochs ----
@@ -348,6 +354,7 @@ void Runtime::p_win_complete(Env& env, const Win& win) {
   }
   my.access_group.clear();
   if (my.epoch == EpochKind::Pscw) my.epoch = EpochKind::None;
+  observe_sync(*win, env.world_rank(), SyncKind::Complete, env.now());
 }
 
 void Runtime::p_win_wait(Env& env, const Win& win) {
@@ -358,6 +365,7 @@ void Runtime::p_win_wait(Env& env, const Win& win) {
   progress_wait(env, [&my, need]() { return my.completes_seen >= need; });
   my.completes_seen -= need;
   my.exposure_group.clear();
+  observe_sync(*win, env.world_rank(), SyncKind::Wait, env.now());
 }
 
 // ----------------------------------------------------- passive epochs ----
@@ -449,6 +457,7 @@ void Runtime::p_win_unlock(Env& env, int target, const Win& win) {
     if (ts.lock_st != LockSt::None) any_locked = true;
   }
   if (!any_locked && my.epoch == EpochKind::Lock) my.epoch = EpochKind::None;
+  observe_sync(*win, env.world_rank(), SyncKind::Unlock, env.now());
 }
 
 void Runtime::p_win_lock_all(Env& env, unsigned mode_assert, const Win& win) {
@@ -492,6 +501,7 @@ void Runtime::p_win_unlock_all(Env& env, const Win& win) {
     }
   }
   my.epoch = EpochKind::None;
+  observe_sync(*win, env.world_rank(), SyncKind::UnlockAll, env.now());
 }
 
 // ------------------------------------------------------------- flushes ----
@@ -525,6 +535,7 @@ void Runtime::p_win_flush(Env& env, int target, const Win& win) {
   // delayed lock that was never used stays unacquired, as in MPICH); when
   // operations were issued, the acquisition was already triggered by them.
   flush_target(env, target, *win, /*force_lock=*/false);
+  observe_sync(*win, env.world_rank(), SyncKind::Flush, env.now());
 }
 
 void Runtime::p_win_flush_all(Env& env, const Win& win) {
@@ -537,6 +548,7 @@ void Runtime::p_win_flush_all(Env& env, const Win& win) {
       flush_target(env, t, *win, /*force_lock=*/false);
     }
   }
+  observe_sync(*win, env.world_rank(), SyncKind::FlushAll, env.now());
 }
 
 void Runtime::p_win_flush_local(Env& env, int target, const Win& win) {

@@ -36,6 +36,9 @@ Engine::Engine(Options opts, RankMain main)
     ranks_.push_back(std::make_unique<RankState>(this, r));
     ranks_.back()->rng = Rng(opts_.seed, static_cast<std::uint64_t>(r));
   }
+  // Stream id well clear of the rank id space so perturbation salts never
+  // correlate with any rank's own random stream.
+  perturb_rng_ = Rng(opts_.perturb_seed, 0xfeedfacecafeULL);
 }
 
 Engine::~Engine() = default;  // RankState::fiber unmaps each stack
@@ -83,7 +86,7 @@ void Engine::yield_to_scheduler(int rank, bool exiting) {
 void Engine::make_ready(int rank, Time t) {
   RankState& rs = *ranks_[rank];
   rs.st = St::Ready;
-  ready_.push(HeapItem{t, seq_++, rank});
+  ready_.push(HeapItem{t, seq_++, next_salt(), rank});
 }
 
 void Engine::post_event(Time t, std::function<void()> cb) {
@@ -96,7 +99,7 @@ void Engine::post_event(Time t, std::function<void()> cb) {
     free_slots_.pop_back();
     event_cbs_[slot] = std::move(cb);
   }
-  events_.push(EventKey{t, seq_++, slot});
+  events_.push(EventKey{t, seq_++, next_salt(), slot});
 }
 
 void Engine::advance_self_to(Time t) {
@@ -205,6 +208,7 @@ void Engine::run() {
       event_cbs_[key.slot] = nullptr;
       free_slots_.push_back(key.slot);
       if (key.t > horizon_) horizon_ = key.t;
+      if (sched_trace_) sched_trace_->push_back(SchedRecord{key.t, -1});
       cb();
       continue;
     }
@@ -215,6 +219,7 @@ void Engine::run() {
     if (item.t > rs.now) rs.now = item.t;
     if (rs.now > horizon_) horizon_ = rs.now;
     rs.st = St::Running;
+    if (sched_trace_) sched_trace_->push_back(SchedRecord{item.t, item.rank});
     hand_token_to(item.rank);
   }
   running_ = false;

@@ -87,6 +87,15 @@ class Engine {
     std::uint64_t seed = 12345;
     /// Usable stack bytes per rank fiber (page-rounded, guard page added).
     std::size_t stack_bytes = 256 * 1024;
+    /// Non-zero: perturb scheduling tie-breaks. Parties scheduled for the
+    /// SAME virtual time are ordered by a seeded pseudo-random salt instead
+    /// of (rank, seq), so each perturb_seed explores a different — but still
+    /// bit-reproducible — legal interleaving. Events still run before ranks
+    /// at equal timestamps (deliveries stay visible to a rank resuming at
+    /// that instant), and virtual-time ordering is never violated, so every
+    /// perturbed schedule is one the unperturbed rules could legally emit
+    /// under different message timings. 0 = classic deterministic order.
+    std::uint64_t perturb_seed = 0;
   };
   using RankMain = std::function<void(Context&)>;
 
@@ -153,6 +162,21 @@ class Engine {
   /// Context of the calling fiber; aborts if called off a rank fiber.
   static Context& current();
 
+  /// One scheduling decision: at virtual time `t` the engine handed the
+  /// token to `rank` (or ran an event callback, rank == -1).
+  struct SchedRecord {
+    Time t;
+    int rank;  // -1 for event callbacks
+  };
+
+  /// Capture every scheduling decision into `sink` (null disables capture).
+  /// The recorded sequence identifies a schedule exactly: together with
+  /// (seed, perturb_seed) it makes interleaving bugs replayable and lets a
+  /// repro file show *where* two schedules diverged.
+  void set_schedule_trace(std::vector<SchedRecord>* sink) {
+    sched_trace_ = sink;
+  }
+
  private:
   friend class Context;
 
@@ -173,9 +197,11 @@ class Engine {
   struct HeapItem {
     Time t;
     std::uint64_t seq;
-    int rank;  // -1 for events
+    std::uint64_t salt;  // 0 unless schedule perturbation is on
+    int rank;            // -1 for events
     bool operator>(const HeapItem& o) const {
       if (t != o.t) return t > o.t;
+      if (salt != o.salt) return salt > o.salt;
       if (rank != o.rank) {
         // Events (-1) before ranks at equal time, then lower rank first.
         return rank > o.rank || (rank >= 0 && o.rank < 0);
@@ -185,15 +211,23 @@ class Engine {
   };
 
   /// Heap entry for a pending event; the callback lives in a pooled slot
-  /// (event_cbs_) so heap sifts move 24 plain bytes, never a std::function.
+  /// (event_cbs_) so heap sifts move 32 plain bytes, never a std::function.
   struct EventKey {
     Time t;
     std::uint64_t seq;
+    std::uint64_t salt;  // 0 unless schedule perturbation is on
     std::uint32_t slot;
     bool operator>(const EventKey& o) const {
-      return t != o.t ? t > o.t : seq > o.seq;
+      if (t != o.t) return t > o.t;
+      if (salt != o.salt) return salt > o.salt;
+      return seq > o.seq;
     }
   };
+
+  /// Tie-break salt for the next heap push (0 when perturbation is off).
+  std::uint64_t next_salt() {
+    return opts_.perturb_seed == 0 ? 0 : perturb_rng_.next_u64();
+  }
 
   static void fiber_trampoline(void* arg);
   void rank_fiber_body(int rank);
@@ -218,6 +252,9 @@ class Engine {
   bool running_ = false;
 
   Fiber sched_fiber_;  // adopts the thread that calls run()
+
+  Rng perturb_rng_;  // tie-break salt stream (seeded by Options::perturb_seed)
+  std::vector<SchedRecord>* sched_trace_ = nullptr;
 
   std::function<void()> deadlock_dump_;
   Stats stats_;

@@ -1,0 +1,172 @@
+// Conformance fuzzer driver (not a gtest binary).
+//
+// Default run (what ctest invokes): a reduced corpus of seeded programs, each
+// executed under several perturbed fiber schedules with the shadow oracle
+// attached, followed by a fault-proof phase that injects the deliberate
+// segment-binding bug and REQUIRES the harness to catch it and produce a
+// replayable repro. Exits non-zero on any real failure — including the
+// injected bug going undetected, which would mean the harness lost its teeth.
+//
+//   fuzz_conformance [--cases N] [--schedules N] [--base-seed N] [--full]
+//                    [--out DIR] [--no-fault-proof] [--verbose]
+//   fuzz_conformance --replay FILE      # re-run a recorded repro
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/fuzz.hpp"
+
+using namespace casper;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fuzz_conformance [--cases N] [--schedules N] "
+               "[--base-seed N] [--full] [--out DIR] [--no-fault-proof] "
+               "[--verbose] | --replay FILE\n");
+  return 2;
+}
+
+/// Inject the flipped segment->ghost binding into suitable cases until one
+/// run trips the oracle; write and replay the repro. Returns true when the
+/// bug was caught AND the repro reproduces it.
+bool fault_proof(std::uint64_t base_seed, int schedules, bool reduced,
+                 const std::string& out_dir, bool verbose) {
+  for (std::uint64_t seed = base_seed; seed < base_seed + 500; ++seed) {
+    check::FuzzCase fc = check::make_case(seed, reduced);
+    // The fault only has a surface when segment binding actually spreads one
+    // target over >= 2 ghosts.
+    if (fc.binding != core::Binding::Segment || fc.ghosts < 2) continue;
+    for (int s = 0; s < schedules; ++s) {
+      const std::uint64_t p = check::perturb_for(seed, s);
+      const check::RunOutcome out =
+          check::run_case(fc, p, /*inject_flip_fault=*/true);
+      if (out.oracle_clean()) continue;
+
+      const int k = check::minimize_prefix(
+          static_cast<int>(fc.ops.size()), [&](int n) {
+            check::FuzzCase t = fc;
+            t.ops.resize(static_cast<std::size_t>(n));
+            return !check::run_case(t, p, true).oracle_clean();
+          });
+      check::FuzzCase t = fc;
+      t.ops.resize(static_cast<std::size_t>(k));
+      const check::RunOutcome rerun = check::run_case(t, p, true);
+      check::Repro rp{seed, p, 0, k, reduced, /*fault=*/true,
+                      "oracle-divergence"};
+      const std::string path = check::write_repro(rp, fc, rerun, out_dir);
+      if (path.empty()) {
+        std::fprintf(stderr, "fault-proof: could not write repro file\n");
+        return false;
+      }
+      check::Repro back;
+      if (!check::parse_repro(path, back)) {
+        std::fprintf(stderr, "fault-proof: could not parse %s\n",
+                     path.c_str());
+        return false;
+      }
+      if (!check::replay(back)) {
+        std::fprintf(stderr,
+                     "fault-proof: repro %s did not reproduce on replay\n",
+                     path.c_str());
+        return false;
+      }
+      if (verbose) {
+        std::fprintf(stderr,
+                     "fault-proof: injected binding bug caught (seed %" PRIu64
+                     ", schedule %d, minimized to %d op(s)), repro %s "
+                     "replays\n",
+                     seed, s, k, path.c_str());
+      }
+      return true;
+    }
+  }
+  std::fprintf(stderr,
+               "fault-proof: injected binding bug was NOT detected in any "
+               "candidate case\n");
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  check::CampaignOptions opt;
+  opt.cases = 200;
+  opt.schedules = 4;
+  opt.reduced = true;
+  bool do_fault_proof = true;
+  const char* replay_path = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--cases") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opt.cases = std::atoi(v);
+    } else if (a == "--schedules") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opt.schedules = std::atoi(v);
+    } else if (a == "--base-seed") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opt.base_seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--out") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opt.repro_dir = v;
+    } else if (a == "--full") {
+      opt.reduced = false;
+    } else if (a == "--no-fault-proof") {
+      do_fault_proof = false;
+    } else if (a == "--verbose") {
+      opt.verbose = true;
+    } else if (a == "--replay") {
+      replay_path = next();
+      if (replay_path == nullptr) return usage();
+    } else {
+      return usage();
+    }
+  }
+
+  if (replay_path != nullptr) {
+    check::Repro r;
+    if (!check::parse_repro(replay_path, r)) {
+      std::fprintf(stderr, "replay: cannot parse %s\n", replay_path);
+      return 2;
+    }
+    const bool reproduced = check::replay(r);
+    std::printf("replay %s: %s (%s, seed %" PRIu64 ", perturb %" PRIu64
+                ", %d op prefix)\n",
+                replay_path, reproduced ? "REPRODUCED" : "did not reproduce",
+                r.kind.c_str(), r.seed, r.perturb, r.prefix_ops);
+    return reproduced ? 0 : 1;
+  }
+
+  const check::CampaignResult res = check::run_campaign(opt);
+  std::printf("fuzz_conformance: %d case(s) x %d schedule(s) = %d run(s), "
+              "%" PRIu64 " observed commits, %zu failure(s)\n",
+              res.cases_run, opt.schedules, res.runs, res.total_commits,
+              res.failures.size());
+  for (const auto& f : res.failures) {
+    std::fprintf(stderr,
+                 "FAILURE seed %" PRIu64 " perturb %" PRIu64
+                 " kind %s minimized %d op(s) repro %s\n",
+                 f.seed, f.perturb, f.kind.c_str(), f.minimized_ops,
+                 f.repro_path.c_str());
+  }
+
+  bool ok = res.failures.empty();
+  if (do_fault_proof) {
+    ok = fault_proof(opt.base_seed, opt.schedules, opt.reduced, opt.repro_dir,
+                     opt.verbose || true) &&
+         ok;
+  }
+  return ok ? 0 : 1;
+}

@@ -8,6 +8,12 @@
 // through two windows with different target ranks (exactly what Casper's
 // overlapping ghost windows do), then driving concurrent accumulates through
 // both paths with no binding discipline.
+//
+// Determinism: instead of trusting one lucky default interleaving, the tests
+// sweep the engine's schedule-perturbation seed (RunConfig::perturb_seed).
+// The hazard must be DETECTED under every legal schedule (the checker is
+// interval-based, not luck-based), each run must be bit-reproducible for its
+// seed, and the bound control must stay exact under all of them.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -26,20 +32,25 @@ using mpi::LockType;
 using mpi::RunConfig;
 using mpi::Win;
 
-RunConfig cfg(int nodes, int cpn) {
-  RunConfig c;
-  c.machine.profile = net::cray_xc30_regular();
-  c.machine.topo.nodes = nodes;
-  c.machine.topo.cores_per_node = cpn;
-  return c;
-}
-
-TEST(AtomicityHazard, UnboundConcurrentAccumulatesLoseUpdatesAndAreDetected) {
-  // Ranks 0,1 act as "ghosts" both exposing rank 0's buffer; ranks 2,3 are
-  // origins that accumulate through DIFFERENT ghosts into the same bytes.
-  double final_value = 0;
+struct HazardResult {
+  double final_value = -1.0;
   std::uint64_t violations = 0;
-  mpi::exec(cfg(2, 2), [&](mpi::Env& env) {
+
+  bool operator==(const HazardResult&) const = default;
+};
+
+/// Ranks 0,1 act as "ghosts" both exposing rank 0's buffer; ranks 2,3 are
+/// origins. With `bind_same_entity` both origins accumulate through ghost 0
+/// (the binding discipline); otherwise each uses a different ghost and the
+/// unsynchronized RMW interleaving loses updates.
+HazardResult run_hazard(bool bind_same_entity, std::uint64_t perturb_seed) {
+  RunConfig rc;
+  rc.machine.profile = net::cray_xc30_regular();
+  rc.machine.topo.nodes = 2;
+  rc.machine.topo.cores_per_node = 2;
+  rc.perturb_seed = perturb_seed;
+  HazardResult res;
+  mpi::exec(rc, [&](mpi::Env& env) {
     Comm w = env.world();
     static std::vector<double> shared_buf;  // rank 0's exposed memory
     if (env.rank(w) == 0) shared_buf.assign(1, 0.0);
@@ -53,7 +64,7 @@ TEST(AtomicityHazard, UnboundConcurrentAccumulatesLoseUpdatesAndAreDetected) {
 
     env.barrier(w);
     if (env.rank(w) >= 2) {
-      const int my_ghost = env.rank(w) - 2;  // origin 2 -> ghost 0, 3 -> 1
+      const int my_ghost = bind_same_entity ? 0 : env.rank(w) - 2;
       env.win_lock(LockType::Shared, my_ghost, 0, win);
       double one = 1.0;
       for (int i = 0; i < 50; ++i) {
@@ -67,51 +78,52 @@ TEST(AtomicityHazard, UnboundConcurrentAccumulatesLoseUpdatesAndAreDetected) {
     if (env.rank(w) >= 2) env.barrier(env.world());
     env.barrier(w);
     if (env.rank(w) == 0) {
-      final_value = shared_buf[0];
-      violations = env.runtime().stats().get("atomicity_violations");
+      res.final_value = shared_buf[0];
+      res.violations = env.runtime().stats().get("atomicity_violations");
     }
     env.win_free(win);
   });
-  // 100 increments were issued; interleaved unsynchronized RMW loses some.
-  EXPECT_LT(final_value, 100.0);
-  EXPECT_GT(violations, 0u);
+  return res;
 }
 
-TEST(AtomicityHazard, SameProcessingEntityStaysExact) {
-  // Control: both origins accumulate through the SAME target (rank binding
-  // discipline): serialization at one entity keeps the result exact.
-  double final_value = 0;
-  std::uint64_t violations = 1;
-  mpi::exec(cfg(2, 2), [&](mpi::Env& env) {
-    Comm w = env.world();
-    static std::vector<double> shared_buf;
-    if (env.rank(w) == 0) shared_buf.assign(1, 0.0);
-    env.barrier(w);
-    const bool ghostish = env.rank(w) < 2;
-    void* mybase = ghostish ? shared_buf.data() : nullptr;
-    const std::size_t mysize = ghostish ? sizeof(double) : 0;
-    Win win = env.win_create(mybase, mysize, sizeof(double), Info{}, w);
-    env.barrier(w);
-    if (env.rank(w) >= 2) {
-      env.win_lock(LockType::Shared, 0, 0, win);  // everyone via ghost 0
-      double one = 1.0;
-      for (int i = 0; i < 50; ++i) {
-        env.accumulate(&one, 1, 0, 0, AccOp::Sum, win);
-      }
-      env.win_unlock(0, win);
-    } else {
-      env.barrier(env.world());
+constexpr std::uint64_t kPerturbSeeds[] = {0, 0x1d, 0xbeef, 0xf00dcafe,
+                                           0x123456789abcdefULL};
+
+TEST(AtomicityHazard, UnboundConcurrentAccumulatesDetectedUnderAllSchedules) {
+  for (const std::uint64_t p : kPerturbSeeds) {
+    const HazardResult r = run_hazard(/*bind_same_entity=*/false, p);
+    // 100 increments were issued; the interval checker must flag the
+    // overlapping unsynchronized RMWs whatever the tie-break order, and
+    // lost updates can never push the result past the exact sum.
+    EXPECT_GT(r.violations, 0u) << "perturb " << p;
+    EXPECT_LE(r.final_value, 100.0) << "perturb " << p;
+    // Same program + same schedule seed = bit-identical outcome.
+    EXPECT_EQ(run_hazard(false, p), r) << "perturb " << p;
+  }
+}
+
+TEST(AtomicityHazard, LostUpdatesManifestUnderSomeSchedule) {
+  // The value loss itself IS schedule-dependent — that is the point of the
+  // hazard. Sweeping seeds must surface at least one interleaving that
+  // actually drops updates (deterministically reproducible by its seed).
+  bool lost_somewhere = false;
+  for (const std::uint64_t p : kPerturbSeeds) {
+    if (run_hazard(false, p).final_value < 100.0) {
+      lost_somewhere = true;
+      break;
     }
-    if (env.rank(w) >= 2) env.barrier(env.world());
-    env.barrier(w);
-    if (env.rank(w) == 0) {
-      final_value = shared_buf[0];
-      violations = env.runtime().stats().get("atomicity_violations");
-    }
-    env.win_free(win);
-  });
-  EXPECT_EQ(final_value, 100.0);
-  EXPECT_EQ(violations, 0u);
+  }
+  EXPECT_TRUE(lost_somewhere);
+}
+
+TEST(AtomicityHazard, SameProcessingEntityStaysExactUnderAllSchedules) {
+  // Control: with the binding discipline (everyone through ghost 0), the
+  // result is exact and the checker silent under every schedule.
+  for (const std::uint64_t p : kPerturbSeeds) {
+    const HazardResult r = run_hazard(/*bind_same_entity=*/true, p);
+    EXPECT_EQ(r.final_value, 100.0) << "perturb " << p;
+    EXPECT_EQ(r.violations, 0u) << "perturb " << p;
+  }
 }
 
 }  // namespace

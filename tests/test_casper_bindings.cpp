@@ -7,6 +7,7 @@
 #include <tuple>
 #include <vector>
 
+#include "check/fuzz.hpp"
 #include "core/casper.hpp"
 #include "mpi/runtime.hpp"
 #include "net/profile.hpp"
@@ -214,5 +215,36 @@ TEST_P(CasperStrided, SegmentSplitKeepsElementsIntact) {
 
 INSTANTIATE_TEST_SUITE_P(GhostCounts, CasperStrided,
                          ::testing::Values(1, 2, 4));
+
+// Dynamic binding is a pure routing decision: whichever ghost executes an
+// op, the bytes land in the same window locations. Running the SAME seeded
+// op stream (the conformance fuzzer's generated programs) under every
+// load-balancing policy must therefore produce bit-identical final window
+// contents — and a clean shadow oracle under each.
+TEST(CasperBindings, DynamicPoliciesProduceIdenticalContents) {
+  const core::DynamicLb policies[] = {
+      core::DynamicLb::None, core::DynamicLb::Random,
+      core::DynamicLb::OpCounting, core::DynamicLb::ByteCounting};
+  int compared = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    check::FuzzCase fc = check::make_case(seed, true);
+    if (fc.order_sensitive) continue;  // content is schedule/route-defined
+    std::vector<std::uint64_t> baseline;
+    for (core::DynamicLb lb : policies) {
+      fc.dynamic = lb;
+      const check::RunOutcome out = check::run_case(fc, 0);
+      ASSERT_TRUE(out.oracle_clean())
+          << "seed " << seed << " policy " << static_cast<int>(lb);
+      if (baseline.empty()) {
+        baseline = out.content_hash;
+      } else {
+        EXPECT_EQ(out.content_hash, baseline)
+            << "seed " << seed << " policy " << static_cast<int>(lb);
+        ++compared;
+      }
+    }
+  }
+  EXPECT_GT(compared, 0);
+}
 
 }  // namespace

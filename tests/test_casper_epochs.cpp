@@ -248,6 +248,176 @@ TEST(CasperEpochs, GhostsServeMultipleWindowsConcurrently) {
   }, core::layer(csp(1)));
 }
 
+TEST(CasperEpochs, FenceAssertComboRoundTripKeepsData) {
+  // A realistic assert sequence across three fence epochs: NOPRECEDE opens,
+  // a plain fence separates two communicating rounds, and the final close
+  // combines NOSUCCEED with the store asserts. Data must survive exactly.
+  mpi::exec(cfg(2, 2), [](mpi::Env& env) {
+    Comm w = env.world();
+    const int me = env.rank(w);
+    const int p = env.size(w);
+    void* base = nullptr;
+    Win win = env.win_allocate(static_cast<std::size_t>(p) * sizeof(double),
+                               sizeof(double), Info{}, w, &base);
+    env.win_fence(mpi::kModeNoPrecede, win);
+    double v = 10.0 + me;
+    env.put(&v, 1, (me + 1) % p, static_cast<std::size_t>(me), win);
+    env.win_fence(0, win);  // closes round 1, opens round 2
+    v = 100.0 + me;
+    env.accumulate(&v, 1, (me + 1) % p, static_cast<std::size_t>(me),
+                   AccOp::Sum, win);
+    env.win_fence(0, win);
+    // Empty epoch: nothing preceded, nothing stored, nothing follows — the
+    // cheapest legal fence closes it.
+    env.win_fence(mpi::kModeNoPrecede | mpi::kModeNoStore | mpi::kModeNoPut |
+                      mpi::kModeNoSucceed,
+                  win);
+    const int left = (me - 1 + p) % p;
+    EXPECT_EQ(static_cast<double*>(base)[left], 110.0 + 2 * left);
+    env.barrier(w);
+    env.win_free(win);
+  }, core::layer(csp(1)));
+}
+
+TEST(CasperEpochs, FenceStoreAssertsSkipBarrierAndSync) {
+  // NOPRECEDE alone still needs the barrier + win_sync half of the fence
+  // translation; adding NOSTORE|NOPUT lets Casper skip those too.
+  sim::Time noprecede = 0, full_assert = 0;
+  mpi::exec(cfg(2, 2), [&](mpi::Env& env) {
+    Comm w = env.world();
+    void* base = nullptr;
+    Win win =
+        env.win_allocate(sizeof(double), sizeof(double), Info{}, w, &base);
+    env.barrier(w);
+    sim::Time t0 = env.now();
+    for (int i = 0; i < 10; ++i) env.win_fence(mpi::kModeNoPrecede, win);
+    if (env.rank(w) == 0) noprecede = env.now() - t0;
+    env.barrier(w);
+    t0 = env.now();
+    for (int i = 0; i < 10; ++i) {
+      env.win_fence(mpi::kModeNoPrecede | mpi::kModeNoStore | mpi::kModeNoPut,
+                    win);
+    }
+    if (env.rank(w) == 0) full_assert = env.now() - t0;
+    env.barrier(w);
+    env.win_free(win);
+  }, core::layer(csp(1)));
+  EXPECT_LT(full_assert * 2, noprecede);
+}
+
+TEST(CasperEpochs, EpochsUsedCombosShapeInternalWindows) {
+  // Fig. 3(a): the epochs_used hint decides which internal windows exist.
+  // 2 users on the node -> "lock" needs 2 overlapping ug windows; fence /
+  // pscw / lockall share the one global window; combos add up.
+  struct Combo {
+    const char* hint;
+    int expect;
+  };
+  const Combo combos[] = {
+      {"lock", 2},           {"fence", 1},         {"pscw", 1},
+      {"lockall", 1},        {"fence,pscw", 1},    {"lock,lockall", 3},
+      {"fence,lock,pscw,lockall", 3},
+  };
+  for (const Combo& cb : combos) {
+    mpi::exec(cfg(1, 3), [&cb](mpi::Env& env) {
+      Comm w = env.world();
+      void* base = nullptr;
+      Info info;
+      info.set(core::kEpochsUsedKey, cb.hint);
+      Win win =
+          env.win_allocate(sizeof(double), sizeof(double), info, w, &base);
+      env.barrier(w);
+      auto& L = dynamic_cast<core::CasperLayer&>(env.runtime().layer());
+      EXPECT_EQ(L.internal_window_count(win), cb.expect)
+          << "epochs_used=" << cb.hint;
+      env.win_free(win);
+    }, core::layer(csp(1)));
+  }
+}
+
+TEST(CasperEpochs, EpochsUsedHintIsHonoredPerStyle) {
+  // A window hinted for one epoch style must still work for that style
+  // (allocate -> epoch -> communicate -> free) for every single-style hint.
+  const char* hints[] = {"fence", "pscw", "lock", "lockall"};
+  for (const char* hint : hints) {
+    mpi::exec(cfg(2, 2), [hint](mpi::Env& env) {
+      Comm w = env.world();
+      const int me = env.rank(w);
+      const int p = env.size(w);
+      void* base = nullptr;
+      Info info;
+      info.set(core::kEpochsUsedKey, hint);
+      Win win =
+          env.win_allocate(sizeof(double), sizeof(double), info, w, &base);
+      env.barrier(w);
+      double one = 1.0;
+      const std::string h = hint;
+      if (h == "fence") {
+        env.win_fence(mpi::kModeNoPrecede, win);
+        env.accumulate(&one, 1, (me + 1) % p, 0, AccOp::Sum, win);
+        env.win_fence(mpi::kModeNoSucceed, win);
+      } else if (h == "pscw") {
+        std::vector<int> everyone(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) everyone[static_cast<std::size_t>(i)] = i;
+        mpi::Group g(everyone);
+        env.win_post(g, 0, win);
+        env.win_start(g, 0, win);
+        env.accumulate(&one, 1, (me + 1) % p, 0, AccOp::Sum, win);
+        env.win_complete(win);
+        env.win_wait(win);
+      } else if (h == "lock") {
+        const int t = (me + 1) % p;
+        env.win_lock(LockType::Shared, t, 0, win);
+        env.accumulate(&one, 1, t, 0, AccOp::Sum, win);
+        env.win_unlock(t, win);
+      } else {
+        env.win_lock_all(0, win);
+        env.accumulate(&one, 1, (me + 1) % p, 0, AccOp::Sum, win);
+        env.win_unlock_all(win);
+      }
+      env.barrier(w);
+      EXPECT_EQ(*static_cast<double*>(base), 1.0) << "epochs_used=" << hint;
+      env.win_free(win);
+    }, core::layer(csp(1)));
+  }
+}
+
+using CasperEpochsDeath = ::testing::Test;
+
+TEST(CasperEpochsDeath, FenceExcludedByHintAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      mpi::exec(cfg(2, 2),
+                [](mpi::Env& env) {
+                  Comm w = env.world();
+                  void* base = nullptr;
+                  Info info;
+                  info.set(core::kEpochsUsedKey, "lock");
+                  Win win = env.win_allocate(sizeof(double), sizeof(double),
+                                             info, w, &base);
+                  env.win_fence(0, win);  // fence excluded by the hint
+                },
+                core::layer(csp(1))),
+      "excluded by epochs_used hint");
+}
+
+TEST(CasperEpochsDeath, UnknownEpochsTokenAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      mpi::exec(cfg(2, 2),
+                [](mpi::Env& env) {
+                  Comm w = env.world();
+                  void* base = nullptr;
+                  Info info;
+                  info.set(core::kEpochsUsedKey, "fence,bogus");
+                  Win win = env.win_allocate(sizeof(double), sizeof(double),
+                                             info, w, &base);
+                  (void)win;
+                },
+                core::layer(csp(1))),
+      "unknown epochs_used token");
+}
+
 }  // namespace
 
 namespace {
