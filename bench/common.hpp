@@ -47,6 +47,14 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+/// Value of `--flag PATH`-style options; nullptr when absent.
+inline const char* flag_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
 /// One simulated execution. `user_cpn` is the number of application
 /// processes per node; Casper nodes get `ghosts` extra cores for ghosts, the
 /// thread modes keep the paper's Table-I core accounting (oversubscribed =
@@ -61,6 +69,9 @@ struct RunSpec {
   core::Binding binding = core::Binding::Rank;
   core::DynamicLb dynamic = core::DynamicLb::None;
   std::uint64_t seed = 12345;
+  /// Observability recorder to attach to the run (see src/obs/); null runs
+  /// uninstrumented. Used for `--trace` dumps and BENCH_*.json metric blocks.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// Execute `app` under the spec; the app runs on the application-visible
@@ -70,6 +81,7 @@ inline void run(const RunSpec& spec, std::function<void(mpi::Env&)> app) {
   rc.machine.profile = spec.profile;
   rc.machine.topo.nodes = spec.nodes;
   rc.seed = spec.seed;
+  rc.recorder = spec.recorder;
   switch (spec.mode) {
     case Mode::Original:
       rc.machine.topo.cores_per_node = spec.user_cpn;

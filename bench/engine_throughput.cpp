@@ -8,9 +8,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/record.hpp"
 #include "sim/engine.hpp"
 
 using namespace casper;
@@ -65,6 +67,24 @@ double measure_event_rate(int nranks, int total_events) {
   return static_cast<double>(batches) * per_batch / dt;
 }
 
+/// Small instrumented run (Recorder attached as the scheduler observer) so
+/// the emitted JSON carries an obs metrics block like the other benches.
+/// Separate from the timed loops above — those always run uninstrumented.
+void collect_obs_metrics(obs::Metrics* out) {
+  obs::Recorder rec;
+  sim::Engine::Options o;
+  o.nranks = 16;
+  o.stack_bytes = 64 * 1024;
+  sim::Engine e(o, [](sim::Context& ctx) {
+    for (int i = 0; i < 64; ++i) ctx.advance(sim::ns(1));
+  });
+  e.set_sched_observer(&rec);
+  e.run();
+  rec.metrics.counter("sched.observed_switches") = rec.trace.recorded();
+  rec.metrics.counter("sched.trace_dropped") = rec.trace.dropped();
+  *out = rec.metrics;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,7 +116,25 @@ int main(int argc, char** argv) {
                   n, sw, ev, i + 1 < rank_counts.size() ? "," : "");
     json += line;
   }
-  json += "  ]\n}\n";
+  json += "  ],\n";
+  // PR 2 numbers (pre-observability scheduler), kept verbatim so the
+  // trajectory across PRs stays in the file after regeneration.
+  json +=
+      "  \"baseline_pr2\": [\n"
+      "    {\"nranks\": 16, \"switches_per_sec\": 4548074.5, "
+      "\"events_per_sec\": 13784128.6},\n"
+      "    {\"nranks\": 256, \"switches_per_sec\": 3703914.0, "
+      "\"events_per_sec\": 8853851.2},\n"
+      "    {\"nranks\": 1024, \"switches_per_sec\": 3091760.6, "
+      "\"events_per_sec\": 8423524.0}\n"
+      "  ],\n";
+  obs::Metrics metrics;
+  collect_obs_metrics(&metrics);
+  std::ostringstream ms;
+  ms << "  \"metrics\": ";
+  metrics.write_json(ms, 2);
+  json += ms.str();
+  json += "\n}\n";
 
   std::FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {

@@ -6,9 +6,11 @@
 // software accumulate waits for the target to re-enter MPI). Every
 // asynchronous-progress strategy breaks that dependence; thread and DMAPP
 // progress carry extra overhead relative to Casper.
+#include <fstream>
 #include <iostream>
 
 #include "common.hpp"
+#include "report/json.hpp"
 
 using namespace casper;
 using bench::Mode;
@@ -73,5 +75,36 @@ int main(int argc, char** argv) {
   std::cout << "expectation: original grows linearly with the wait; all "
                "async-progress modes stay flat, with thread > dmapp > casper "
                "overhead.\n";
+
+  // --trace PATH / --json: re-run the canonical Casper configuration
+  // (wait = 4 us) instrumented, dumping a Chrome trace and/or the metrics
+  // block into BENCH_fig4a.json. Kept out of the timing sweep above so the
+  // measured numbers are never the instrumented run.
+  const char* trace_path = bench::flag_value(argc, argv, "--trace");
+  const bool want_json = bench::has_flag(argc, argv, "--json");
+  if (trace_path != nullptr || want_json) {
+    obs::Recorder rec;
+    RunSpec s = base;
+    s.mode = Mode::Casper;
+    s.recorder = &rec;
+    origin_time_us(s, sim::us(4));
+    if (trace_path != nullptr) {
+      std::ofstream f(trace_path);
+      if (!f) {
+        std::cerr << "fig4a: cannot open " << trace_path << "\n";
+        return 1;
+      }
+      rec.trace.export_chrome(f);
+      std::cout << "trace: " << rec.trace.recorded() << " events ("
+                << rec.trace.dropped() << " dropped) -> " << trace_path
+                << "\n";
+    }
+    if (want_json &&
+        !report::write_bench_json_file("BENCH_fig4a.json", "fig4a", t,
+                                       &rec.metrics)) {
+      std::cerr << "fig4a: cannot write BENCH_fig4a.json\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -9,23 +9,37 @@ BUILD=build
 BUILD_ASAN=build-asan
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "== [1/3] tier-1: build + ctest =="
+echo "== [1/5] tier-1: build + ctest =="
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
-echo "== [2/3] conformance fuzzer: fixed seed corpus =="
+echo "== [2/5] conformance fuzzer: fixed seed corpus =="
 # A larger sweep than the ctest-time run; still deterministic (fixed base
 # seed), so failures here are reproducible verbatim.
 "./$BUILD/tests/fuzz_conformance" --base-seed 1 --cases 500 --schedules 8 \
   --out "$BUILD/tests"
 
-echo "== [3/3] ASan: fuzzer smoke corpus =="
+echo "== [3/5] ASan: fuzzer smoke corpus =="
 cmake -B "$BUILD_ASAN" -S . -DCASPER_ASAN=ON >/dev/null
 cmake --build "$BUILD_ASAN" -j"$JOBS" --target fuzz_conformance \
   test_check_oracle
 "./$BUILD_ASAN/tests/test_check_oracle"
 "./$BUILD_ASAN/tests/fuzz_conformance" --base-seed 1 --cases 50 \
   --schedules 4 --out "$BUILD_ASAN/tests"
+
+echo "== [4/5] trace-enabled fuzz smoke (CASPER_TRACE=1) =="
+# Same corpus slice with the recorder attached: exercises every obs
+# instrumentation site under fuzzed schedules, and any repro written here
+# embeds the virtual-time trace tail.
+CASPER_TRACE=1 "./$BUILD/tests/fuzz_conformance" --base-seed 7 --cases 50 \
+  --schedules 2 --out "$BUILD/tests"
+
+echo "== [5/5] chrome-trace export: schema + casper track layout =="
+cmake --build "$BUILD" -j"$JOBS" --target fig4a_passive_overlap
+"./$BUILD/bench/fig4a_passive_overlap" --trace "$BUILD/fig4a_trace.json" \
+  > /dev/null
+python3 scripts/validate_chrome_trace.py "$BUILD/fig4a_trace.json" \
+  --require-casper-tracks
 
 echo "check.sh: all gates passed"

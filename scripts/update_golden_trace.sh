@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Rebuild the golden-trace binary and refresh tests/golden/fig4a_trace.txt.
+#
+# Run this ONLY when a trace change is intentional (new events, changed op
+# routing, changed virtual-time costs), then review the golden diff like any
+# other code change — it IS the observable behaviour of the runtime.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j"$(nproc 2>/dev/null || echo 4)" \
+  --target test_trace_golden
+"./$BUILD/tests/test_trace_golden" --update
+git --no-pager diff --stat tests/golden/ || true
+echo "review the diff above, then commit tests/golden/fig4a_trace.txt"

@@ -2,11 +2,13 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <numeric>
 
 #include "mpi/datatype.hpp"
 #include "mpi/runtime.hpp"
+#include "obs/record.hpp"
 #include "net/profile.hpp"
 #include "sim/rng.hpp"
 
@@ -420,6 +422,15 @@ RunOutcome run_case(const FuzzCase& fc, std::uint64_t perturb_seed,
   cc.dynamic = fc.dynamic;
   cc.fault.flip_segment_binding = inject_flip_fault;
 
+  // CASPER_TRACE=<anything but 0/off> attaches a recorder so repro files can
+  // embed the tail of the virtual-time trace (see scripts/check.sh gate 4).
+  const char* trace_env = std::getenv("CASPER_TRACE");
+  const bool want_trace = obs::kTraceCompiled && trace_env != nullptr &&
+                          std::strcmp(trace_env, "0") != 0 &&
+                          std::strcmp(trace_env, "off") != 0;
+  obs::Recorder rec;
+  if (want_trace) rc.recorder = &rec;
+
   RunOutcome out;
   out.content_hash.assign(static_cast<std::size_t>(fc.nusers()), 0);
   ShadowOracle oracle;
@@ -432,6 +443,7 @@ RunOutcome run_case(const FuzzCase& fc, std::uint64_t perturb_seed,
   out.atomicity_violations = rt.stats().get("atomicity_violations");
   out.divergences = oracle.divergences();
   out.commits = oracle.commits_seen();
+  if (want_trace) out.trace_tail = rec.trace.tail_text(32);
   return out;
 }
 
@@ -515,6 +527,11 @@ std::string write_repro(const Repro& r, const FuzzCase& fc,
                  out.trace[i].rank);
   }
   std::fprintf(f, "\n");
+  // Obs-trace tail (present when the run had CASPER_TRACE set): the last
+  // virtual-time events before the failure, in golden-trace text form.
+  for (const std::string& line : out.trace_tail) {
+    std::fprintf(f, "trace %s\n", line.c_str());
+  }
   std::fclose(f);
   return path;
 }

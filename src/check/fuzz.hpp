@@ -90,6 +90,9 @@ struct RunOutcome {
   std::uint64_t commits = 0;
   std::vector<std::uint64_t> content_hash;  ///< per user rank, own segment
   std::vector<sim::Engine::SchedRecord> trace;
+  /// Last obs-trace lines (export_text form); populated only when the
+  /// CASPER_TRACE environment variable enables tracing for the run.
+  std::vector<std::string> trace_tail;
 
   bool oracle_clean() const {
     return divergences.empty() && atomicity_violations == 0;

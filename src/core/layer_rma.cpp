@@ -29,6 +29,30 @@ bool acc_like(OpKind k) {
 bool contains(const std::vector<int>& v, int x) {
   return std::find(v.begin(), v.end(), x) != v.end();
 }
+
+const char* lb_name(DynamicLb d) {
+  switch (d) {
+    case DynamicLb::None: return "none";
+    case DynamicLb::Random: return "random";
+    case DynamicLb::OpCounting: return "op_counting";
+    case DynamicLb::ByteCounting: return "byte_counting";
+  }
+  return "?";
+}
+
+/// Record a completed epoch-translation interval [t0, now) as an
+/// EpochTranslate span plus a sync-latency histogram sample.
+void note_epoch_sync(mpi::Runtime& rt, Env& env, const mpi::Win& user_win,
+                     mpi::SyncKind k, sim::Time t0) {
+  if (!obs::on(rt.recorder())) return;
+  obs::Recorder* rec = rt.recorder();
+  const sim::Time dur = env.now() - t0;
+  rec->trace.span(env.world_rank(), obs::Ev::EpochTranslate, t0, dur,
+                  static_cast<std::uint64_t>(k),
+                  static_cast<std::uint64_t>(user_win->id()));
+  rec->metrics.histogram(std::string("sync_ns.") + mpi::to_string(k))
+      .add(dur);
+}
 }  // namespace
 
 // ------------------------------------------------------------- routing ----
@@ -237,6 +261,23 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
   mpi::Win& iw = route_window(cw, me_u, target);
   const std::size_t bytes = mpi::data_bytes(tc, tdt);
 
+  // Redirect bookkeeping: one trace instant + per-ghost totals per routed
+  // (sub)op. Ghost ids are comm ranks of the internal window; metrics key on
+  // the ghost's world rank so totals aggregate across windows.
+  obs::Recorder* rec = obs::on(rt_->recorder()) ? rt_->recorder() : nullptr;
+  auto note_redirect = [&](int ghost, std::size_t nbytes) {
+    if (rec == nullptr) return;
+    const int gw = iw->comm()->world_rank(ghost);
+    rec->trace.instant(env.world_rank(), obs::Ev::OpRedirected, env.now(),
+                       static_cast<std::uint64_t>(gw),
+                       static_cast<std::uint64_t>(kind), nbytes);
+    ++rec->metrics.counter("casper.redirected_ops");
+    rec->metrics.histogram("redirect_bytes").add(nbytes);
+    const std::string g = std::to_string(gw);
+    ++rec->metrics.counter("ghost." + g + ".ops");
+    rec->metrics.counter("ghost." + g + ".bytes") += nbytes;
+  };
+
   // NUMA hint: the ghost processing this op touches the target user's
   // segment; crossing the node's domain interconnect costs extra (what the
   // topology-aware binding avoids).
@@ -252,6 +293,16 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
     const int ghost = choose_dynamic_ghost(env, cw, me_u, ti.node, bytes);
     ++ep.ops_to_ghost[static_cast<std::size_t>(ghost)];
     ep.bytes_to_ghost[static_cast<std::size_t>(ghost)] += bytes;
+    if (rec != nullptr) {
+      rec->trace.instant(env.world_rank(), obs::Ev::LbDecision, env.now(),
+                         static_cast<std::uint64_t>(
+                             iw->comm()->world_rank(ghost)),
+                         static_cast<std::uint64_t>(cfg_.dynamic), bytes);
+      ++rec->metrics.counter("casper.dynamic_ops");
+      ++rec->metrics.counter(std::string("casper.lb.") +
+                             lb_name(cfg_.dynamic));
+    }
+    note_redirect(ghost, bytes);
     numa_hint(ghost);
     const std::size_t gdisp = ti.offset + disp_bytes;
     if (kind == OpKind::Put) {
@@ -285,6 +336,8 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
     const SubOp& s = subs[0];
     ++ep.ops_to_ghost[static_cast<std::size_t>(s.ghost)];
     ep.bytes_to_ghost[static_cast<std::size_t>(s.ghost)] += bytes;
+    if (rec != nullptr) ++rec->metrics.counter("casper.binding_fastpath");
+    note_redirect(s.ghost, bytes);
     numa_hint(s.ghost);
     switch (kind) {
       case OpKind::Put:
@@ -320,6 +373,11 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
   MMPI_REQUIRE(kind == OpKind::Put || kind == OpKind::Get ||
                    kind == OpKind::Acc || kind == OpKind::GetAcc,
                "casper: split not supported for this op kind");
+  if (rec != nullptr) {
+    rec->trace.instant(env.world_rank(), obs::Ev::OpSegmentSplit, env.now(),
+                       subs.size(), static_cast<std::uint64_t>(kind), bytes);
+    ++rec->metrics.counter("casper.binding_split");
+  }
   const bool fetches = kind == OpKind::Get || kind == OpKind::GetAcc;
   std::vector<std::byte> packed;
   if (kind != OpKind::Get) packed = mpi::pack(o, oc, odt);
@@ -329,6 +387,7 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
     ++ep.ops_to_ghost[static_cast<std::size_t>(s.ghost)];
     const std::size_t sbytes = mpi::data_bytes(s.tcount, s.tdt);
     ep.bytes_to_ghost[static_cast<std::size_t>(s.ghost)] += sbytes;
+    note_redirect(s.ghost, sbytes);
     numa_hint(s.ghost);
     switch (kind) {
       case OpKind::Put:
@@ -353,6 +412,7 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
         break;
     }
     ++rt_->stats().counter("casper_split_subops");
+    if (rec != nullptr) ++rec->metrics.counter("casper.split_subops");
   }
   if (fetches) {
     // The pieces land in `gather` asynchronously; unpacking into the user's
@@ -410,6 +470,8 @@ void CasperLayer::exec_self(Env& env, OpKind kind, AccOp op, const void* o,
       MMPI_REQUIRE(false, "casper: bad self op");
   }
   ++rt_->stats().counter("casper_self_ops");
+  if (obs::on(rt_->recorder()))
+    ++rt_->recorder()->metrics.counter("casper.self_ops");
 
   if (rt_->observer() != nullptr) {
     // Self PUT/GET bypass the runtime's AM path entirely (direct load/store
@@ -494,6 +556,7 @@ void CasperLayer::win_fence(Env& env, unsigned mode_assert, const Win& w) {
   }
   MMPI_REQUIRE(cw->epochs & kEpochFence,
                "casper: fence used but excluded by epochs_used hint");
+  const sim::Time t0 = env.now();
   const int me_u = my_user_rank(env);
   auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
 
@@ -511,6 +574,7 @@ void CasperLayer::win_fence(Env& env, unsigned mode_assert, const Win& w) {
     pmpi_->win_sync(env, cw->global_win);
   }
   ep.fence_open = !(mode_assert & mpi::kModeNoSucceed);
+  note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::Fence, t0);
   // Report the *user-facing* sync on the user window: the oracle validates
   // real window bytes here, after the translated completion above.
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Fence,
@@ -568,6 +632,7 @@ void CasperLayer::win_complete(Env& env, const Win& w) {
     pmpi_->win_complete(env, w);
     return;
   }
+  const sim::Time t0 = env.now();
   const int me_u = my_user_rank(env);
   auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
   MMPI_REQUIRE(!ep.access_group.empty(),
@@ -580,6 +645,7 @@ void CasperLayer::win_complete(Env& env, const Win& w) {
                 user_world_);
   }
   ep.access_group.clear();
+  note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::Complete, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Complete,
                     env.now());
 }
@@ -590,6 +656,7 @@ void CasperLayer::win_wait(Env& env, const Win& w) {
     pmpi_->win_wait(env, w);
     return;
   }
+  const sim::Time t0 = env.now();
   const int me_u = my_user_rank(env);
   auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
   MMPI_REQUIRE(!ep.exposure_group.empty(),
@@ -601,6 +668,7 @@ void CasperLayer::win_wait(Env& env, const Win& w) {
   }
   ep.exposure_group.clear();
   pmpi_->win_sync(env, cw->global_win);
+  note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::Wait, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Wait,
                     env.now());
 }
@@ -645,6 +713,7 @@ void CasperLayer::win_unlock(Env& env, int target, const Win& w) {
     pmpi_->win_unlock(env, target, w);
     return;
   }
+  const sim::Time t0 = env.now();
   const int me_u = my_user_rank(env);
   auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
   auto& tl = ep.tl[static_cast<std::size_t>(target)];
@@ -659,6 +728,7 @@ void CasperLayer::win_unlock(Env& env, int target, const Win& w) {
   }
   tl.locked = false;
   tl.binding_free = false;
+  note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::Unlock, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Unlock,
                     env.now());
 }
@@ -698,6 +768,7 @@ void CasperLayer::win_unlock_all(Env& env, const Win& w) {
     pmpi_->win_unlock_all(env, w);
     return;
   }
+  const sim::Time t0 = env.now();
   const int me_u = my_user_rank(env);
   auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
   MMPI_REQUIRE(ep.lockall, "casper: unlock_all without lock_all");
@@ -715,6 +786,7 @@ void CasperLayer::win_unlock_all(Env& env, const Win& w) {
   }
   ep.lockall = false;
   for (auto& tl : ep.tl) tl.binding_free = false;
+  note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::UnlockAll, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::UnlockAll,
                     env.now());
 }
@@ -725,6 +797,7 @@ void CasperLayer::win_flush(Env& env, int target, const Win& w) {
     pmpi_->win_flush(env, target, w);
     return;
   }
+  const sim::Time t0 = env.now();
   const int me_u = my_user_rank(env);
   auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
   auto& tl = ep.tl[static_cast<std::size_t>(target)];
@@ -740,6 +813,7 @@ void CasperLayer::win_flush(Env& env, int target, const Win& w) {
   // After a completed flush the lock is known acquired: the
   // static-binding-free interval begins (paper III.B.3).
   if (tl.locked) tl.binding_free = true;
+  note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::Flush, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Flush,
                     env.now());
 }
@@ -750,6 +824,7 @@ void CasperLayer::win_flush_all(Env& env, const Win& w) {
     pmpi_->win_flush_all(env, w);
     return;
   }
+  const sim::Time t0 = env.now();
   const int me_u = my_user_rank(env);
   auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
   for (int u = 0; u < static_cast<int>(cw->tgt.size()); ++u) {
@@ -758,6 +833,7 @@ void CasperLayer::win_flush_all(Env& env, const Win& w) {
     }
   }
   (void)me_u;
+  note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::FlushAll, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::FlushAll,
                     env.now());
 }

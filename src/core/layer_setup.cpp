@@ -129,7 +129,20 @@ void CasperLayer::setup_comms(Env& env) {
 void CasperLayer::on_rank_start(Env& env,
                                 const std::function<void(Env&)>& user_main) {
   setup_comms(env);
-  if (is_ghost_[static_cast<std::size_t>(env.world_rank())]) {
+  const int me = env.world_rank();
+  const bool ghost = is_ghost_[static_cast<std::size_t>(me)];
+  if (obs::on(rt_->recorder())) {
+    // Refine the default "rank N" track names now roles are known: trace
+    // viewers then separate ghost service tracks from user compute tracks.
+    if (ghost) {
+      rt_->recorder()->trace.set_entity_name(me,
+                                             "ghost " + std::to_string(me));
+    } else {
+      rt_->recorder()->trace.set_entity_name(
+          me, "user " + std::to_string(user_world_->rank_of_world(me)));
+    }
+  }
+  if (ghost) {
     ghost_loop(env);
   } else {
     user_main(env);

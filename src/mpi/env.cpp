@@ -8,6 +8,15 @@ Layer& Env::layer() { return rt_->layer(); }
 
 void Env::prologue() { rt_->call_prologue(*this); }
 
+void Env::compute(sim::Time d) {
+  const sim::Time t0 = ctx_->now();
+  ctx_->compute(d);
+  if (obs::on(rt_->recorder())) {
+    rt_->recorder()->trace.span(world_rank(), obs::Ev::Compute, t0,
+                                ctx_->now() - t0);
+  }
+}
+
 Comm Env::world() { return layer().comm_world(*this); }
 
 Comm Env::comm_split(const Comm& c, int color, int key) {

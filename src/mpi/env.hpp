@@ -34,8 +34,10 @@ class Env {
   int world_size() const { return ctx_->size(); }
 
   sim::Time now() const { return ctx_->now(); }
-  /// Model application computation (busy CPU) for `d` virtual time.
-  void compute(sim::Time d) { ctx_->compute(d); }
+  /// Model application computation (busy CPU) for `d` virtual time. The
+  /// actually-elapsed span can exceed `d` when an interrupt-progress handler
+  /// steals cycles; the traced Compute span covers the elapsed interval.
+  void compute(sim::Time d);
 
   /// The world communicator as seen by the application (Casper substitutes
   /// COMM_USER_WORLD here).

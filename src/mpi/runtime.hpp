@@ -36,6 +36,7 @@
 #include "mpi/types.hpp"
 #include "mpi/win.hpp"
 #include "net/topology.hpp"
+#include "obs/record.hpp"
 #include "progress/progress.hpp"
 #include "sim/engine.hpp"
 
@@ -57,6 +58,11 @@ struct RunConfig {
   /// scheduling decisions. The conformance fuzzer sweeps this to enumerate
   /// interleavings of one program.
   std::uint64_t perturb_seed = 0;
+  /// Attach the observability layer (virtual-time trace + metrics; see
+  /// src/obs/). Null — the default — keeps every instrumentation site down
+  /// to one predictable branch; builds with -DCASPER_TRACE=0 remove even
+  /// that. The recorder must outlive the runtime.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// Factory for the interception layer of a run (PMPI model); receives the
@@ -210,9 +216,11 @@ class Runtime {
     if (observer_) observer_->on_op_commit(op, t, entity);
   }
   void observe_sync(WinImpl& win, int world_rank, SyncKind kind,
-                    sim::Time t) {
-    if (observer_) observer_->on_sync(win, world_rank, kind, t);
-  }
+                    sim::Time t);
+
+  /// Observability recorder from RunConfig (null when not attached). Sites
+  /// must gate on obs::on(recorder()).
+  obs::Recorder* recorder() const { return cfg_.recorder; }
 
  private:
   struct RankIo {

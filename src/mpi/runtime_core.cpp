@@ -50,6 +50,18 @@ Runtime::Runtime(RunConfig cfg, std::function<void(Env&)> user_main,
   layer_ = layer ? layer(*this) : std::make_shared<Pmpi>(*this);
   MMPI_REQUIRE(layer_ != nullptr, "layer factory returned null");
   engine_->set_deadlock_dump([this] { dump_comm_state(); });
+
+  if (obs::on(cfg_.recorder)) {
+    engine_->set_sched_observer(cfg_.recorder);
+    // Default track names by entity-id space; the Casper layer refines rank
+    // tracks to "user N" / "ghost N" once roles are known.
+    const bool agents = cfg_.progress.kind != progress::Kind::None;
+    for (int e = 0; e < 3 * n; ++e) {
+      if (!agents && progress::classify_entity(e, n) == progress::EntityClass::Agent)
+        continue;
+      cfg_.recorder->trace.set_entity_name(e, progress::entity_label(e, n));
+    }
+  }
 }
 
 void Runtime::dump_comm_state() const {
@@ -202,15 +214,23 @@ void Runtime::inject_op(WinImpl& win, int origin_comm, int target_comm,
 
   if (is_hw_op(d)) {
     ++stats().counter("hw_ops");
+    if (obs::on(recorder())) ++recorder()->metrics.counter("ops.hw_path");
     // Hardware execution: performed "by the NIC" instantly at delivery; the
     // target CPU is not involved. NIC entity ids live above agent ids.
     const int nic_entity = 2 * engine_->nranks() + tw;
     post_event(t_del, [this, op = std::move(op), t_del, nic_entity]() mutable {
+      if (obs::on(recorder())) {
+        recorder()->trace.instant(nic_entity, obs::Ev::OpHwPath, t_del,
+                                  op.opid,
+                                  static_cast<std::uint64_t>(op.kind),
+                                  op.payload.size());
+      }
       auto staged = am_read_phase(op);
       am_write_phase(op, std::move(staged), t_del, t_del, nic_entity);
     });
   } else {
     ++stats().counter("sw_ops");
+    if (obs::on(recorder())) ++recorder()->metrics.counter("ops.sw_path");
     post_event(t_del, [this, op = std::move(op), t_del]() mutable {
       deliver_am(std::move(op), t_del);
     });
@@ -315,6 +335,18 @@ void Runtime::poller_process(Env& env, AmOp& op) {
   const Time t0 = env.now();
   auto staged = am_read_phase(op);
   env.ctx().advance(cost);
+  if (obs::on(recorder()) && dedicated_progress(env.world_rank())) {
+    const std::size_t moved =
+        std::max(op.payload.size(),
+                 data_bytes(op.target_count, op.target_dt));
+    obs::Recorder* rec = recorder();
+    rec->trace.span(env.world_rank(), obs::Ev::GhostService, t0,
+                    env.now() - t0, op.opid, moved);
+    const std::string g = std::to_string(env.world_rank());
+    ++rec->metrics.counter("ghost." + g + ".service_ops");
+    rec->metrics.counter("ghost." + g + ".service_bytes") += moved;
+    rec->metrics.histogram("ghost_service_ns").add(env.now() - t0);
+  }
   am_write_phase(op, std::move(staged), t0, env.now(), env.world_rank());
 }
 
@@ -432,6 +464,12 @@ void Runtime::am_write_phase(const AmOp& op, std::vector<std::byte>&& staged,
   }
 
   record_access(lo, hi, t0, t1, entity, is_write);
+  if (obs::on(recorder())) {
+    recorder()->trace.instant(entity, obs::Ev::OpCommitted, t1, op.opid,
+                              static_cast<std::uint64_t>(op.kind),
+                              data_bytes(op.target_count, op.target_dt));
+    ++recorder()->metrics.counter("ops.committed");
+  }
   observe_commit(op, t1, entity);
   schedule_ack(op, t1, std::move(ack_data));
 }
@@ -521,10 +559,11 @@ void Runtime::schedule_ack(const AmOp& op, Time t_done,
   const int oc = op.origin_comm_rank;
   const int tc = op.target_comm_rank;
   const int ow = op.origin_world;
+  const std::uint64_t opid = op.opid;
   void* res = op.origin_result;
   const int rcount = op.origin_count;
   const Datatype rdt = op.origin_dt;
-  post_event(t_ack, [this, win, oc, tc, ow, res, rcount, rdt,
+  post_event(t_ack, [this, win, oc, tc, ow, opid, res, rcount, rdt,
                      data = std::move(data), t_ack]() {
     auto& ots = win->ost[static_cast<std::size_t>(oc)]
                     .tgt[static_cast<std::size_t>(tc)];
@@ -533,6 +572,8 @@ void Runtime::schedule_ack(const AmOp& op, Time t_done,
     if (res != nullptr && !data.empty()) {
       unpack(res, rcount, rdt, data);
     }
+    if (obs::on(recorder()))
+      recorder()->trace.instant(ow, obs::Ev::OpFlushed, t_ack, opid);
     engine_->wake(ow, t_ack);
   });
 }
@@ -639,6 +680,17 @@ void Runtime::on_lock_granted(WinImpl& win, int origin, int target, Time t) {
     inject_op(win, origin, target, std::move(d), ti);
   }
   engine_->wake(win.comm()->world_rank(origin), t);
+}
+
+void Runtime::observe_sync(WinImpl& win, int world_rank, SyncKind kind,
+                           sim::Time t) {
+  if (observer_) observer_->on_sync(win, world_rank, kind, t);
+  if (obs::on(recorder())) {
+    recorder()->trace.instant(world_rank, obs::Ev::EpochEnd, t,
+                              static_cast<std::uint64_t>(kind),
+                              static_cast<std::uint64_t>(win.id()));
+    ++recorder()->metrics.counter(std::string("sync.") + to_string(kind));
+  }
 }
 
 void exec(RunConfig cfg, std::function<void(Env&)> user_main,

@@ -189,6 +189,15 @@ void Runtime::p_rma(Env& env, const RmaArgs& a, const Win& win) {
                         : data_bytes(a.ocount, a.odt)),
                "RMA origin/target data size mismatch");
 
+  if (obs::on(recorder())) {
+    recorder()->trace.instant(env.world_rank(), obs::Ev::OpIssued, env.now(),
+                              static_cast<std::uint64_t>(a.kind),
+                              static_cast<std::uint64_t>(
+                                  win->comm()->world_rank(a.target)),
+                              data_bytes(a.tcount, a.tdt));
+    ++recorder()->metrics.counter("ops.issued");
+  }
+
   auto& rio = io_[static_cast<std::size_t>(env.world_rank())];
   OpDesc d;
   d.kind = a.kind;
@@ -288,6 +297,11 @@ void Runtime::p_win_fence(Env& env, unsigned mode_assert, const Win& win) {
   p_barrier(env, win->comm());
   my.fence_open = !(mode_assert & kModeNoSucceed);
   my.epoch = my.fence_open ? EpochKind::Fence : EpochKind::None;
+  if (my.fence_open && obs::on(recorder())) {
+    recorder()->trace.instant(env.world_rank(), obs::Ev::EpochBegin,
+                              env.now(), static_cast<std::uint64_t>(my.epoch),
+                              static_cast<std::uint64_t>(win->id()));
+  }
   observe_sync(*win, env.world_rank(), SyncKind::Fence, env.now());
 }
 
@@ -329,6 +343,11 @@ void Runtime::p_win_start(Env& env, const Group& group, unsigned mode_assert,
     my.access_group.push_back(cr);
   }
   my.epoch = EpochKind::Pscw;
+  if (obs::on(recorder())) {
+    recorder()->trace.instant(env.world_rank(), obs::Ev::EpochBegin,
+                              env.now(), static_cast<std::uint64_t>(my.epoch),
+                              static_cast<std::uint64_t>(win->id()));
+  }
   if (!(mode_assert & kModeNoCheck)) {
     const int need = static_cast<int>(my.access_group.size());
     progress_wait(env, [&my, need]() { return my.posts_seen >= need; });
@@ -383,6 +402,11 @@ void Runtime::p_win_lock(Env& env, LockType type, int target,
                "win_lock while a different epoch type is active");
   env.ctx().advance(profile().op_inject);
   my.epoch = EpochKind::Lock;
+  if (obs::on(recorder())) {
+    recorder()->trace.instant(env.world_rank(), obs::Ev::EpochBegin,
+                              env.now(), static_cast<std::uint64_t>(my.epoch),
+                              static_cast<std::uint64_t>(win->id()));
+  }
   ots.lock_type = type;
   ots.lock_assert = mode_assert;
 
@@ -467,6 +491,11 @@ void Runtime::p_win_lock_all(Env& env, unsigned mode_assert, const Win& win) {
                "win_lock_all while another epoch is active");
   env.ctx().advance(profile().op_inject);
   my.epoch = EpochKind::LockAll;
+  if (obs::on(recorder())) {
+    recorder()->trace.instant(env.world_rank(), obs::Ev::EpochBegin,
+                              env.now(), static_cast<std::uint64_t>(my.epoch),
+                              static_cast<std::uint64_t>(win->id()));
+  }
   for (int t = 0; t < win->comm()->size(); ++t) {
     auto& ots = my.tgt[static_cast<std::size_t>(t)];
     MMPI_REQUIRE(ots.lock_st == LockSt::None, "lock_all over existing lock");

@@ -1,0 +1,74 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace casper::obs {
+
+void Histogram::add(std::uint64_t v) {
+  int k = 0;
+  for (std::uint64_t x = v; x > 1; x >>= 1) ++k;
+  ++buckets_[k];
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+namespace {
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') os << '\\';
+    os << ch;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Metrics::write_json(std::ostream& os, int indent) const {
+  // The opening brace is not padded: the caller typically emits it mid-line
+  // (after a JSON key); only continuation lines get the indent.
+  std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << "{\n";
+  os << pad << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    os << (first ? "\n" : ",\n") << pad << "    ";
+    first = false;
+    json_string(os, name);
+    os << ": " << v;
+  }
+  os << (first ? "" : "\n" + pad + "  ") << "},\n";
+  os << pad << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << pad << "    ";
+    first = false;
+    json_string(os, name);
+    char meanbuf[48];
+    std::snprintf(meanbuf, sizeof(meanbuf), "%.3f", h.mean());
+    os << ": {\"count\": " << h.count() << ", \"sum\": " << h.sum()
+       << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+       << ", \"mean\": " << meanbuf << ", \"buckets\": [";
+    bool bfirst = true;
+    for (int k = 0; k < Histogram::kBuckets; ++k) {
+      if (h.bucket(k) == 0) continue;
+      if (!bfirst) os << ", ";
+      bfirst = false;
+      os << '[' << k << ", " << h.bucket(k) << ']';
+    }
+    os << "]}";
+  }
+  os << (first ? "" : "\n" + pad + "  ") << "}\n";
+  os << pad << "}";
+}
+
+std::uint64_t Metrics::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+}  // namespace casper::obs

@@ -1,0 +1,66 @@
+// Metrics registry: named monotonically-increasing counters plus log2-bucket
+// histograms, dumped as a JSON object that the bench/report stack embeds in
+// every BENCH_*.json. Keys live in std::map so dumps enumerate in a fixed
+// order — the perturbed-schedule invariance test compares dumps textually.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace casper::obs {
+
+/// Power-of-two bucketed histogram: value v lands in bucket floor(log2(v))
+/// (bucket 0 holds v <= 1). Tracks count/sum/min/max exactly.
+class Histogram {
+ public:
+  void add(std::uint64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+  /// Events in bucket k, i.e. values in [2^k, 2^(k+1)) (k=0 also holds 0, 1).
+  std::uint64_t bucket(int k) const {
+    return (k >= 0 && k < kBuckets) ? buckets_[k] : 0;
+  }
+
+  static constexpr int kBuckets = 64;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+class Metrics {
+ public:
+  /// Get-or-create; returned reference stays valid (map nodes are stable).
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  std::uint64_t counter_value(const std::string& name) const;
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// {"counters":{...},"histograms":{name:{count,sum,min,max,mean,
+  ///  buckets:[[k,n],...]}}} — empty buckets omitted. `indent` spaces prefix
+  /// every line so the block nests inside a larger JSON document.
+  void write_json(std::ostream& os, int indent = 0) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace casper::obs

@@ -1,0 +1,45 @@
+// Recorder: the handle instrumentation sites see. Bundles the tracer and the
+// metrics registry and plugs into the engine as a schedule observer.
+//
+// Gating contract (the "branch on a constant" requirement):
+//   - Compile-time: building with -DCASPER_TRACE=0 turns kTraceCompiled into
+//     `false`, so `if (obs::on(rec))` folds to `if (false)` and the compiler
+//     deletes the instrumentation block outright.
+//   - Runtime: in the default CASPER_TRACE=1 build, `on(rec)` is a single
+//     null check — no recorder attached (the normal case) costs one
+//     predictable branch per site.
+// Every instrumentation point in the runtime must be wrapped in
+// `if (obs::on(...)) { ... }`; nothing else may touch the recorder.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+
+#ifndef CASPER_TRACE
+#define CASPER_TRACE 1
+#endif
+
+namespace casper::obs {
+
+inline constexpr bool kTraceCompiled = CASPER_TRACE != 0;
+
+class Recorder final : public sim::SchedObserver {
+ public:
+  Recorder() = default;
+  explicit Recorder(std::size_t ring_capacity) : trace(ring_capacity) {}
+
+  Tracer trace;
+  Metrics metrics;
+
+  /// Engine callback: one instant per fiber resumption (event callbacks,
+  /// rank == -1, are engine internals and not traced as switches).
+  void on_schedule(sim::Time t, int rank) override {
+    if (rank >= 0) trace.instant(rank, Ev::FiberSwitch, t);
+  }
+};
+
+/// The single gate for every instrumentation site.
+inline bool on(const Recorder* rec) { return kTraceCompiled && rec != nullptr; }
+
+}  // namespace casper::obs

@@ -1,0 +1,205 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace casper::obs {
+
+const char* to_string(Ev ev) {
+  switch (ev) {
+    case Ev::OpIssued: return "op.issued";
+    case Ev::OpHwPath: return "op.hw";
+    case Ev::OpRedirected: return "op.redirected";
+    case Ev::OpSegmentSplit: return "op.split";
+    case Ev::LbDecision: return "lb.decision";
+    case Ev::OpCommitted: return "op.committed";
+    case Ev::OpFlushed: return "op.flushed";
+    case Ev::EpochBegin: return "epoch.begin";
+    case Ev::EpochTranslate: return "epoch.translate";
+    case Ev::EpochEnd: return "epoch.end";
+    case Ev::FiberSwitch: return "fiber.switch";
+    case Ev::GhostService: return "ghost.service";
+    case Ev::Compute: return "compute";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : cap_(round_up_pow2(ring_capacity == 0 ? 1 : ring_capacity)) {}
+
+void Tracer::push(int entity, Ev ev, sim::Time t, std::uint64_t a,
+                  std::uint64_t b, std::uint64_t c) {
+  if (entity < 0) return;
+  if (static_cast<std::size_t>(entity) >= rings_.size())
+    rings_.resize(static_cast<std::size_t>(entity) + 1);
+  Ring& r = rings_[static_cast<std::size_t>(entity)];
+  if (r.buf.empty()) r.buf.resize(cap_);
+  TraceEvent& slot = r.buf[r.pushed & (cap_ - 1)];
+  if (r.pushed >= cap_) ++dropped_;
+  slot.t = t;
+  slot.seq = seq_++;
+  slot.a = a;
+  slot.b = b;
+  slot.c = c;
+  slot.entity = entity;
+  slot.ev = ev;
+  ++r.pushed;
+}
+
+void Tracer::set_entity_name(int entity, std::string name) {
+  names_[entity] = std::move(name);
+}
+
+const std::string* Tracer::entity_name(int entity) const {
+  auto it = names_.find(entity);
+  return it == names_.end() ? nullptr : &it->second;
+}
+
+std::vector<TraceEvent> Tracer::ordered() const {
+  std::vector<TraceEvent> out;
+  for (const Ring& r : rings_) {
+    std::uint64_t n = std::min<std::uint64_t>(r.pushed, cap_);
+    for (std::uint64_t i = 0; i < n; ++i)
+      out.push_back(r.buf[(r.pushed - n + i) & (cap_ - 1)]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+namespace {
+
+// Fixed-point microseconds: Chrome wants ts in us; virtual time is integral
+// ns, so three decimals reproduce it exactly and deterministically.
+void put_us(std::string& s, sim::Time t_ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(t_ns / 1000),
+                static_cast<unsigned long long>(t_ns % 1000));
+  s += buf;
+}
+
+void json_escape(std::string& s, const std::string& in) {
+  for (char ch : in) {
+    if (ch == '"' || ch == '\\') {
+      s += '\\';
+      s += ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+      s += buf;
+    } else {
+      s += ch;
+    }
+  }
+}
+
+}  // namespace
+
+void Tracer::export_chrome(std::ostream& os) const {
+  std::vector<TraceEvent> evs = ordered();
+  std::string out;
+  out.reserve(evs.size() * 96 + 1024);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  // Thread-name metadata only for entities that actually produced events —
+  // keeps 1000-rank traces from listing 3000 empty tracks.
+  for (const auto& [entity, name] : names_) {
+    if (static_cast<std::size_t>(entity) >= rings_.size() ||
+        rings_[static_cast<std::size_t>(entity)].pushed == 0)
+      continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(entity);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json_escape(out, name);
+    out += "\"}}";
+  }
+  for (const TraceEvent& e : evs) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"";
+    out += is_span(e.ev) ? 'X' : 'i';
+    out += "\",\"pid\":0,\"tid\":";
+    out += std::to_string(e.entity);
+    out += ",\"ts\":";
+    put_us(out, e.t);
+    if (is_span(e.ev)) {
+      out += ",\"dur\":";
+      put_us(out, e.a);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"name\":\"";
+    out += to_string(e.ev);
+    out += "\",\"args\":{\"a\":";
+    out += std::to_string(e.a);
+    out += ",\"b\":";
+    out += std::to_string(e.b);
+    out += ",\"c\":";
+    out += std::to_string(e.c);
+    out += ",\"seq\":";
+    out += std::to_string(e.seq);
+    out += "}}";
+  }
+  out += "\n]}\n";
+  os << out;
+}
+
+namespace {
+
+void format_line(std::string& s, const TraceEvent& e) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%llu %llu %d %s %llu %llu %llu",
+                static_cast<unsigned long long>(e.seq),
+                static_cast<unsigned long long>(e.t), e.entity,
+                to_string(e.ev), static_cast<unsigned long long>(e.a),
+                static_cast<unsigned long long>(e.b),
+                static_cast<unsigned long long>(e.c));
+  s = buf;
+}
+
+}  // namespace
+
+void Tracer::export_text(std::ostream& os) const {
+  for (const auto& [entity, name] : names_) {
+    if (static_cast<std::size_t>(entity) >= rings_.size() ||
+        rings_[static_cast<std::size_t>(entity)].pushed == 0)
+      continue;
+    os << "ENTITY " << entity << ' ' << name << '\n';
+  }
+  std::string line;
+  for (const TraceEvent& e : ordered()) {
+    format_line(line, e);
+    os << line << '\n';
+  }
+}
+
+std::vector<std::string> Tracer::tail_text(std::size_t n) const {
+  std::vector<TraceEvent> evs = ordered();
+  std::size_t start = evs.size() > n ? evs.size() - n : 0;
+  std::vector<std::string> out;
+  out.reserve(evs.size() - start);
+  std::string line;
+  for (std::size_t i = start; i < evs.size(); ++i) {
+    format_line(line, evs[i]);
+    out.push_back(line);
+  }
+  return out;
+}
+
+}  // namespace casper::obs

@@ -1,0 +1,115 @@
+// Virtual-time event tracer: per-entity ring buffers of fixed-size POD
+// records, exportable as Chrome `chrome://tracing` JSON or as a stable text
+// form (the golden-trace format).
+//
+// Concurrency model: the simulator multiplexes every rank fiber, progress
+// agent, and NIC event on the single OS thread that holds the scheduler
+// token, so exactly one party can call record() at any instant. The rings
+// are therefore lock-free by construction — plain stores, no atomics, no
+// mutexes — while still being organized per entity so one chatty entity
+// (e.g. a ghost serving a burst) can only overwrite its own history.
+//
+// Determinism: records carry only virtual times and symbolic ids (world
+// ranks, opids, window ids, byte counts) — never host addresses or host
+// clocks — so the same simulation produces a byte-identical trace on every
+// run, under ASLR, across machines. The golden-trace regression test
+// depends on this.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace casper::obs {
+
+/// The event taxonomy (see DESIGN.md §8 for the full semantics of a/b/c).
+enum class Ev : std::uint8_t {
+  OpIssued,      ///< instant: rank entered p_rma      a=kind b=target c=bytes
+  OpHwPath,      ///< instant: NIC executed a hw op    a=opid b=kind  c=bytes
+  OpRedirected,  ///< instant: Casper sent op to ghost a=ghost b=kind c=bytes
+  OpSegmentSplit,///< instant: op split at seg bounds  a=nsubs b=kind c=bytes
+  LbDecision,    ///< instant: dynamic-lb ghost choice a=ghost b=policy c=bytes
+  OpCommitted,   ///< instant: target bytes written    a=opid b=kind  c=bytes
+  OpFlushed,     ///< instant: ack reached the origin  a=opid
+  EpochBegin,    ///< instant: epoch opened            a=code b=win
+  EpochTranslate,///< span: Casper epoch translation   a=dur  b=synckind c=win
+  EpochEnd,      ///< instant: sync call completed     a=synckind b=win
+  FiberSwitch,   ///< instant: scheduler resumed rank
+  GhostService,  ///< span: dedicated rank served op   a=dur  b=opid c=bytes
+  Compute,       ///< span: application computation    a=dur
+};
+
+const char* to_string(Ev ev);
+
+/// True for events whose `a` argument is a duration (Chrome "X" phase).
+constexpr bool is_span(Ev ev) {
+  return ev == Ev::EpochTranslate || ev == Ev::GhostService ||
+         ev == Ev::Compute;
+}
+
+/// One trace record: 48 plain bytes, no owning members, so pushing one is a
+/// couple of stores and ring eviction is free.
+struct TraceEvent {
+  sim::Time t = 0;        ///< virtual time (span events: start time)
+  std::uint64_t seq = 0;  ///< global record order (total, deterministic)
+  std::uint64_t a = 0, b = 0, c = 0;
+  std::int32_t entity = 0;
+  Ev ev = Ev::OpIssued;
+};
+
+class Tracer {
+ public:
+  /// `ring_capacity` events are retained per entity (power of two enforced);
+  /// older records are overwritten and counted in dropped().
+  explicit Tracer(std::size_t ring_capacity = std::size_t{1} << 15);
+
+  /// Record an instantaneous event for `entity` (>= 0) at virtual time `t`.
+  void instant(int entity, Ev ev, sim::Time t, std::uint64_t a = 0,
+               std::uint64_t b = 0, std::uint64_t c = 0) {
+    push(entity, ev, t, a, b, c);
+  }
+  /// Record a span [t0, t0+dur) for `entity`; dur lands in the `a` slot.
+  void span(int entity, Ev ev, sim::Time t0, sim::Time dur,
+            std::uint64_t b = 0, std::uint64_t c = 0) {
+    push(entity, ev, t0, dur, b, c);
+  }
+
+  /// Human-readable track name ("user 0", "ghost 3", "nic 1", ...).
+  void set_entity_name(int entity, std::string name);
+  const std::string* entity_name(int entity) const;
+
+  /// All retained events merged into record (seq) order.
+  std::vector<TraceEvent> ordered() const;
+  /// Total records evicted from full rings.
+  std::uint64_t dropped() const { return dropped_; }
+  /// Total records ever pushed.
+  std::uint64_t recorded() const { return seq_; }
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}, ts in microseconds).
+  void export_chrome(std::ostream& os) const;
+  /// Stable text form, one record per line — the golden-trace format.
+  void export_text(std::ostream& os) const;
+  /// Last `n` records as export_text lines (repro-file trace tail).
+  std::vector<std::string> tail_text(std::size_t n) const;
+
+ private:
+  void push(int entity, Ev ev, sim::Time t, std::uint64_t a, std::uint64_t b,
+            std::uint64_t c);
+
+  struct Ring {
+    std::vector<TraceEvent> buf;  ///< allocated lazily at first push
+    std::uint64_t pushed = 0;
+  };
+
+  std::size_t cap_;
+  std::vector<Ring> rings_;  ///< indexed by entity id
+  std::map<int, std::string> names_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace casper::obs

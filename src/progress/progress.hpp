@@ -23,6 +23,8 @@
 // configuration surface.
 #pragma once
 
+#include <string>
+
 namespace casper::progress {
 
 enum class Kind { None, Thread, Interrupt };
@@ -34,5 +36,31 @@ struct Config {
   bool oversubscribed = false;
   double oversub_scale = 2.0;
 };
+
+/// Processing-entity id spaces. RMA work is attributed to the entity that
+/// executed it: a rank fiber (poller or Casper ghost), a progress agent
+/// (thread/interrupt handler, id nranks + r), or the NIC (hardware path,
+/// id 2*nranks + r). The observability layer keys its tracks on these ids.
+enum class EntityClass { Rank, Agent, Nic };
+
+inline EntityClass classify_entity(int entity, int nranks) {
+  if (entity < nranks) return EntityClass::Rank;
+  if (entity < 2 * nranks) return EntityClass::Agent;
+  return EntityClass::Nic;
+}
+
+/// World rank the entity belongs to (the agent/NIC of rank r maps to r).
+inline int entity_rank(int entity, int nranks) { return entity % nranks; }
+
+inline std::string entity_label(int entity, int nranks) {
+  switch (classify_entity(entity, nranks)) {
+    case EntityClass::Rank: return "rank " + std::to_string(entity);
+    case EntityClass::Agent:
+      return "agent " + std::to_string(entity_rank(entity, nranks));
+    case EntityClass::Nic:
+      return "nic " + std::to_string(entity_rank(entity, nranks));
+  }
+  return "entity " + std::to_string(entity);
+}
 
 }  // namespace casper::progress

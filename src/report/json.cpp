@@ -1,0 +1,75 @@
+#include "report/json.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+namespace casper::report {
+
+namespace {
+
+bool is_number(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+void json_cell(std::ostream& os, const std::string& s) {
+  if (is_number(s)) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') os << '\\';
+    os << ch;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_bench_json(std::ostream& os, const std::string& bench_id,
+                      const Table& table, const obs::Metrics* metrics) {
+  os << "{\n  \"bench\": ";
+  json_cell(os, bench_id);
+  os << ",\n  \"columns\": [";
+  bool first = true;
+  for (const auto& h : table.headers()) {
+    if (!first) os << ", ";
+    first = false;
+    json_cell(os, h);
+  }
+  os << "],\n  \"rows\": [";
+  first = true;
+  for (const auto& r : table.rows()) {
+    os << (first ? "\n" : ",\n") << "    [";
+    first = false;
+    bool cfirst = true;
+    for (const auto& c : r) {
+      if (!cfirst) os << ", ";
+      cfirst = false;
+      json_cell(os, c);
+    }
+    os << ']';
+  }
+  os << (first ? "" : "\n  ") << "],\n  \"metrics\": ";
+  if (metrics != nullptr) {
+    metrics->write_json(os, 2);
+  } else {
+    os << "{}";
+  }
+  os << "\n}\n";
+}
+
+bool write_bench_json_file(const std::string& path,
+                           const std::string& bench_id, const Table& table,
+                           const obs::Metrics* metrics) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_bench_json(f, bench_id, table, metrics);
+  return true;
+}
+
+}  // namespace casper::report

@@ -1,0 +1,27 @@
+// BENCH_*.json writer: serializes a bench result table plus (optionally) the
+// observability metrics block, so regression tooling can diff both the
+// headline numbers and the per-ghost / per-path telemetry behind them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "report/table.hpp"
+
+namespace casper::report {
+
+/// Write {"bench": id, "columns": [...], "rows": [[...], ...],
+///        "metrics": {...}} to `os`. Cells that parse fully as numbers are
+/// emitted as JSON numbers, everything else as strings. `metrics` may be
+/// null (the block is then an empty object, keeping the schema stable).
+void write_bench_json(std::ostream& os, const std::string& bench_id,
+                      const Table& table, const obs::Metrics* metrics);
+
+/// Convenience: open `path` and write_bench_json into it. Returns false if
+/// the file cannot be opened.
+bool write_bench_json_file(const std::string& path,
+                           const std::string& bench_id, const Table& table,
+                           const obs::Metrics* metrics);
+
+}  // namespace casper::report

@@ -19,6 +19,9 @@ class Table {
   /// Render aligned text (csv=false) or comma-separated (csv=true).
   void print(std::ostream& os, bool csv = false) const;
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -209,6 +209,7 @@ void Engine::run() {
       free_slots_.push_back(key.slot);
       if (key.t > horizon_) horizon_ = key.t;
       if (sched_trace_) sched_trace_->push_back(SchedRecord{key.t, -1});
+      if (sched_obs_) sched_obs_->on_schedule(key.t, -1);
       cb();
       continue;
     }
@@ -220,6 +221,7 @@ void Engine::run() {
     if (rs.now > horizon_) horizon_ = rs.now;
     rs.st = St::Running;
     if (sched_trace_) sched_trace_->push_back(SchedRecord{item.t, item.rank});
+    if (sched_obs_) sched_obs_->on_schedule(item.t, item.rank);
     hand_token_to(item.rank);
   }
   running_ = false;

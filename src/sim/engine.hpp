@@ -48,6 +48,17 @@ namespace casper::sim {
 
 class Engine;
 
+/// Callback interface for observing scheduling decisions as they happen
+/// (the observability layer's Recorder implements it). Unlike
+/// set_schedule_trace this does not accumulate storage in the engine, so it
+/// suits long runs where only a bounded window of history is wanted.
+class SchedObserver {
+ public:
+  virtual ~SchedObserver() = default;
+  /// At virtual time `t` the engine resumed `rank` (-1: event callback).
+  virtual void on_schedule(Time t, int rank) = 0;
+};
+
 /// Per-rank handle passed to user rank code; all simulation interaction for a
 /// rank goes through its Context (valid only on that rank's fiber).
 class Context {
@@ -177,6 +188,10 @@ class Engine {
     sched_trace_ = sink;
   }
 
+  /// Notify `obs` of every scheduling decision (null disables). Independent
+  /// of set_schedule_trace; both may be active at once.
+  void set_sched_observer(SchedObserver* obs) { sched_obs_ = obs; }
+
  private:
   friend class Context;
 
@@ -255,6 +270,7 @@ class Engine {
 
   Rng perturb_rng_;  // tie-break salt stream (seeded by Options::perturb_seed)
   std::vector<SchedRecord>* sched_trace_ = nullptr;
+  SchedObserver* sched_obs_ = nullptr;
 
   std::function<void()> deadlock_dump_;
   Stats stats_;

@@ -1,0 +1,86 @@
+// Unit tests for net::Topology: block rank placement, node/core/NUMA
+// arithmetic, and the shapes used throughout the paper's experiments.
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+using namespace casper;
+
+TEST(Topology, BlockPlacement) {
+  net::Topology t;
+  t.nodes = 3;
+  t.cores_per_node = 4;
+  EXPECT_EQ(t.nranks(), 12);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(3), 0);
+  EXPECT_EQ(t.node_of(4), 1);
+  EXPECT_EQ(t.node_of(11), 2);
+  EXPECT_EQ(t.core_of(0), 0);
+  EXPECT_EQ(t.core_of(5), 1);
+  EXPECT_EQ(t.core_of(11), 3);
+}
+
+TEST(Topology, SameNode) {
+  net::Topology t;
+  t.nodes = 2;
+  t.cores_per_node = 8;
+  EXPECT_TRUE(t.same_node(0, 7));
+  EXPECT_FALSE(t.same_node(7, 8));
+  EXPECT_TRUE(t.same_node(8, 15));
+  EXPECT_TRUE(t.same_node(3, 3));
+}
+
+TEST(Topology, NumaSplitsCoresEvenly) {
+  net::Topology t;
+  t.nodes = 1;
+  t.cores_per_node = 8;
+  t.numa_per_node = 2;
+  // 4 cores per NUMA domain.
+  EXPECT_EQ(t.numa_of(0), 0);
+  EXPECT_EQ(t.numa_of(3), 0);
+  EXPECT_EQ(t.numa_of(4), 1);
+  EXPECT_EQ(t.numa_of(7), 1);
+}
+
+TEST(Topology, NumaRoundsUpOddSplit) {
+  net::Topology t;
+  t.nodes = 1;
+  t.cores_per_node = 5;
+  t.numa_per_node = 2;
+  // ceil(5/2) = 3 cores in domain 0, the rest in domain 1.
+  EXPECT_EQ(t.numa_of(0), 0);
+  EXPECT_EQ(t.numa_of(2), 0);
+  EXPECT_EQ(t.numa_of(3), 1);
+  EXPECT_EQ(t.numa_of(4), 1);
+}
+
+TEST(Topology, NumaOnSecondNodeUsesLocalCore) {
+  net::Topology t;
+  t.nodes = 2;
+  t.cores_per_node = 4;
+  t.numa_per_node = 2;
+  // Rank 5 is core 1 of node 1 -> NUMA domain 0 of that node.
+  EXPECT_EQ(t.numa_of(5), 0);
+  EXPECT_EQ(t.numa_of(7), 1);
+}
+
+TEST(Topology, Paper16CoreNode) {
+  // The paper's Cray XC30 nodes: 16 cores, 2 sockets — the deployment
+  // Table I reasons about when carving ghost cores out of a node.
+  net::Topology t;
+  t.nodes = 4;
+  t.cores_per_node = 16;
+  t.numa_per_node = 2;
+  EXPECT_EQ(t.nranks(), 64);
+  EXPECT_EQ(t.node_of(31), 1);
+  EXPECT_EQ(t.numa_of(8), 1);
+  EXPECT_EQ(t.numa_of(24), 1);  // core 8 of node 1
+  t.validate();  // must not abort
+}
+
+TEST(Topology, DefaultIsValid) {
+  net::Topology t;
+  t.validate();
+  EXPECT_EQ(t.nranks(), 1);
+  EXPECT_EQ(t.numa_of(0), 0);
+}

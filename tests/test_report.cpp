@@ -1,0 +1,101 @@
+// Unit tests for the report stack: the table printer (alignment, CSV,
+// ragged rows) and the BENCH_*.json writer (numeric cell detection, the
+// embedded obs metrics block).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "report/json.hpp"
+#include "report/table.hpp"
+
+using namespace casper;
+
+TEST(Table, AccessorsExposeHeadersAndRows) {
+  report::Table t({"x", "y"});
+  t.row({"1", "2"});
+  t.row({"3", "4"});
+  ASSERT_EQ(t.headers().size(), 2u);
+  EXPECT_EQ(t.headers()[1], "y");
+  ASSERT_EQ(t.rows().size(), 2u);
+  EXPECT_EQ(t.rows()[1][0], "3");
+}
+
+TEST(Table, AlignedOutputPadsToWidestCell) {
+  report::Table t({"id", "value"});
+  t.row({"1", "short"});
+  t.row({"22", "a-much-longer-cell"});
+  std::ostringstream os;
+  t.print(os, false);
+  const std::string s = os.str();
+  // Header row, separator, two data rows.
+  EXPECT_NE(s.find("  id  value"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_NE(s.find("a-much-longer-cell"), std::string::npos);
+  // Every line has the same length (alignment).
+  std::istringstream is(s);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(Table, CsvOutput) {
+  report::Table t({"a", "b"});
+  t.row({"1", "2"});
+  std::ostringstream os;
+  t.print(os, true);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RaggedRowRendersShortCellsEmpty) {
+  report::Table t({"a", "b"});
+  t.row({"only"});
+  std::ostringstream os;
+  t.print(os, false);  // must not crash or read out of range
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Fmt, TrimsAndCounts) {
+  EXPECT_EQ(report::fmt(3.14159, 3), "3.142");
+  EXPECT_EQ(report::fmt(2.0, 0), "2");
+  EXPECT_EQ(report::fmt_count(0), "0");
+  EXPECT_EQ(report::fmt_count(123456789), "123456789");
+}
+
+TEST(BenchJson, NumericCellsUnquotedStringsQuoted) {
+  report::Table t({"wait(us)", "mode"});
+  t.row({"4", "casper"});
+  t.row({"12.5", "say \"hi\""});
+  std::ostringstream os;
+  report::write_bench_json(os, "unit", t, nullptr);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"bench\": \"unit\""), std::string::npos);
+  EXPECT_NE(s.find("[4, \"casper\"]"), std::string::npos);
+  EXPECT_NE(s.find("[12.5, \"say \\\"hi\\\"\"]"), std::string::npos);
+  EXPECT_NE(s.find("\"wait(us)\""), std::string::npos);
+  // Null metrics -> empty object, still valid JSON.
+  EXPECT_NE(s.find("\"metrics\": {}"), std::string::npos);
+}
+
+TEST(BenchJson, EmbedsMetricsBlock) {
+  report::Table t({"a"});
+  t.row({"1"});
+  obs::Metrics m;
+  m.counter("ops.issued") = 16;
+  m.histogram("redirect_bytes").add(8);
+  std::ostringstream os;
+  report::write_bench_json(os, "unit", t, &m);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"ops.issued\": 16"), std::string::npos);
+  EXPECT_NE(s.find("\"redirect_bytes\""), std::string::npos);
+  EXPECT_NE(s.find("\"buckets\": [[3, 1]]"), std::string::npos);
+}
+
+TEST(BenchJson, FileWriterRejectsBadPath) {
+  report::Table t({"a"});
+  EXPECT_FALSE(report::write_bench_json_file("/nonexistent-dir/x.json",
+                                             "unit", t, nullptr));
+}
