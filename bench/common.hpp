@@ -8,6 +8,8 @@
 //            that preserves the curve shapes and finishes in seconds.
 #pragma once
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <functional>
 #include <string>
@@ -124,6 +126,34 @@ inline double run_metric(const RunSpec& spec,
   double metric = 0;
   run(spec, [&metric, &app](mpi::Env& env) { app(env, &metric); });
   return metric;
+}
+
+/// Host wall-clock of `body`, best (minimum) of `runs` executions, in
+/// milliseconds. Best-of-N is the standard defense against one-off scheduler
+/// noise when the measured quantity is a deterministic amount of work; the
+/// BENCH_*.json "host" blocks produced from this feed the perf-regression
+/// gate in scripts/bench.sh.
+inline double host_best_of_ms(int runs, const std::function<void()>& body) {
+  using Clock = std::chrono::steady_clock;
+  double best = 0;
+  for (int r = 0; r < runs; ++r) {
+    const auto t0 = Clock::now();
+    body();
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Render the standard "host" block for BENCH_*.json: the best-of-N
+/// wall-clock of the bench's casper-mode sweep.
+inline std::string host_block_json(double sweep_ms, int runs) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "{\"casper_sweep_ms\": %.3f, \"best_of\": %d}", sweep_ms,
+                runs);
+  return buf;
 }
 
 }  // namespace casper::bench

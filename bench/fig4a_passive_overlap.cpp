@@ -99,11 +99,24 @@ int main(int argc, char** argv) {
                 << rec.trace.dropped() << " dropped) -> " << trace_path
                 << "\n";
     }
-    if (want_json &&
-        !report::write_bench_json_file("BENCH_fig4a.json", "fig4a", t,
-                                       &rec.metrics)) {
-      std::cerr << "fig4a: cannot write BENCH_fig4a.json\n";
-      return 1;
+    if (want_json) {
+      // Host-side cost of the casper column (uninstrumented, best-of-5):
+      // the virtual-time rows above are pinned by the golden trace, so this
+      // is the number the perf ratchet in scripts/bench.sh tracks.
+      const int kRuns = 5;
+      const double sweep_ms = bench::host_best_of_ms(kRuns, [&] {
+        for (sim::Time wait = sim::us(1); wait <= sim::us(128); wait *= 2) {
+          RunSpec s = base;
+          s.mode = Mode::Casper;
+          origin_time_us(s, wait);
+        }
+      });
+      if (!report::write_bench_json_file(
+              "BENCH_fig4a.json", "fig4a", t, &rec.metrics,
+              bench::host_block_json(sweep_ms, kRuns))) {
+        std::cerr << "fig4a: cannot write BENCH_fig4a.json\n";
+        return 1;
+      }
     }
   }
   return 0;

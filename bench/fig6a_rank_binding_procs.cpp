@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "fig6_common.hpp"
+#include "report/json.hpp"
 
 using namespace casper;
 using bench::Mode;
@@ -48,5 +49,37 @@ int main(int argc, char** argv) {
                "scale more ghosts keep up with the higher incoming "
                "accumulate rate and win.\n";
   if (!full) std::cout << "(reduced scale; pass --full for up to 1024)\n";
+
+  // --json: write BENCH_fig6a.json for the perf-regression gate. The rows
+  // are virtual time (exact-match against the baseline); the host block is
+  // the wall-clock of the p=64 casper_8g run, best-of-5; the metrics block
+  // comes from a separate instrumented p=64 run (instrumentation is never
+  // inside the timed loop).
+  if (bench::has_flag(argc, argv, "--json")) {
+    auto spec64 = [&](Mode m, int ghosts) {
+      RunSpec s;
+      s.mode = m;
+      s.profile = net::cray_xc30_regular();
+      s.nodes = 64 / users_per_node;
+      s.user_cpn = users_per_node;
+      s.ghosts = ghosts;
+      s.binding = core::Binding::Rank;
+      return s;
+    };
+    const int kRuns = 5;
+    const double sweep_ms = bench::host_best_of_ms(kRuns, [&] {
+      bench::fig6_alltoall_acc_us(spec64(Mode::Casper, 8), 1);
+    });
+    obs::Recorder rec;
+    RunSpec s = spec64(Mode::Casper, 8);
+    s.recorder = &rec;
+    bench::fig6_alltoall_acc_us(s, 1);
+    if (!report::write_bench_json_file(
+            "BENCH_fig6a.json", "fig6a", t, &rec.metrics,
+            bench::host_block_json(sweep_ms, kRuns))) {
+      std::cerr << "fig6a: cannot write BENCH_fig6a.json\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Compare freshly-run BENCH_*.json files against committed baselines.
+
+The ratchet contract (see DESIGN.md "Hot-path memory model"):
+  - Virtual-time results -- the "rows" of the figure benches and every
+    "metrics" counter/histogram -- are deterministic facts of the simulation
+    and must match the baseline EXACTLY. Any drift means behavior changed,
+    which belongs in a deliberate re-baseline, never in noise.
+  - Host-side numbers -- engine switches/events per second and the figure
+    benches' "host" blocks -- are wall-clock measurements and are compared
+    with a tolerance band (--tol, fractional). Rates must not drop below
+    baseline*(1-tol); latencies must not rise above baseline*(1+tol).
+  - Best-of-N: every bench is run N times (the run*/ directories); the best
+    host number across runs is the one compared, so a single noisy run never
+    fails the gate.
+
+--update installs the best run's file as the new committed baseline instead
+of comparing (the intentional re-baseline path).
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+BENCHES = ["engine", "fig4a", "fig6a"]
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def fail(msg):
+    print(f"bench_compare: FAIL: {msg}")
+    return 1
+
+
+def engine_host_score(doc):
+    return sum(r["events_per_sec"] for r in doc["results"])
+
+
+def fig_host_ms(doc):
+    return doc.get("host", {}).get("casper_sweep_ms")
+
+
+def best_run(name, docs):
+    """Index of the run with the best host-side result."""
+    if name == "engine":
+        return max(range(len(docs)), key=lambda i: engine_host_score(docs[i]))
+    with_host = [i for i in range(len(docs)) if fig_host_ms(docs[i]) is not None]
+    if not with_host:
+        return 0
+    return min(with_host, key=lambda i: fig_host_ms(docs[i]))
+
+
+def compare_exact(name, what, new, old):
+    if new != old:
+        return fail(
+            f"{name}: {what} diverged from baseline (virtual-time results "
+            f"must be byte-stable; re-baseline deliberately with "
+            f"'scripts/bench.sh --update' if this change is intended)"
+        )
+    return 0
+
+
+def compare_engine(docs, base, tol):
+    rc = 0
+    # Virtual-time facts: the instrumented mini-run's counters.
+    best = docs[best_run("engine", docs)]
+    rc |= compare_exact("engine", "metrics", best.get("metrics"),
+                        base.get("metrics"))
+    by_rank_base = {r["nranks"]: r for r in base["results"]}
+    for n, br in sorted(by_rank_base.items()):
+        for key in ("switches_per_sec", "events_per_sec"):
+            cand = max(
+                r[key]
+                for doc in docs
+                for r in doc["results"]
+                if r["nranks"] == n
+            )
+            floor = br[key] * (1.0 - tol)
+            status = "ok" if cand >= floor else "REGRESSION"
+            print(
+                f"  engine nranks={n:<5} {key:<17} "
+                f"base={br[key]:>12.0f} best={cand:>12.0f} "
+                f"({cand / br[key] * 100.0 - 100.0:+6.1f}%)  {status}"
+            )
+            if cand < floor:
+                rc |= fail(
+                    f"engine: {key} at nranks={n} regressed beyond "
+                    f"{tol:.0%}: {cand:.0f} < {floor:.0f}"
+                )
+    return rc
+
+
+def compare_fig(name, docs, base, tol):
+    rc = 0
+    best = docs[best_run(name, docs)]
+    rc |= compare_exact(name, "columns", best.get("columns"),
+                        base.get("columns"))
+    rc |= compare_exact(name, "rows", best.get("rows"), base.get("rows"))
+    rc |= compare_exact(name, "metrics", best.get("metrics"),
+                        base.get("metrics"))
+    base_ms = fig_host_ms(base)
+    cand_ms = min(
+        (fig_host_ms(d) for d in docs if fig_host_ms(d) is not None),
+        default=None,
+    )
+    if base_ms is None:
+        print(f"  {name}: baseline has no host block; host gate skipped")
+        return rc
+    if cand_ms is None:
+        return rc | fail(f"{name}: runs produced no host block")
+    ceil = base_ms * (1.0 + tol)
+    status = "ok" if cand_ms <= ceil else "REGRESSION"
+    print(
+        f"  {name} casper_sweep_ms base={base_ms:>9.3f} "
+        f"best={cand_ms:>9.3f} ({cand_ms / base_ms * 100.0 - 100.0:+6.1f}%)"
+        f"  {status}"
+    )
+    if cand_ms > ceil:
+        rc |= fail(
+            f"{name}: host sweep regressed beyond {tol:.0%}: "
+            f"{cand_ms:.3f}ms > {ceil:.3f}ms"
+        )
+    return rc
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--runs-dir", required=True)
+    ap.add_argument("--baseline-dir", default=".")
+    ap.add_argument("--tol", type=float, default=0.25)
+    ap.add_argument("--update", action="store_true")
+    args = ap.parse_args()
+
+    run_dirs = sorted(
+        d
+        for d in os.listdir(args.runs_dir)
+        if d.startswith("run")
+        and os.path.isdir(os.path.join(args.runs_dir, d))
+    )
+    if not run_dirs:
+        return fail(f"no run*/ directories under {args.runs_dir}")
+
+    rc = 0
+    for name in BENCHES:
+        fname = f"BENCH_{name}.json"
+        paths = [
+            os.path.join(args.runs_dir, d, fname)
+            for d in run_dirs
+            if os.path.exists(os.path.join(args.runs_dir, d, fname))
+        ]
+        if not paths:
+            rc |= fail(f"{name}: no {fname} produced by any run")
+            continue
+        docs = [load(p) for p in paths]
+        base_path = os.path.join(args.baseline_dir, fname)
+
+        if args.update:
+            src = paths[best_run(name, docs)]
+            shutil.copyfile(src, base_path)
+            print(f"  {name}: re-baselined {base_path} from {src}")
+            continue
+
+        if not os.path.exists(base_path):
+            rc |= fail(
+                f"{name}: no committed baseline {base_path} "
+                f"(run 'scripts/bench.sh --update' and commit it)"
+            )
+            continue
+        base = load(base_path)
+        if name == "engine":
+            rc |= compare_engine(docs, base, args.tol)
+        else:
+            rc |= compare_fig(name, docs, base, args.tol)
+
+    if rc == 0:
+        print(
+            "bench_compare: "
+            + ("baselines updated" if args.update else "all benches within band")
+        )
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

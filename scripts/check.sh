@@ -9,18 +9,18 @@ BUILD=build
 BUILD_ASAN=build-asan
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "== [1/5] tier-1: build + ctest =="
+echo "== [1/7] tier-1: build + ctest =="
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
-echo "== [2/5] conformance fuzzer: fixed seed corpus =="
+echo "== [2/7] conformance fuzzer: fixed seed corpus =="
 # A larger sweep than the ctest-time run; still deterministic (fixed base
 # seed), so failures here are reproducible verbatim.
 "./$BUILD/tests/fuzz_conformance" --base-seed 1 --cases 500 --schedules 8 \
   --out "$BUILD/tests"
 
-echo "== [3/5] ASan: fuzzer smoke corpus =="
+echo "== [3/7] ASan: fuzzer smoke corpus =="
 cmake -B "$BUILD_ASAN" -S . -DCASPER_ASAN=ON >/dev/null
 cmake --build "$BUILD_ASAN" -j"$JOBS" --target fuzz_conformance \
   test_check_oracle
@@ -28,18 +28,34 @@ cmake --build "$BUILD_ASAN" -j"$JOBS" --target fuzz_conformance \
 "./$BUILD_ASAN/tests/fuzz_conformance" --base-seed 1 --cases 50 \
   --schedules 4 --out "$BUILD_ASAN/tests"
 
-echo "== [4/5] trace-enabled fuzz smoke (CASPER_TRACE=1) =="
+echo "== [4/7] trace-enabled fuzz smoke (CASPER_TRACE=1) =="
 # Same corpus slice with the recorder attached: exercises every obs
 # instrumentation site under fuzzed schedules, and any repro written here
 # embeds the virtual-time trace tail.
 CASPER_TRACE=1 "./$BUILD/tests/fuzz_conformance" --base-seed 7 --cases 50 \
   --schedules 2 --out "$BUILD/tests"
 
-echo "== [5/5] chrome-trace export: schema + casper track layout =="
+echo "== [5/7] chrome-trace export: schema + casper track layout =="
 cmake --build "$BUILD" -j"$JOBS" --target fig4a_passive_overlap
 "./$BUILD/bench/fig4a_passive_overlap" --trace "$BUILD/fig4a_trace.json" \
   > /dev/null
 python3 scripts/validate_chrome_trace.py "$BUILD/fig4a_trace.json" \
   --require-casper-tracks
+
+echo "== [6/7] untraced Release build (-DCASPER_TRACE=0) =="
+# The hot path is sprinkled with obs instrumentation behind CASPER_TRACE;
+# prove the untraced production configuration still compiles and links after
+# any refactor, not just the traced default.
+BUILD_NT=build-notrace
+cmake -B "$BUILD_NT" -S . -DCASPER_TRACE=OFF \
+  -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_NT" -j"$JOBS"
+"./$BUILD_NT/tests/test_casper" >/dev/null
+
+echo "== [7/7] perf-regression gate: BENCH_*.json ratchet =="
+# Host-side perf ratchet against the committed baselines, serial (the bench
+# processes are the only load), best-of-N inside bench.sh. Intentional
+# re-baselines go through scripts/bench.sh --update; see DESIGN.md §9.
+scripts/bench.sh
 
 echo "check.sh: all gates passed"

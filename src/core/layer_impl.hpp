@@ -177,6 +177,39 @@ class CasperLayer final : public mpi::Layer {
     bool binding_free = false;
   };
 
+  /// One piece of a (possibly split) redirected operation.
+  struct SubOp {
+    int ghost = -1;          ///< ghost world rank (target in internal wins)
+    std::size_t tdisp = 0;   ///< byte displacement in the ghost's frame
+    int tcount = 0;
+    mpi::Datatype tdt;
+    std::size_t payload_off = 0;  ///< offset into packed origin data
+  };
+
+  /// Memoized resolve_static output: applications re-issue the same op shape
+  /// (target, displacement, count, datatype) every iteration, and the
+  /// byte→ghost split is pure in that key while the binding stands. Open
+  /// addressing over a fixed power-of-two slot array with bounded linear
+  /// probing; entries from an older generation are stale and overwritten in
+  /// place (their SubOp vectors are reused, so a warm cache allocates
+  /// nothing). Lives per origin so hit/miss counts depend only on that
+  /// origin's own call sequence, never on rank interleaving.
+  struct PlanEntry {
+    std::uint64_t gen = 0;  ///< 0 = empty; valid iff == PlanCache::gen
+    int target = -1;
+    std::size_t disp_bytes = 0;
+    int tcount = 0;
+    mpi::Datatype tdt;
+    std::vector<SubOp> subs;
+  };
+  struct PlanCache {
+    static constexpr std::size_t kSlots = 64;  // power of two
+    static constexpr std::size_t kProbe = 4;   // bounded displacement
+    std::uint64_t gen = 1;  ///< bump to invalidate (lock/epoch transitions)
+    std::vector<PlanEntry> slots;  // sized kSlots at window build
+    std::vector<SubOp> scratch;    ///< uncached path (fault injection)
+  };
+
   /// Per-origin epoch state on one Casper window.
   struct OriginEp {
     std::vector<OriginTargetEp> tl;  // per target user rank
@@ -184,9 +217,13 @@ class CasperLayer final : public mpi::Layer {
     bool fence_open = false;
     std::vector<int> access_group;    // user comm ranks (PSCW)
     std::vector<int> exposure_group;  // user comm ranks (PSCW)
+    /// Bitset mirror of access_group, indexed by user comm rank: the
+    /// per-op epoch check must not scan the group vector.
+    std::vector<std::uint64_t> access_mask;
     std::vector<std::uint64_t> ops_to_ghost;    // by ghost world rank
     std::vector<std::uint64_t> bytes_to_ghost;  // by ghost world rank
     std::uint64_t rr = 0;  ///< round-robin cursor for the "random" policy
+    PlanCache plans;       ///< memoized static-binding splits (this origin)
   };
 
   /// All internal state Casper keeps for one user window. One canonical
@@ -203,15 +240,6 @@ class CasperLayer final : public mpi::Layer {
     std::vector<std::size_t> node_total;  // per node: shared buffer bytes
     std::vector<OriginEp> ep;             // per user comm rank
     int seq = 0;  ///< allocation sequence number (ghost free matching)
-  };
-
-  /// One piece of a (possibly split) redirected operation.
-  struct SubOp {
-    int ghost = -1;          ///< ghost world rank (target in internal wins)
-    std::size_t tdisp = 0;   ///< byte displacement in the ghost's frame
-    int tcount = 0;
-    mpi::Datatype tdt;
-    std::size_t payload_off = 0;  ///< offset into packed origin data
   };
 
   // --- setup / ghosts ------------------------------------------------------
@@ -240,6 +268,13 @@ class CasperLayer final : public mpi::Layer {
   void resolve_static(CspWin& cw, int origin, int target,
                       std::size_t disp_bytes, int tcount,
                       const mpi::Datatype& tdt, std::vector<SubOp>& out);
+  /// Cached resolve_static: returns the split plan for the key, computing it
+  /// on miss. The reference stays valid until the next plan_lookup by the
+  /// SAME origin (other origins use their own caches), which cannot happen
+  /// inside one issue() call.
+  const std::vector<SubOp>& plan_lookup(CspWin& cw, OriginEp& ep, int origin,
+                                        int target, std::size_t disp_bytes,
+                                        int tcount, const mpi::Datatype& tdt);
   /// Dynamic binding ghost choice (paper III.B.3), PUT/GET only.
   int choose_dynamic_ghost(mpi::Env& env, CspWin& cw, int origin, int node,
                            std::size_t bytes);
@@ -260,6 +295,14 @@ class CasperLayer final : public mpi::Layer {
   mpi::Runtime* rt_;
   Config cfg_;
   std::shared_ptr<mpi::Pmpi> pmpi_;
+
+  /// Hot-path counter pointers, resolved once at construction (stats map
+  /// nodes are stable): per-op increments must not pay a string lookup.
+  std::uint64_t* stat_dynamic_ops_ = nullptr;
+  std::uint64_t* stat_split_subops_ = nullptr;
+  std::uint64_t* stat_self_ops_ = nullptr;
+  std::uint64_t* plan_hit_ = nullptr;   // recorder metric (null if obs off)
+  std::uint64_t* plan_miss_ = nullptr;  // recorder metric (null if obs off)
 
   // topology-derived, computed once in the constructor
   std::vector<bool> is_ghost_;                 // by world rank

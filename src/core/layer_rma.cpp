@@ -26,8 +26,19 @@ bool acc_like(OpKind k) {
          k == OpKind::Cas;
 }
 
-bool contains(const std::vector<int>& v, int x) {
-  return std::find(v.begin(), v.end(), x) != v.end();
+/// Membership test on a per-rank bitmask (the access-group mirror kept in
+/// OriginEp::access_mask); replaces a linear scan of the group vector on the
+/// per-op epoch check.
+bool mask_test(const std::vector<std::uint64_t>& mask, int x) {
+  return (mask[static_cast<std::size_t>(x) >> 6] >>
+          (static_cast<std::size_t>(x) & 63)) &
+         1u;
+}
+
+void mask_set(std::vector<std::uint64_t>& mask, int x) {
+  mask[static_cast<std::size_t>(x) >> 6] |= std::uint64_t{1}
+                                            << (static_cast<std::size_t>(x) &
+                                                63);
 }
 
 const char* lb_name(DynamicLb d) {
@@ -146,6 +157,64 @@ void CasperLayer::resolve_static(CspWin& cw, int origin, int target,
   }
 }
 
+const std::vector<CasperLayer::SubOp>& CasperLayer::plan_lookup(
+    CspWin& cw, OriginEp& ep, int origin, int target, std::size_t disp_bytes,
+    int tcount, const Datatype& tdt) {
+  PlanCache& pc = ep.plans;
+  if (cfg_.fault.flip_segment_binding) {
+    // Fault injection (tests only) makes the split origin-dependent; keep
+    // that path uncached so the fuzzer sees the raw resolution every time.
+    pc.scratch.clear();
+    resolve_static(cw, origin, target, disp_bytes, tcount, tdt, pc.scratch);
+    return pc.scratch;
+  }
+
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(target));
+  mix(disp_bytes);
+  mix(static_cast<std::uint64_t>(tcount));
+  mix(static_cast<std::uint64_t>(tdt.base));
+  mix(static_cast<std::uint64_t>(tdt.blocklen));
+  mix(static_cast<std::uint64_t>(tdt.stride));
+
+  const std::size_t slot_mask = PlanCache::kSlots - 1;
+  const std::size_t idx = static_cast<std::size_t>(h) & slot_mask;
+  for (std::size_t p = 0; p < PlanCache::kProbe; ++p) {
+    PlanEntry& e = pc.slots[(idx + p) & slot_mask];
+    if (e.gen == pc.gen && e.target == target &&
+        e.disp_bytes == disp_bytes && e.tcount == tcount &&
+        e.tdt.base == tdt.base && e.tdt.blocklen == tdt.blocklen &&
+        e.tdt.stride == tdt.stride) {
+      if (plan_hit_ != nullptr) ++*plan_hit_;
+      return e.subs;
+    }
+  }
+
+  // Miss: fill the first stale slot in the probe window, else evict the home
+  // slot. Stale entries keep their SubOp storage, so a warm cache refills
+  // without allocating.
+  PlanEntry* victim = &pc.slots[idx];
+  for (std::size_t p = 0; p < PlanCache::kProbe; ++p) {
+    PlanEntry& e = pc.slots[(idx + p) & slot_mask];
+    if (e.gen != pc.gen) {
+      victim = &e;
+      break;
+    }
+  }
+  if (plan_miss_ != nullptr) ++*plan_miss_;
+  victim->gen = pc.gen;
+  victim->target = target;
+  victim->disp_bytes = disp_bytes;
+  victim->tcount = tcount;
+  victim->tdt = tdt;
+  victim->subs.clear();
+  resolve_static(cw, origin, target, disp_bytes, tcount, tdt, victim->subs);
+  return victim->subs;
+}
+
 bool CasperLayer::dynamic_applicable(const CspWin& cw, int origin, int target,
                                      OpKind kind) const {
   if (cfg_.dynamic == DynamicLb::None || acc_like(kind)) return false;
@@ -230,14 +299,14 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
   }
   CspWin& cw = *cwp;
   const int me_u = my_user_rank(env);
-  auto& ep = cw.ep[static_cast<std::size_t>(me_u)];
-  auto& ti = cw.tgt[static_cast<std::size_t>(target)];
   MMPI_REQUIRE(target >= 0 && target < static_cast<int>(cw.tgt.size()),
                "casper: bad target %d", target);
+  auto& ep = cw.ep[static_cast<std::size_t>(me_u)];
+  auto& ti = cw.tgt[static_cast<std::size_t>(target)];
 
   const bool in_epoch = ep.fence_open || ep.lockall ||
                         ep.tl[static_cast<std::size_t>(target)].locked ||
-                        contains(ep.access_group, target);
+                        mask_test(ep.access_mask, target);
   MMPI_REQUIRE(in_epoch, "casper: RMA op outside any epoch (%d->%d)", me_u,
                target);
 
@@ -310,13 +379,13 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
     } else {
       pmpi_->get(env, res, rc, rdt, ghost, gdisp, tc, tdt, iw);
     }
-    ++rt_->stats().counter("casper_dynamic_ops");
+    ++*stat_dynamic_ops_;
     return;
   }
 
   // --- static binding -------------------------------------------------------
-  std::vector<SubOp> subs;
-  resolve_static(cw, me_u, target, disp_bytes, tc, tdt, subs);
+  const std::vector<SubOp>& subs =
+      plan_lookup(cw, ep, me_u, target, disp_bytes, tc, tdt);
 
   // Accumulate atomicity requires every target byte to be read-modify-
   // written by exactly ONE processing entity, regardless of which op shapes
@@ -379,9 +448,10 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
     ++rec->metrics.counter("casper.binding_split");
   }
   const bool fetches = kind == OpKind::Get || kind == OpKind::GetAcc;
-  std::vector<std::byte> packed;
-  if (kind != OpKind::Get) packed = mpi::pack(o, oc, odt);
-  std::vector<std::byte> gather(fetches ? bytes : 0);
+  sim::PoolBuf packed(&rt_->buffer_pool());
+  if (kind != OpKind::Get) mpi::pack_into(packed, o, oc, odt);
+  sim::PoolBuf gather(&rt_->buffer_pool());
+  if (fetches) gather.resize(bytes);
 
   for (const SubOp& s : subs) {
     ++ep.ops_to_ghost[static_cast<std::size_t>(s.ghost)];
@@ -411,7 +481,7 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
       default:
         break;
     }
-    ++rt_->stats().counter("casper_split_subops");
+    ++*stat_split_subops_;
     if (rec != nullptr) ++rec->metrics.counter("casper.split_subops");
   }
   if (fetches) {
@@ -436,28 +506,31 @@ void CasperLayer::exec_self(Env& env, OpKind kind, AccOp op, const void* o,
   env.ctx().advance(sim::ns(80));
   std::byte* taddr =
       cw.user_win->segs[static_cast<std::size_t>(target)].base + disp_bytes;
+  sim::PoolBuf scratch(&rt_->buffer_pool());
   switch (kind) {
     case OpKind::Put: {
-      auto payload = mpi::pack(o, oc, odt);
-      mpi::unpack(taddr, tc, tdt, payload);
+      mpi::pack_into(scratch, o, oc, odt);
+      mpi::unpack(taddr, tc, tdt, scratch);
       break;
     }
     case OpKind::Get: {
-      auto data = mpi::pack(taddr, tc, tdt);
-      mpi::unpack(res, rc, rdt, data);
+      mpi::pack_into(scratch, taddr, tc, tdt);
+      mpi::unpack(res, rc, rdt, scratch);
       break;
     }
     case OpKind::Acc: {
-      auto payload = mpi::pack(o, oc, odt);
-      mpi::reduce_into(taddr, tc, tdt, payload, op);
+      mpi::pack_into(scratch, o, oc, odt);
+      mpi::reduce_into(taddr, tc, tdt, scratch, op);
       break;
     }
     case OpKind::GetAcc:
     case OpKind::Fao: {
-      auto old = mpi::pack(taddr, tc, tdt);
-      if (res != nullptr) mpi::unpack(res, rc, rdt, old);
-      auto payload = mpi::pack(o, oc, odt);
-      mpi::reduce_into(taddr, tc, tdt, payload, op);
+      if (res != nullptr) {
+        mpi::pack_into(scratch, taddr, tc, tdt);
+        mpi::unpack(res, rc, rdt, scratch);
+      }
+      mpi::pack_into(scratch, o, oc, odt);
+      mpi::reduce_into(taddr, tc, tdt, scratch, op);
       break;
     }
     case OpKind::Cas: {
@@ -469,7 +542,7 @@ void CasperLayer::exec_self(Env& env, OpKind kind, AccOp op, const void* o,
     default:
       MMPI_REQUIRE(false, "casper: bad self op");
   }
-  ++rt_->stats().counter("casper_self_ops");
+  ++*stat_self_ops_;
   if (obs::on(rt_->recorder()))
     ++rt_->recorder()->metrics.counter("casper.self_ops");
 
@@ -487,13 +560,14 @@ void CasperLayer::exec_self(Env& env, OpKind kind, AccOp op, const void* o,
     aop.target_disp = disp_bytes;
     aop.target_count = tc;
     aop.target_dt = tdt;
+    aop.payload.bind(&rt_->buffer_pool());
     if (kind == OpKind::Cas) {
       const std::size_t es = tdt.elem_size();
       aop.payload.resize(2 * es);
       std::memcpy(aop.payload.data(), o, es);
       std::memcpy(aop.payload.data() + es, o2, es);
     } else if (kind != OpKind::Get) {
-      aop.payload = mpi::pack(o, oc, odt);
+      mpi::pack_into(aop.payload, o, oc, odt);
     }
     rt_->observe_commit(aop, env.now(), env.world_rank());
   }
@@ -617,6 +691,7 @@ void CasperLayer::win_start(Env& env, const mpi::Group& g,
   auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
   MMPI_REQUIRE(ep.access_group.empty(), "casper: nested win_start");
   ep.access_group = g.ranks();
+  for (int t : ep.access_group) mask_set(ep.access_mask, t);
   if (!(mode_assert & mpi::kModeNoCheck)) {
     char token = 0;
     for (int t : ep.access_group) {
@@ -645,6 +720,7 @@ void CasperLayer::win_complete(Env& env, const Win& w) {
                 user_world_);
   }
   ep.access_group.clear();
+  std::fill(ep.access_mask.begin(), ep.access_mask.end(), 0);
   note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::Complete, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Complete,
                     env.now());
@@ -690,6 +766,7 @@ void CasperLayer::win_lock(Env& env, mpi::LockType type, int target,
   tl.type = type;
   tl.mode_assert = mode_assert;
   tl.binding_free = false;
+  ++ep.plans.gen;  // lock transition: cached split plans are stale
 
   // Lock every ghost on the target's node, on the overlapping window
   // dedicated to this target, in the hope of spreading communication
@@ -728,6 +805,7 @@ void CasperLayer::win_unlock(Env& env, int target, const Win& w) {
   }
   tl.locked = false;
   tl.binding_free = false;
+  ++ep.plans.gen;  // lock transition: cached split plans are stale
   note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::Unlock, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Unlock,
                     env.now());
@@ -745,6 +823,7 @@ void CasperLayer::win_lock_all(Env& env, unsigned mode_assert, const Win& w) {
   auto& ep = cw->ep[static_cast<std::size_t>(me_u)];
   MMPI_REQUIRE(!ep.lockall, "casper: nested lock_all");
   ep.lockall = true;
+  ++ep.plans.gen;  // lock transition: cached split plans are stale
   if (!cw->ug_wins.empty()) {
     // lock may be used concurrently by other origins: convert lockall to a
     // series of shared locks on every overlapping window so MPI's permission
@@ -786,6 +865,7 @@ void CasperLayer::win_unlock_all(Env& env, const Win& w) {
   }
   ep.lockall = false;
   for (auto& tl : ep.tl) tl.binding_free = false;
+  ++ep.plans.gen;  // lock transition: cached split plans are stale
   note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::UnlockAll, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::UnlockAll,
                     env.now());
@@ -811,8 +891,12 @@ void CasperLayer::win_flush(Env& env, int target, const Win& w) {
     pmpi_->win_flush(env, g, iw);
   }
   // After a completed flush the lock is known acquired: the
-  // static-binding-free interval begins (paper III.B.3).
-  if (tl.locked) tl.binding_free = true;
+  // static-binding-free interval begins (paper III.B.3) — a rebinding
+  // transition, so cached split plans from before it are stale.
+  if (tl.locked && !tl.binding_free) {
+    tl.binding_free = true;
+    ++ep.plans.gen;
+  }
   note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::Flush, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Flush,
                     env.now());

@@ -74,6 +74,13 @@ CasperLayer::CasperLayer(mpi::Runtime& rt, Config cfg)
                "%d-core node",
                cfg_.ghosts_per_node, rt_->topo().cores_per_node);
   pmpi_ = std::make_shared<mpi::Pmpi>(rt);
+  stat_dynamic_ops_ = &rt_->stats().counter("casper_dynamic_ops");
+  stat_split_subops_ = &rt_->stats().counter("casper_split_subops");
+  stat_self_ops_ = &rt_->stats().counter("casper_self_ops");
+  if (obs::on(rt_->recorder())) {
+    plan_hit_ = &rt_->recorder()->metrics.counter("casper.plan_cache_hit");
+    plan_miss_ = &rt_->recorder()->metrics.counter("casper.plan_cache_miss");
+  }
   setup_topology();
 }
 

@@ -183,8 +183,10 @@ std::shared_ptr<CasperLayer::CspWin> CasperLayer::build_windows(
   }
   for (auto& ep : cw->ep) {
     ep.tl.resize(static_cast<std::size_t>(users));
+    ep.access_mask.assign((static_cast<std::size_t>(users) + 63) / 64, 0);
     ep.ops_to_ghost.assign(static_cast<std::size_t>(topo.nranks()), 0);
     ep.bytes_to_ghost.assign(static_cast<std::size_t>(topo.nranks()), 0);
+    ep.plans.slots.resize(PlanCache::kSlots);
   }
 
   // Step 3: the overlapping internal windows over ALL ranks. Each ghost

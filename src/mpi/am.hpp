@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mpi/types.hpp"
+#include "sim/pool.hpp"
 #include "sim/time.hpp"
 
 namespace casper::mpi {
@@ -43,9 +44,9 @@ struct AmOp {
   Datatype target_dt;
   AccOp op = AccOp::Replace;
 
-  // payload for Put/Acc/GetAcc/Fao/Cas (packed origin data)
-  std::vector<std::byte> payload;
-  // Cas: payload = [compare | new]; both single elements.
+  // payload for Put/Acc/GetAcc/Fao/Cas (packed origin data), drawn from the
+  // runtime's buffer pool. Cas: payload = [compare | new]; single elements.
+  sim::PoolBuf payload;
 
   // origin-side result description for Get/GetAcc/Fao/Cas
   void* origin_result = nullptr;
@@ -72,8 +73,8 @@ struct OpDesc {
   OpKind kind = OpKind::Put;
   AccOp op = AccOp::Replace;
   bool cross_numa = false;  ///< processing crosses a NUMA domain (see AmOp)
-  std::vector<std::byte> payload;  // packed origin data (Put/Acc/GetAcc/Fao);
-                                   // for Cas: [compare | desired]
+  sim::PoolBuf payload;     // packed origin data (Put/Acc/GetAcc/Fao);
+                            // for Cas: [compare | desired]
   std::size_t tdisp_bytes = 0;
   int tcount = 0;
   Datatype tdt;

@@ -32,18 +32,30 @@ void reduce_typed(T* dst, const T* src, std::size_t n, AccOp op) {
 
 }  // namespace
 
-std::vector<std::byte> pack(const void* src, int count, const Datatype& dt) {
+namespace {
+void pack_to(std::byte* out, const void* src, int count, const Datatype& dt) {
   const std::size_t block = static_cast<std::size_t>(dt.blocklen) *
                             dt.elem_size();
   const std::size_t stride = static_cast<std::size_t>(dt.stride) *
                              dt.elem_size();
-  std::vector<std::byte> out(data_bytes(count, dt));
   const auto* s = static_cast<const std::byte*>(src);
   for (int b = 0; b < count; ++b) {
-    std::memcpy(out.data() + static_cast<std::size_t>(b) * block,
+    std::memcpy(out + static_cast<std::size_t>(b) * block,
                 s + static_cast<std::size_t>(b) * stride, block);
   }
+}
+}  // namespace
+
+std::vector<std::byte> pack(const void* src, int count, const Datatype& dt) {
+  std::vector<std::byte> out(data_bytes(count, dt));
+  pack_to(out.data(), src, count, dt);
   return out;
+}
+
+void pack_into(sim::PoolBuf& out, const void* src, int count,
+               const Datatype& dt) {
+  out.resize(data_bytes(count, dt));
+  pack_to(out.data(), src, count, dt);
 }
 
 void unpack(void* dst, int count, const Datatype& dt,

@@ -6,11 +6,17 @@
 #include <vector>
 
 #include "mpi/types.hpp"
+#include "sim/pool.hpp"
 
 namespace casper::mpi {
 
 /// Pack `count` blocks of `dt` starting at `src` into a contiguous buffer.
 std::vector<std::byte> pack(const void* src, int count, const Datatype& dt);
+
+/// Pack into a pooled buffer (resized to fit): the allocation-free variant
+/// used on the RMA hot path.
+void pack_into(sim::PoolBuf& out, const void* src, int count,
+               const Datatype& dt);
 
 /// Unpack a contiguous buffer into `count` blocks of `dt` at `dst`.
 void unpack(void* dst, int count, const Datatype& dt,

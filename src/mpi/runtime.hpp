@@ -39,6 +39,8 @@
 #include "obs/record.hpp"
 #include "progress/progress.hpp"
 #include "sim/engine.hpp"
+#include "sim/pool.hpp"
+#include "sim/ring.hpp"
 
 namespace casper::mpi {
 
@@ -222,9 +224,20 @@ class Runtime {
   /// must gate on obs::on(recorder()).
   obs::Recorder* recorder() const { return cfg_.recorder; }
 
+  /// The runtime's transient-buffer pool (payloads, staging, acks). Layers
+  /// bind their scratch PoolBufs here so the whole RMA path shares one
+  /// recycled working set.
+  sim::BytePool& buffer_pool() { return pool_; }
+
  private:
   struct RankIo {
-    std::deque<AmOp> inbox;        // software RMA ops awaiting progress
+    RankIo() = default;
+    RankIo(RankIo&&) = default;
+    RankIo& operator=(RankIo&&) = default;
+    RankIo(const RankIo&) = delete;  // inbox ops are move-only
+    RankIo& operator=(const RankIo&) = delete;
+
+    sim::RingQueue<AmOp> inbox;    // software RMA ops awaiting progress
     std::deque<P2pMsg> unexpected; // unmatched arrived messages
     std::vector<Request> posted;   // pending receives, in post order
     sim::Time agent_busy_until = 0;  // progress-agent serialization point
@@ -247,7 +260,7 @@ class Runtime {
   static bool p2p_match(const RequestState& r, const P2pMsg& m);
 
   /// Schedule an engine event (thin wrapper over the engine).
-  void post_event(sim::Time t, std::function<void()> cb);
+  void post_event(sim::Time t, sim::EventFn cb);
 
   // --- RMA internals -------------------------------------------------------
   sim::Time wire_latency(int a_world, int b_world, std::size_t bytes) const;
@@ -268,17 +281,22 @@ class Runtime {
   /// Target-memory read phase at processing start; returns data the write
   /// phase commits at processing end (the read-at-start / write-at-end model
   /// that exposes lost updates under concurrent unsynchronized processing).
-  std::vector<std::byte> am_read_phase(const AmOp& op);
+  /// Used only by the poller path, where a fiber yield separates the phases.
+  sim::PoolBuf am_read_phase(const AmOp& op);
   /// Commit phase: writes target memory, records the access for atomicity-
   /// violation detection, and schedules the acknowledgment.
-  void am_write_phase(const AmOp& op, std::vector<std::byte>&& staged,
-                      sim::Time t0, sim::Time t1, int entity);
+  void am_write_phase(const AmOp& op, sim::PoolBuf&& staged, sim::Time t0,
+                      sim::Time t1, int entity);
+  /// Fused read+commit for paths where both phases run at the same host
+  /// moment (NIC hardware execution, agent end-events): byte-identical to
+  /// am_read_phase + am_write_phase but reduces in place, with no staging
+  /// copy of the target region.
+  void am_commit(const AmOp& op, sim::Time t0, sim::Time t1, int entity);
   /// Execute a self-targeted op synchronously (loads/stores, not delayed).
   void exec_self(Env& env, const AmOp& op);
   void record_access(std::uintptr_t lo, std::uintptr_t hi, sim::Time t0,
                      sim::Time t1, int entity, bool is_write);
-  void schedule_ack(const AmOp& op, sim::Time t_done,
-                    std::vector<std::byte>&& data);
+  void schedule_ack(const AmOp& op, sim::Time t_done, sim::PoolBuf&& data);
 
   // --- lock protocol -------------------------------------------------------
   /// Ensure the delayed lock request for (win, target) has been sent.
@@ -294,8 +312,24 @@ class Runtime {
   void on_lock_granted(WinImpl& win, int origin, int target, sim::Time t);
   void flush_target(Env& env, int target, WinImpl& win, bool force_lock);
 
+  /// Pointers into stats() for per-op counters, resolved once at
+  /// construction: the hot path must not pay a map lookup per operation.
+  struct HotStats {
+    std::uint64_t* sw_ops = nullptr;
+    std::uint64_t* hw_ops = nullptr;
+    std::uint64_t* cross_numa_ops = nullptr;
+    std::uint64_t* am_busy_arrival = nullptr;
+    std::uint64_t* am_prompt = nullptr;
+    std::uint64_t* interrupts = nullptr;
+  };
+
   RunConfig cfg_;
   std::function<void(Env&)> user_main_;
+  /// Transient-buffer pool. Declared before engine_ and io_ so it outlives
+  /// both: pending event closures and queued inbox ops own PoolBufs that
+  /// release into this pool on destruction.
+  sim::BytePool pool_;
+  HotStats hot_;
   std::vector<bool> dedicated_;
   std::unique_ptr<sim::Engine> engine_;
   std::shared_ptr<Layer> layer_;

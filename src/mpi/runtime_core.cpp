@@ -51,6 +51,13 @@ Runtime::Runtime(RunConfig cfg, std::function<void(Env&)> user_main,
   MMPI_REQUIRE(layer_ != nullptr, "layer factory returned null");
   engine_->set_deadlock_dump([this] { dump_comm_state(); });
 
+  hot_.sw_ops = &stats().counter("sw_ops");
+  hot_.hw_ops = &stats().counter("hw_ops");
+  hot_.cross_numa_ops = &stats().counter("cross_numa_ops");
+  hot_.am_busy_arrival = &stats().counter("am_busy_arrival");
+  hot_.am_prompt = &stats().counter("am_prompt");
+  hot_.interrupts = &stats().counter("interrupts");
+
   if (obs::on(cfg_.recorder)) {
     engine_->set_sched_observer(cfg_.recorder);
     // Default track names by entity-id space; the Casper layer refines rank
@@ -109,6 +116,14 @@ void Runtime::run() {
     }
   }
   engine_->run();
+  // Snapshot buffer-pool effectiveness into the metrics block. These are
+  // host-side allocator statistics, not virtual-time facts: reuse depends on
+  // the interleaving of staging buffers, so "pool.*" keys are exempt from
+  // the schedule-invariance contract the other counters obey.
+  if (obs::on(recorder())) {
+    recorder()->metrics.counter("pool.bytes_reused") = pool_.bytes_reused();
+    recorder()->metrics.counter("pool.reuses") = pool_.reuses();
+  }
 }
 
 void Runtime::call_prologue(Env& env) {
@@ -205,7 +220,7 @@ void Runtime::inject_op(WinImpl& win, int origin_comm, int target_comm,
   op.origin_count = d.ocount;
   op.origin_dt = d.odt;
   op.cross_numa = d.cross_numa;
-  if (op.cross_numa) ++stats().counter("cross_numa_ops");
+  if (op.cross_numa) ++*hot_.cross_numa_ops;
 
   const bool request_like =
       op.kind == OpKind::Get;  // request small, response carries data
@@ -213,7 +228,7 @@ void Runtime::inject_op(WinImpl& win, int origin_comm, int target_comm,
   const Time t_del = t_issue + wire_latency(ow, tw, wire_bytes);
 
   if (is_hw_op(d)) {
-    ++stats().counter("hw_ops");
+    ++*hot_.hw_ops;
     if (obs::on(recorder())) ++recorder()->metrics.counter("ops.hw_path");
     // Hardware execution: performed "by the NIC" instantly at delivery; the
     // target CPU is not involved. NIC entity ids live above agent ids.
@@ -225,11 +240,12 @@ void Runtime::inject_op(WinImpl& win, int origin_comm, int target_comm,
                                   static_cast<std::uint64_t>(op.kind),
                                   op.payload.size());
       }
-      auto staged = am_read_phase(op);
-      am_write_phase(op, std::move(staged), t_del, t_del, nic_entity);
+      // Both processing phases happen at the same host moment, so the
+      // staged read buffer is unobservable: commit in place.
+      am_commit(op, t_del, t_del, nic_entity);
     });
   } else {
-    ++stats().counter("sw_ops");
+    ++*hot_.sw_ops;
     if (obs::on(recorder())) ++recorder()->metrics.counter("ops.sw_path");
     post_event(t_del, [this, op = std::move(op), t_del]() mutable {
       deliver_am(std::move(op), t_del);
@@ -237,7 +253,7 @@ void Runtime::inject_op(WinImpl& win, int origin_comm, int target_comm,
   }
 }
 
-void Runtime::post_event(Time t, std::function<void()> cb) {
+void Runtime::post_event(Time t, sim::EventFn cb) {
   engine_->post_event(t, std::move(cb));
 }
 
@@ -250,7 +266,7 @@ void Runtime::deliver_am(AmOp&& op, Time t_del) {
       auto& io = io_[static_cast<std::size_t>(op.target_world)];
       const int tw = op.target_world;
       op.busy_arrival = !io.in_mpi;
-      ++stats().counter(op.busy_arrival ? "am_busy_arrival" : "am_prompt");
+      ++*(op.busy_arrival ? hot_.am_busy_arrival : hot_.am_prompt);
       io.inbox.push_back(std::move(op));
       engine_->wake(tw, t_del);
       break;
@@ -278,7 +294,7 @@ void Runtime::agent_process(AmOp&& op, Time t_del) {
   io.agent_busy_until = end;
 
   if (interrupt) {
-    ++stats().counter("interrupts");
+    ++*hot_.interrupts;
     // The interrupt handler preempts the target core: if the target is
     // computing, the handler's time is stolen from the computation.
     if (engine_->rank_computing(op.target_world)) {
@@ -301,9 +317,10 @@ void Runtime::agent_process(AmOp&& op, Time t_del) {
     // The agent serializes its operations (busy_until), so the
     // read-modify-write commits atomically at the end event; the recorded
     // [start, end) interval still exposes overlaps with *other* entities.
+    // Read and write both execute at the end event (same host moment), so
+    // the fused in-place commit is byte-identical to the two-phase form.
     post_event(end, [this, op = std::move(op), start, end, entity]() mutable {
-      auto staged = am_read_phase(op);
-      am_write_phase(op, std::move(staged), start, end, entity);
+      am_commit(op, start, end, entity);
     });
   });
 }
@@ -352,21 +369,22 @@ void Runtime::poller_process(Env& env, AmOp& op) {
 
 // ----------------------------------------------------------- execution ----
 
-std::vector<std::byte> Runtime::am_read_phase(const AmOp& op) {
+sim::PoolBuf Runtime::am_read_phase(const AmOp& op) {
   std::byte* taddr = seg_addr(*op.win, op.target_comm_rank, op.target_disp);
   const std::size_t nbytes = data_bytes(op.target_count, op.target_dt);
   const std::size_t nelems = nbytes / op.target_dt.elem_size();
+  sim::PoolBuf staged(&pool_);
 
   switch (op.kind) {
     case OpKind::Put:
     case OpKind::Get:
-      return {};  // Put writes payload; Get reads at commit time.
+      return staged;  // Put writes payload; Get reads at commit time.
     case OpKind::Acc: {
-      if (op.op == AccOp::Replace || op.op == AccOp::NoOp) return {};
+      if (op.op == AccOp::Replace || op.op == AccOp::NoOp) return staged;
       // Read-modify-write: read target at processing start, combine, commit
       // at processing end. Overlapping concurrent processing by different
       // entities loses updates — by design, to model the real hazard.
-      auto staged = pack(taddr, op.target_count, op.target_dt);
+      pack_into(staged, taddr, op.target_count, op.target_dt);
       reduce_contig(staged.data(), op.payload.data(), nelems, op.target_dt.base,
                     op.op == AccOp::Sum ? AccOp::Sum : op.op);
       // staged now holds op(target_old, origin): note reduce_contig computes
@@ -376,16 +394,15 @@ std::vector<std::byte> Runtime::am_read_phase(const AmOp& op) {
     }
     case OpKind::GetAcc:
     case OpKind::Fao: {
-      auto old = pack(taddr, op.target_count, op.target_dt);
-      std::vector<std::byte> staged(old.size() * 2);
-      std::memcpy(staged.data(), old.data(), old.size());
-      std::memcpy(staged.data() + old.size(), old.data(), old.size());
+      staged.resize(nbytes * 2);
+      pack_into(staged, taddr, op.target_count, op.target_dt);  // trimmed...
+      staged.resize(nbytes * 2);  // ...back to [old | new] width
+      std::memcpy(staged.data() + nbytes, staged.data(), nbytes);
       if (op.op != AccOp::NoOp) {
         if (op.op == AccOp::Replace) {
-          std::memcpy(staged.data() + old.size(), op.payload.data(),
-                      old.size());
+          std::memcpy(staged.data() + nbytes, op.payload.data(), nbytes);
         } else {
-          reduce_contig(staged.data() + old.size(), op.payload.data(), nelems,
+          reduce_contig(staged.data() + nbytes, op.payload.data(), nelems,
                         op.target_dt.base, op.op);
         }
       }
@@ -393,27 +410,27 @@ std::vector<std::byte> Runtime::am_read_phase(const AmOp& op) {
     }
     case OpKind::Cas: {
       const std::size_t es = op.target_dt.elem_size();
-      std::vector<std::byte> staged(es + 1);
+      staged.resize(es + 1);
       std::memcpy(staged.data(), taddr, es);
       const bool equal = std::memcmp(taddr, op.payload.data(), es) == 0;
-      staged[es] = static_cast<std::byte>(equal ? 1 : 0);
+      staged.data()[es] = static_cast<std::byte>(equal ? 1 : 0);
       return staged;  // [old | matched?]
     }
     case OpKind::LockReq:
     case OpKind::LockRelease:
       break;
   }
-  return {};
+  return staged;
 }
 
-void Runtime::am_write_phase(const AmOp& op, std::vector<std::byte>&& staged,
-                             Time t0, Time t1, int entity) {
+void Runtime::am_write_phase(const AmOp& op, sim::PoolBuf&& staged, Time t0,
+                             Time t1, int entity) {
   std::byte* taddr = seg_addr(*op.win, op.target_comm_rank, op.target_disp);
   const std::size_t span = span_bytes(op.target_count, op.target_dt);
   const auto lo = reinterpret_cast<std::uintptr_t>(taddr);
   const auto hi = lo + span;
 
-  std::vector<std::byte> ack_data;
+  sim::PoolBuf ack_data(&pool_);
   bool is_write = true;
 
   switch (op.kind) {
@@ -421,7 +438,7 @@ void Runtime::am_write_phase(const AmOp& op, std::vector<std::byte>&& staged,
       unpack(taddr, op.target_count, op.target_dt, op.payload);
       break;
     case OpKind::Get:
-      ack_data = pack(taddr, op.target_count, op.target_dt);
+      pack_into(ack_data, taddr, op.target_count, op.target_dt);
       is_write = false;
       break;
     case OpKind::Acc:
@@ -436,8 +453,7 @@ void Runtime::am_write_phase(const AmOp& op, std::vector<std::byte>&& staged,
     case OpKind::GetAcc:
     case OpKind::Fao: {
       const std::size_t half = staged.size() / 2;
-      ack_data.assign(staged.begin(),
-                      staged.begin() + static_cast<std::ptrdiff_t>(half));
+      ack_data.assign(staged.data(), half);
       if (op.op != AccOp::NoOp) {
         unpack(taddr, op.target_count, op.target_dt,
                std::span<const std::byte>(staged.data() + half, half));
@@ -448,9 +464,8 @@ void Runtime::am_write_phase(const AmOp& op, std::vector<std::byte>&& staged,
     }
     case OpKind::Cas: {
       const std::size_t es = op.target_dt.elem_size();
-      ack_data.assign(staged.begin(),
-                      staged.begin() + static_cast<std::ptrdiff_t>(es));
-      if (staged[es] == static_cast<std::byte>(1)) {
+      ack_data.assign(staged.data(), es);
+      if (staged.data()[es] == static_cast<std::byte>(1)) {
         // payload = [expected | desired]
         std::memcpy(taddr, op.payload.data() + es, es);
       } else {
@@ -474,15 +489,84 @@ void Runtime::am_write_phase(const AmOp& op, std::vector<std::byte>&& staged,
   schedule_ack(op, t1, std::move(ack_data));
 }
 
+void Runtime::am_commit(const AmOp& op, Time t0, Time t1, int entity) {
+  // Fused read+write for paths whose two phases execute at the same host
+  // moment (NIC hardware ops; agent end-events). Reading the target here
+  // instead of staging it at processing start is byte-identical on those
+  // paths and skips the doubled scratch buffer entirely: accumulates reduce
+  // in place, fetches pack the old value straight into the ack. The poller
+  // path yields between phases and must keep the staged two-phase form.
+  std::byte* taddr = seg_addr(*op.win, op.target_comm_rank, op.target_disp);
+  const std::size_t span = span_bytes(op.target_count, op.target_dt);
+  const auto lo = reinterpret_cast<std::uintptr_t>(taddr);
+  const auto hi = lo + span;
+
+  sim::PoolBuf ack_data(&pool_);
+  bool is_write = true;
+
+  switch (op.kind) {
+    case OpKind::Put:
+      unpack(taddr, op.target_count, op.target_dt, op.payload);
+      break;
+    case OpKind::Get:
+      pack_into(ack_data, taddr, op.target_count, op.target_dt);
+      is_write = false;
+      break;
+    case OpKind::Acc:
+      if (op.op == AccOp::NoOp) {
+        is_write = false;
+      } else if (op.op == AccOp::Replace) {
+        unpack(taddr, op.target_count, op.target_dt, op.payload);
+      } else {
+        reduce_into(taddr, op.target_count, op.target_dt, op.payload, op.op);
+      }
+      break;
+    case OpKind::GetAcc:
+    case OpKind::Fao:
+      pack_into(ack_data, taddr, op.target_count, op.target_dt);  // old value
+      if (op.op == AccOp::NoOp) {
+        is_write = false;
+      } else if (op.op == AccOp::Replace) {
+        unpack(taddr, op.target_count, op.target_dt, op.payload);
+      } else {
+        reduce_into(taddr, op.target_count, op.target_dt, op.payload, op.op);
+      }
+      break;
+    case OpKind::Cas: {
+      const std::size_t es = op.target_dt.elem_size();
+      ack_data.assign(taddr, es);  // old value
+      if (std::memcmp(taddr, op.payload.data(), es) == 0) {
+        // payload = [expected | desired]
+        std::memcpy(taddr, op.payload.data() + es, es);
+      } else {
+        is_write = false;
+      }
+      break;
+    }
+    case OpKind::LockReq:
+    case OpKind::LockRelease:
+      MMPI_REQUIRE(false, "lock ops do not reach am_commit");
+  }
+
+  record_access(lo, hi, t0, t1, entity, is_write);
+  if (obs::on(recorder())) {
+    recorder()->trace.instant(entity, obs::Ev::OpCommitted, t1, op.opid,
+                              static_cast<std::uint64_t>(op.kind),
+                              data_bytes(op.target_count, op.target_dt));
+    ++recorder()->metrics.counter("ops.committed");
+  }
+  observe_commit(op, t1, entity);
+  schedule_ack(op, t1, std::move(ack_data));
+}
+
 void Runtime::exec_self(Env& env, const AmOp& op) {
   // Self ops execute synchronously (MPI guarantees self locks and local
   // load/store access are not delayed). Local cost only.
   env.ctx().advance(sim::ns(80) + static_cast<Time>(
                                       0.02 * static_cast<double>(
                                                  op.payload.size())));
-  auto staged = am_read_phase(op);
-  // Commit immediately; reuse the write phase with a zero-width interval but
-  // bypass the ack (nothing is outstanding for self ops).
+  // Commit immediately with a zero-width interval; no ack (nothing is
+  // outstanding for self ops). Fetch results land via pooled scratch.
   std::byte* taddr = seg_addr(*op.win, op.target_comm_rank, op.target_disp);
   const std::size_t span = span_bytes(op.target_count, op.target_dt);
   const auto lo = reinterpret_cast<std::uintptr_t>(taddr);
@@ -495,7 +579,8 @@ void Runtime::exec_self(Env& env, const AmOp& op) {
       break;
     case OpKind::Get:
       if (op.origin_result) {
-        auto data = pack(taddr, op.target_count, op.target_dt);
+        sim::PoolBuf data(&pool_);
+        pack_into(data, taddr, op.target_count, op.target_dt);
         unpack(op.origin_result, op.origin_count, op.origin_dt, data);
       }
       record_access(lo, lo + span, t, t, env.world_rank(), false);
@@ -507,8 +592,9 @@ void Runtime::exec_self(Env& env, const AmOp& op) {
     }
     case OpKind::GetAcc:
     case OpKind::Fao: {
-      auto old = pack(taddr, op.target_count, op.target_dt);
       if (op.origin_result) {
+        sim::PoolBuf old(&pool_);
+        pack_into(old, taddr, op.target_count, op.target_dt);
         unpack(op.origin_result, op.origin_count, op.origin_dt, old);
       }
       reduce_into(taddr, op.target_count, op.target_dt, op.payload, op.op);
@@ -529,7 +615,6 @@ void Runtime::exec_self(Env& env, const AmOp& op) {
       MMPI_REQUIRE(false, "lock ops are not self-executed ops");
   }
   observe_commit(op, t, env.world_rank());
-  (void)staged;
 }
 
 void Runtime::record_access(std::uintptr_t lo, std::uintptr_t hi, Time t0,
@@ -552,7 +637,7 @@ void Runtime::record_access(std::uintptr_t lo, std::uintptr_t hi, Time t0,
 }
 
 void Runtime::schedule_ack(const AmOp& op, Time t_done,
-                           std::vector<std::byte>&& data) {
+                           sim::PoolBuf&& data) {
   const Time t_ack =
       t_done + wire_latency(op.target_world, op.origin_world, data.size());
   WinImpl* win = op.win;

@@ -210,12 +210,13 @@ void Runtime::p_rma(Env& env, const RmaArgs& a, const Win& win) {
   d.origin_result = a.result_addr;
   d.ocount = a.rcount;
   d.odt = a.rdt;
+  d.payload.bind(&pool_);
   switch (a.kind) {
     case OpKind::Put:
     case OpKind::Acc:
     case OpKind::GetAcc:
     case OpKind::Fao:
-      d.payload = pack(a.origin_addr, a.ocount, a.odt);
+      pack_into(d.payload, a.origin_addr, a.ocount, a.odt);
       break;
     case OpKind::Cas: {
       const std::size_t es = a.tdt.elem_size();

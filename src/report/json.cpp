@@ -31,7 +31,8 @@ void json_cell(std::ostream& os, const std::string& s) {
 }  // namespace
 
 void write_bench_json(std::ostream& os, const std::string& bench_id,
-                      const Table& table, const obs::Metrics* metrics) {
+                      const Table& table, const obs::Metrics* metrics,
+                      const std::string& host_json) {
   os << "{\n  \"bench\": ";
   json_cell(os, bench_id);
   os << ",\n  \"columns\": [";
@@ -54,7 +55,9 @@ void write_bench_json(std::ostream& os, const std::string& bench_id,
     }
     os << ']';
   }
-  os << (first ? "" : "\n  ") << "],\n  \"metrics\": ";
+  os << (first ? "" : "\n  ") << "],\n";
+  if (!host_json.empty()) os << "  \"host\": " << host_json << ",\n";
+  os << "  \"metrics\": ";
   if (metrics != nullptr) {
     metrics->write_json(os, 2);
   } else {
@@ -65,10 +68,11 @@ void write_bench_json(std::ostream& os, const std::string& bench_id,
 
 bool write_bench_json_file(const std::string& path,
                            const std::string& bench_id, const Table& table,
-                           const obs::Metrics* metrics) {
+                           const obs::Metrics* metrics,
+                           const std::string& host_json) {
   std::ofstream f(path);
   if (!f) return false;
-  write_bench_json(f, bench_id, table, metrics);
+  write_bench_json(f, bench_id, table, metrics, host_json);
   return true;
 }
 

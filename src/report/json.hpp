@@ -12,16 +12,22 @@
 namespace casper::report {
 
 /// Write {"bench": id, "columns": [...], "rows": [[...], ...],
-///        "metrics": {...}} to `os`. Cells that parse fully as numbers are
-/// emitted as JSON numbers, everything else as strings. `metrics` may be
-/// null (the block is then an empty object, keeping the schema stable).
+///        "host": {...}, "metrics": {...}} to `os`. Cells that parse fully
+/// as numbers are emitted as JSON numbers, everything else as strings.
+/// `metrics` may be null (the block is then an empty object, keeping the
+/// schema stable). `host_json`, if non-empty, must be a rendered JSON object
+/// holding host-side (wall-clock) measurements; regression tooling compares
+/// it with a tolerance band, unlike rows/metrics which are virtual-time and
+/// must match baselines exactly.
 void write_bench_json(std::ostream& os, const std::string& bench_id,
-                      const Table& table, const obs::Metrics* metrics);
+                      const Table& table, const obs::Metrics* metrics,
+                      const std::string& host_json = std::string());
 
 /// Convenience: open `path` and write_bench_json into it. Returns false if
 /// the file cannot be opened.
 bool write_bench_json_file(const std::string& path,
                            const std::string& bench_id, const Table& table,
-                           const obs::Metrics* metrics);
+                           const obs::Metrics* metrics,
+                           const std::string& host_json = std::string());
 
 }  // namespace casper::report

@@ -89,7 +89,7 @@ void Engine::make_ready(int rank, Time t) {
   ready_.push(HeapItem{t, seq_++, next_salt(), rank});
 }
 
-void Engine::post_event(Time t, std::function<void()> cb) {
+void Engine::post_event(Time t, EventFn cb) {
   std::uint32_t slot;
   if (free_slots_.empty()) {
     slot = static_cast<std::uint32_t>(event_cbs_.size());
@@ -204,7 +204,7 @@ void Engine::run() {
       const EventKey key = events_.pop();
       // Move the callback out and recycle its slot *before* invoking: the
       // callback may post events (growing event_cbs_) or run nested engines.
-      std::function<void()> cb = std::move(event_cbs_[key.slot]);
+      EventFn cb = std::move(event_cbs_[key.slot]);
       event_cbs_[key.slot] = nullptr;
       free_slots_.push_back(key.slot);
       if (key.t > horizon_) horizon_ = key.t;

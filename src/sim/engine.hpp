@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/eventfn.hpp"
 #include "sim/fiber.hpp"
 #include "sim/heap.hpp"
 #include "sim/rng.hpp"
@@ -135,8 +136,9 @@ class Engine {
   //     i.e. from rank code or from an event callback) ---
 
   /// Schedule `cb` to run on the scheduler fiber at virtual time `t` (>= the
-  /// current global time).
-  void post_event(Time t, std::function<void()> cb);
+  /// current global time). EventFn is move-only, so closures may own pooled
+  /// buffers; posting allocates nothing once the slot pool is warm.
+  void post_event(Time t, EventFn cb);
 
   /// Move the calling rank's clock to `t` and yield until then.
   void advance_self_to(Time t);
@@ -257,9 +259,9 @@ class Engine {
   MinHeap<HeapItem> ready_;
   MinHeap<EventKey> events_;
   // Pooled event-callback slots, indexed by EventKey::slot; free_slots_ is
-  // the recycle list. At steady state the pool stops growing, so posting an
-  // event costs no allocation beyond the caller's own closure.
-  std::vector<std::function<void()>> event_cbs_;
+  // the recycle list. At steady state the pool stops growing, and EventFn
+  // keeps closures inline, so posting an event costs no allocation at all.
+  std::vector<EventFn> event_cbs_;
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t seq_ = 0;
   Time horizon_ = 0;

@@ -1,0 +1,127 @@
+// Move-only type-erased callable for engine event callbacks.
+//
+// std::function cannot hold move-only closures (it requires copy
+// construction), which rules out capturing pooled buffers, and it heap-
+// allocates any capture over its small-object threshold (16 bytes on
+// libstdc++) — one malloc/free per posted event on the RMA hot path, where
+// closures carry a full AmOp. EventFn stores captures up to kInline bytes in
+// place; relocation moves only the bytes the closure actually uses
+// (trivially-copyable captures memcpy, others run their move constructor).
+// Oversized closures fall back to the heap — a cold path kept for safety,
+// not used by the runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace casper::sim {
+
+class EventFn {
+ public:
+  /// Sized for the largest hot-path closure (an AmOp plus a few scalars).
+  static constexpr std::size_t kInline = 192;
+
+  EventFn() = default;
+  EventFn(std::nullptr_t) {}
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): callable adaptor
+    using Fn = std::decay_t<F>;
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    if constexpr (sizeof(Fn) <= kInline) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &vtable_inline<Fn>;
+    } else {
+      heap_ = ::new Fn(std::forward<F>(f));
+      vt_ = &vtable_heap<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept { move_from(o); }
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  EventFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  void operator()() { vt_->call(target()); }
+
+ private:
+  struct VTable {
+    void (*call)(void*);
+    /// Move-construct *src into dst, destroy *src. Null: memcpy(size) works.
+    void (*reloc)(void* dst, void* src);
+    void (*destroy)(void*);  ///< null: trivially destructible
+    std::size_t size;
+    bool heap;
+  };
+
+  template <typename Fn>
+  static constexpr VTable vtable_inline{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      std::is_trivially_copyable_v<Fn>
+          ? nullptr
+          : +[](void* dst, void* src) {
+              ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+              static_cast<Fn*>(src)->~Fn();
+            },
+      std::is_trivially_destructible_v<Fn>
+          ? nullptr
+          : +[](void* p) { static_cast<Fn*>(p)->~Fn(); },
+      sizeof(Fn), false};
+
+  template <typename Fn>
+  static constexpr VTable vtable_heap{
+      [](void* p) { (*static_cast<Fn*>(p))(); }, nullptr,
+      [](void* p) { delete static_cast<Fn*>(p); }, sizeof(Fn), true};
+
+  void* target() { return vt_->heap ? heap_ : static_cast<void*>(buf_); }
+
+  void move_from(EventFn& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_ == nullptr) return;
+    if (vt_->heap) {
+      heap_ = o.heap_;
+    } else if (vt_->reloc != nullptr) {
+      vt_->reloc(buf_, o.buf_);
+    } else {
+      std::memcpy(buf_, o.buf_, vt_->size);
+    }
+    o.vt_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (vt_ == nullptr) return;
+    if (vt_->heap) {
+      vt_->destroy(heap_);
+    } else if (vt_->destroy != nullptr) {
+      vt_->destroy(buf_);
+    }
+    vt_ = nullptr;
+  }
+
+  const VTable* vt_ = nullptr;
+  union {
+    void* heap_;
+    alignas(std::max_align_t) std::byte buf_[kInline];
+  };
+};
+
+}  // namespace casper::sim

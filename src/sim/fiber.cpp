@@ -18,6 +18,70 @@ void __sanitizer_finish_switch_fiber(void* fake_stack_save,
 }
 #endif
 
+#if CASPER_FIBER_ASM
+
+extern "C" {
+// Save the x86-64 SysV callee-saved GPRs and stack pointer of the running
+// fiber into *save_sp, install restore_sp, and return on the destination
+// fiber's stack. Everything caller-saved is dead across a function call, the
+// signal mask is never modified by fibers, and the FP control words are
+// process-invariant here — so six pushes, a stack swap, six pops and a `ret`
+// are a complete context switch. No syscall (unlike swapcontext, which pays
+// a sigprocmask on every switch).
+void casper_fiber_switch(void** save_sp, void* restore_sp);
+
+// First-resume target: a freshly created fiber's boot frame (built in the
+// Fiber constructor) "returns" here with the Fiber* pre-loaded in r12.
+void casper_fiber_boot();
+}
+
+asm(R"(
+.pushsection .text
+.align 16
+.type casper_fiber_switch, @function
+casper_fiber_switch:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    movq %rsp, (%rdi)
+    movq %rsi, %rsp
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    ret
+.size casper_fiber_switch, .-casper_fiber_switch
+
+.align 16
+.type casper_fiber_boot, @function
+casper_fiber_boot:
+    movq %r12, %rdi
+    jmp casper_fiber_entry
+.size casper_fiber_boot, .-casper_fiber_boot
+.popsection
+)");
+
+extern "C" void casper_fiber_entry(void* fiber) {
+  auto* f = static_cast<casper::sim::Fiber*>(fiber);
+#if CASPER_ASAN_FIBERS
+  // First entry: complete the switch that started in switch_to(). There is
+  // no prior fake stack to restore (fake_stack_ is still null).
+  __sanitizer_finish_switch_fiber(f->fake_stack_, nullptr, nullptr);
+#endif
+  f->entry_(f->arg_);
+  // A fiber must end by switching away for the last time, not by returning
+  // (there is nothing on the boot frame below this call to return to).
+  std::fprintf(stderr, "sim::Fiber: entry returned instead of switching\n");
+  std::abort();
+}
+
+#endif  // CASPER_FIBER_ASM
+
 namespace casper::sim {
 
 namespace {
@@ -70,6 +134,24 @@ Fiber::Fiber(Entry entry, void* arg, std::size_t stack_bytes)
   map_base_ = base;
   stack_lo_ = static_cast<char*>(base) + ps;
 
+#if CASPER_FIBER_ASM
+  // Build the boot frame casper_fiber_switch will "resume": six callee-saved
+  // register slots below a return address pointing at casper_fiber_boot. The
+  // Fiber* rides in the r12 slot. The return address sits at a 16-aligned
+  // address so that after `ret` pops it, rsp % 16 == 8 — exactly the SysV
+  // alignment a normal function sees on entry.
+  auto top = (reinterpret_cast<std::uintptr_t>(stack_lo_) + stack_bytes_) &
+             ~std::uintptr_t{15};
+  auto* slot = reinterpret_cast<void**>(top);
+  slot[-2] = reinterpret_cast<void*>(&casper_fiber_boot);  // ret address
+  slot[-3] = nullptr;                                      // rbp (ends bt)
+  slot[-4] = nullptr;                                      // rbx
+  slot[-5] = this;                                         // r12
+  slot[-6] = nullptr;                                      // r13
+  slot[-7] = nullptr;                                      // r14
+  slot[-8] = nullptr;                                      // r15
+  sp_ = &slot[-8];
+#else
   if (getcontext(&ctx_) != 0) {
     std::fprintf(stderr, "sim::Fiber: getcontext failed\n");
     std::abort();
@@ -83,12 +165,14 @@ Fiber::Fiber(Entry entry, void* arg, std::size_t stack_bytes)
   makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
               static_cast<unsigned>(self >> 32),
               static_cast<unsigned>(self & 0xffffffffu));
+#endif
 }
 
 Fiber::~Fiber() {
   if (map_base_ != nullptr) munmap(map_base_, map_bytes_);
 }
 
+#if !CASPER_FIBER_ASM
 void Fiber::trampoline(unsigned hi, unsigned lo) {
   auto* f = reinterpret_cast<Fiber*>(
       (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
@@ -103,6 +187,7 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
   std::fprintf(stderr, "sim::Fiber: entry returned instead of switching\n");
   std::abort();
 }
+#endif
 
 void Fiber::switch_to(Fiber& from, Fiber& to, bool from_exiting) {
 #if CASPER_ASAN_FIBERS
@@ -113,10 +198,14 @@ void Fiber::switch_to(Fiber& from, Fiber& to, bool from_exiting) {
 #else
   (void)from_exiting;
 #endif
+#if CASPER_FIBER_ASM
+  casper_fiber_switch(&from.sp_, to.sp_);
+#else
   if (swapcontext(&from.ctx_, &to.ctx_) != 0) {
     std::fprintf(stderr, "sim::Fiber: swapcontext failed\n");
     std::abort();
   }
+#endif
 #if CASPER_ASAN_FIBERS
   // We are back on `from` (some other fiber switched to it): restore its
   // fake stack.

@@ -1,0 +1,177 @@
+// Size-classed free-list arena for transient byte buffers.
+//
+// The RMA hot path stages every payload, scratch and acknowledgment buffer
+// through short-lived allocations; with std::vector<std::byte> each op paid
+// one malloc/free per buffer. BytePool recycles blocks in power-of-two size
+// classes (the pooled-slot pattern of sim::MinHeap / Engine::event_cbs_):
+// after a short warm-up the working set of block sizes is resident and
+// acquire/release are two vector operations, no heap traffic.
+//
+// Single-threaded by design: a pool belongs to one simulation (the engine is
+// single-threaded), so no synchronization is needed. Blocks are returned
+// uncleared; callers fully overwrite what they read back (PoolBuf::resize
+// preserves existing contents on growth, like std::vector).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace casper::sim {
+
+class BytePool {
+ public:
+  /// Smallest block handed out; class c holds blocks of kMinBlock << c bytes.
+  static constexpr std::size_t kMinBlock = 64;
+  static constexpr int kClasses = 16;  // up to 2 MiB pooled; larger = direct
+
+  BytePool() = default;
+  ~BytePool() {
+    for (auto& fl : free_)
+      for (std::byte* p : fl) ::operator delete(p);
+  }
+  BytePool(const BytePool&) = delete;
+  BytePool& operator=(const BytePool&) = delete;
+
+  /// A block of capacity >= n; *cap receives the actual block capacity
+  /// (needed to release it into the right class). n == 0 returns null.
+  std::byte* acquire(std::size_t n, std::size_t* cap) {
+    if (n == 0) {
+      *cap = 0;
+      return nullptr;
+    }
+    const int c = cls_of(n);
+    if (c < 0) {  // oversized: direct, uncached
+      *cap = n;
+      return static_cast<std::byte*>(::operator new(n));
+    }
+    *cap = kMinBlock << c;
+    auto& fl = free_[c];
+    if (!fl.empty()) {
+      std::byte* p = fl.back();
+      fl.pop_back();
+      ++reuses_;
+      bytes_reused_ += n;
+      return p;
+    }
+    ++fresh_;
+    return static_cast<std::byte*>(::operator new(kMinBlock << c));
+  }
+
+  void release(std::byte* p, std::size_t cap) noexcept {
+    if (p == nullptr) return;
+    const int c = cls_of(cap);
+    if (c < 0 || (kMinBlock << c) != cap) {  // oversized block: free directly
+      ::operator delete(p);
+      return;
+    }
+    free_[c].push_back(p);
+  }
+
+  /// Payload bytes served from recycled blocks (the obs counter).
+  std::uint64_t bytes_reused() const { return bytes_reused_; }
+  std::uint64_t reuses() const { return reuses_; }
+  std::uint64_t fresh_blocks() const { return fresh_; }
+
+ private:
+  /// Smallest class whose block holds n bytes; -1 if larger than the pool.
+  static int cls_of(std::size_t n) {
+    std::size_t b = kMinBlock;
+    for (int c = 0; c < kClasses; ++c, b <<= 1)
+      if (n <= b) return c;
+    return -1;
+  }
+
+  std::vector<std::byte*> free_[kClasses];
+  std::uint64_t bytes_reused_ = 0;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t fresh_ = 0;
+};
+
+/// A movable byte buffer drawing storage from a BytePool. Behaves like a
+/// minimal std::vector<std::byte>: resize preserves contents, clear keeps
+/// capacity. Unbound (no pool) instances fall back to the global heap, so a
+/// default-constructed PoolBuf is always usable — binding is an optimization,
+/// not a requirement. Destruction returns the block to the pool.
+class PoolBuf {
+ public:
+  PoolBuf() = default;
+  explicit PoolBuf(BytePool* pool) : pool_(pool) {}
+  PoolBuf(PoolBuf&& o) noexcept
+      : pool_(o.pool_), data_(o.data_), size_(o.size_), cap_(o.cap_) {
+    o.data_ = nullptr;
+    o.size_ = o.cap_ = 0;
+  }
+  PoolBuf& operator=(PoolBuf&& o) noexcept {
+    if (this != &o) {
+      dealloc();
+      pool_ = o.pool_;
+      data_ = o.data_;
+      size_ = o.size_;
+      cap_ = o.cap_;
+      o.data_ = nullptr;
+      o.size_ = o.cap_ = 0;
+    }
+    return *this;
+  }
+  PoolBuf(const PoolBuf&) = delete;
+  PoolBuf& operator=(const PoolBuf&) = delete;
+  ~PoolBuf() { dealloc(); }
+
+  /// Attach to a pool. Storage already held is kept (released to its own
+  /// source on dealloc is wrong), so binding is only allowed while empty.
+  void bind(BytePool* pool) {
+    if (data_ == nullptr) pool_ = pool;
+  }
+
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void resize(std::size_t n) {
+    if (n > cap_) grow(n);
+    size_ = n;
+  }
+  void clear() { size_ = 0; }
+
+  void assign(const void* src, std::size_t n) {
+    resize(n);
+    if (n != 0) std::memcpy(data_, src, n);
+  }
+
+  std::span<const std::byte> span() const { return {data_, size_}; }
+  operator std::span<const std::byte>() const { return span(); }
+
+ private:
+  void grow(std::size_t n) {
+    std::size_t ncap = 0;
+    std::byte* nd = pool_ != nullptr
+                        ? pool_->acquire(n, &ncap)
+                        : (ncap = n, static_cast<std::byte*>(::operator new(n)));
+    if (size_ != 0) std::memcpy(nd, data_, size_);
+    dealloc();
+    data_ = nd;
+    cap_ = ncap;
+  }
+  void dealloc() noexcept {
+    if (data_ == nullptr) return;
+    if (pool_ != nullptr)
+      pool_->release(data_, cap_);
+    else
+      ::operator delete(data_);
+    data_ = nullptr;
+    size_ = cap_ = 0;
+  }
+
+  BytePool* pool_ = nullptr;
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace casper::sim

@@ -1,0 +1,54 @@
+// Flat FIFO ring over a power-of-two vector.
+//
+// std::deque allocates and frees fixed-size blocks as elements flow through;
+// on the software-RMA inbox that is one malloc per ~few ops forever. The ring
+// reuses one contiguous array: at steady state push/pop touch no allocator.
+// Popped slots are reset to a default-constructed T so element-owned
+// resources (pooled payload buffers) are returned immediately, not when the
+// slot is next overwritten.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace casper::sim {
+
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  T& front() { return v_[head_]; }
+  const T& front() const { return v_[head_]; }
+
+  void push_back(T x) {
+    if (count_ == v_.size()) grow();
+    v_[(head_ + count_) & (v_.size() - 1)] = std::move(x);
+    ++count_;
+  }
+
+  void pop_front() {
+    v_[head_] = T{};
+    head_ = (head_ + 1) & (v_.size() - 1);
+    --count_;
+  }
+
+ private:
+  void grow() {
+    const std::size_t ncap = v_.empty() ? 8 : v_.size() * 2;
+    std::vector<T> nv(ncap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      nv[i] = std::move(v_[(head_ + i) & (v_.size() - 1)]);
+    }
+    v_ = std::move(nv);
+    head_ = 0;
+  }
+
+  std::vector<T> v_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace casper::sim

@@ -1,0 +1,209 @@
+// Hot-path allocation guard + route-plan cache semantics.
+//
+// The zero-allocation claim of the RMA fast path is enforced here, not just
+// benchmarked: global operator new/delete are replaced with counting
+// wrappers, a passive-target PUT/ACC loop is warmed until every pool
+// (payload arena, event slots, inbox rings, plan cache, scheduler heap) has
+// reached steady state, and then a 1k-op measured window must perform ZERO
+// heap allocations end to end — origin issue, ghost-side processing, and
+// completion acks included.
+//
+// The plan-cache tests pin the invalidation contract: cached split plans
+// survive flushes under lockall (no binding transition), are shared across
+// op kinds with the same (target, disp, count, datatype) key, and are
+// invalidated by every lock/unlock transition and by the flush that opens a
+// static-binding-free (rebinding) interval under a per-target lock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "core/casper.hpp"
+#include "mpi/runtime.hpp"
+#include "net/profile.hpp"
+#include "obs/record.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+
+std::uint64_t alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     n != 0 ? n : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+using namespace casper;
+
+namespace {
+
+// 2 nodes x (1 user + 1 ghost), all-software Cray profile: every op takes
+// the full redirect -> ghost AM -> commit -> ack path.
+mpi::RunConfig casper_config(obs::Recorder* rec = nullptr) {
+  mpi::RunConfig rc;
+  rc.machine.profile = net::cray_xc30_regular();
+  rc.machine.topo.nodes = 2;
+  rc.machine.topo.cores_per_node = 2;
+  rc.seed = 12345;
+  rc.recorder = rec;
+  return rc;
+}
+
+core::Config one_ghost() {
+  core::Config cc;
+  cc.ghosts_per_node = 1;
+  return cc;
+}
+
+TEST(HotPathAlloc, ZeroSteadyStateAllocationsInPutAccLoop) {
+  std::uint64_t measured = ~std::uint64_t{0};
+  auto workload = [&measured](mpi::Env& env) {
+    mpi::Comm w = env.world();
+    const int me = env.rank(w);
+    void* base = nullptr;
+    mpi::Win win = env.win_allocate(64 * sizeof(double), sizeof(double),
+                                    mpi::Info{}, w, &base);
+    env.win_lock_all(0, win);
+    env.barrier(w);
+    double v = 1.0;
+    // Alternating contiguous PUT/ACC to the peer, flushed every 16 ops so
+    // queue depths in the measured window repeat the warm-up's exactly.
+    auto batch = [&](int ops) {
+      for (int i = 0; i < ops; ++i) {
+        const auto slot = static_cast<std::size_t>(i % 16);
+        if ((i & 1) == 0) {
+          env.put(&v, 1, 1, slot, win);
+        } else {
+          env.accumulate(&v, 1, 1, 32 + slot, mpi::AccOp::Sum, win);
+        }
+        if ((i & 15) == 15) env.win_flush_all(win);
+      }
+      env.win_flush_all(win);
+    };
+    if (me == 0) {
+      batch(256);  // warm every pool and cache on the path
+      const std::uint64_t before = alloc_count();
+      batch(1000);  // steady state: must not touch the heap at all
+      measured = alloc_count() - before;
+    }
+    env.barrier(w);
+    env.win_unlock_all(win);
+    env.win_free(win);
+  };
+  mpi::exec(casper_config(), workload, core::layer(one_ghost()));
+  EXPECT_EQ(measured, 0u)
+      << "steady-state PUT/ACC fast path performed heap allocations";
+}
+
+std::uint64_t counter_or_zero(const obs::Recorder& rec, const char* name) {
+  const auto& c = rec.metrics.counters();
+  auto it = c.find(name);
+  return it == c.end() ? 0 : it->second;
+}
+
+TEST(HotPathAlloc, PlanCacheHitsAndLockallInvalidation) {
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "built with CASPER_TRACE=0";
+  obs::Recorder rec;
+  auto workload = [](mpi::Env& env) {
+    mpi::Comm w = env.world();
+    const int me = env.rank(w);
+    void* base = nullptr;
+    mpi::Win win = env.win_allocate(64 * sizeof(double), sizeof(double),
+                                    mpi::Info{}, w, &base);
+    double v = 1.0;
+    if (me == 0) {
+      env.win_lock_all(0, win);
+      for (int i = 0; i < 8; ++i) env.put(&v, 1, 1, 0, win);  // miss 1, hit 7
+      // Same (target, disp, count, dt) key: the plan is shared across op
+      // kinds — an accumulate reuses the put's cached split.
+      env.accumulate(&v, 1, 1, 0, mpi::AccOp::Sum, win);  // hit 1
+      for (int i = 0; i < 4; ++i) {
+        env.accumulate(&v, 1, 1, 8, mpi::AccOp::Sum, win);  // miss 1, hit 3
+      }
+      env.win_flush_all(win);            // lockall: NOT a binding transition
+      env.put(&v, 1, 1, 0, win);         // hit 1 (plan survived the flush)
+      env.win_unlock_all(win);           // invalidates
+      env.win_lock_all(0, win);          // invalidates
+      env.put(&v, 1, 1, 0, win);         // miss 1
+      env.put(&v, 1, 1, 0, win);         // hit 1
+      env.win_unlock_all(win);
+    }
+    env.barrier(w);
+    env.win_free(win);
+  };
+  mpi::exec(casper_config(&rec), workload, core::layer(one_ghost()));
+  EXPECT_EQ(counter_or_zero(rec, "casper.plan_cache_miss"), 3u);
+  EXPECT_EQ(counter_or_zero(rec, "casper.plan_cache_hit"), 13u);
+}
+
+TEST(HotPathAlloc, PlanCacheInvalidatedByLockEpochsAndRebindingFlush) {
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "built with CASPER_TRACE=0";
+  obs::Recorder rec;
+  auto workload = [](mpi::Env& env) {
+    mpi::Comm w = env.world();
+    const int me = env.rank(w);
+    void* base = nullptr;
+    mpi::Win win = env.win_allocate(64 * sizeof(double), sizeof(double),
+                                    mpi::Info{}, w, &base);
+    double v = 1.0;
+    if (me == 0) {
+      env.win_lock(mpi::LockType::Shared, 1, 0, win);
+      for (int i = 0; i < 3; ++i) env.put(&v, 1, 1, 0, win);  // miss 1, hit 2
+      // First flush under a per-target lock opens the static-binding-free
+      // (rebinding) interval — plans cached before it are stale.
+      env.win_flush(1, win);
+      for (int i = 0; i < 2; ++i) env.put(&v, 1, 1, 0, win);  // miss 1, hit 1
+      env.win_flush(1, win);      // already binding-free: no transition
+      env.put(&v, 1, 1, 0, win);  // hit 1
+      env.win_unlock(1, win);     // invalidates
+      env.win_lock(mpi::LockType::Shared, 1, 0, win);  // invalidates
+      env.put(&v, 1, 1, 0, win);  // miss 1
+      env.win_unlock(1, win);
+    }
+    env.barrier(w);
+    env.win_free(win);
+  };
+  mpi::exec(casper_config(&rec), workload, core::layer(one_ghost()));
+  EXPECT_EQ(counter_or_zero(rec, "casper.plan_cache_miss"), 3u);
+  EXPECT_EQ(counter_or_zero(rec, "casper.plan_cache_hit"), 4u);
+}
+
+}  // namespace
