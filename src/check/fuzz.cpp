@@ -408,6 +408,32 @@ FuzzCase make_case(std::uint64_t seed, bool reduced) {
   return fc;
 }
 
+void add_net_faults(FuzzCase& fc) {
+  sim::Rng rng(fc.seed, 0xfa0175);
+  fault::FaultPlan& fp = fc.fault_plan;
+  fp.seed = fc.seed ^ 0x9e3779b97f4a7c15ULL;
+  fault::NetFaults& n = fp.net;
+  // Always at least one fault class; higher rolls stack several so the
+  // retry/dedup/reorder machinery gets exercised together.
+  const std::uint64_t mix = rng.next_below(8);
+  if (mix == 0 || (mix & 1) != 0) {
+    n.drop_p = 0.02 + 0.18 * rng.next_double();
+  }
+  if (mix == 1 || (mix & 2) != 0) {
+    n.dup_p = 0.02 + 0.18 * rng.next_double();
+  }
+  if (mix == 2 || (mix & 4) != 0) {
+    // Delay doubles as reorder: a jitter window wider than the inter-op
+    // issue gap makes later sends overtake earlier ones.
+    n.delay_p = 0.05 + 0.35 * rng.next_double();
+    n.delay_min = sim::us(1);
+    n.delay_max = sim::us(5 + rng.next_below(60));
+  }
+  if (rng.next_below(3) == 0) {
+    n.ack_drop_p = 0.02 + 0.13 * rng.next_double();
+  }
+}
+
 RunOutcome run_case(const FuzzCase& fc, std::uint64_t perturb_seed,
                     bool inject_flip_fault) {
   mpi::RunConfig rc;
@@ -416,6 +442,7 @@ RunOutcome run_case(const FuzzCase& fc, std::uint64_t perturb_seed,
   rc.machine.topo.cores_per_node = fc.users_per_node + fc.ghosts;
   rc.seed = fc.seed;
   rc.perturb_seed = perturb_seed;
+  if (fc.fault_plan.active()) rc.fault = &fc.fault_plan;
   core::Config cc;
   cc.ghosts_per_node = fc.ghosts;
   cc.binding = fc.binding;
@@ -443,6 +470,13 @@ RunOutcome run_case(const FuzzCase& fc, std::uint64_t perturb_seed,
   out.atomicity_violations = rt.stats().get("atomicity_violations");
   out.divergences = oracle.divergences();
   out.commits = oracle.commits_seen();
+  if (fc.fault_plan.active()) {
+    for (const auto& [key, val] : rt.stats().all()) {
+      if (key.rfind("fault.", 0) == 0 || key.rfind("recovery.", 0) == 0) {
+        out.fault_stats[key] = val;
+      }
+    }
+  }
   if (want_trace) out.trace_tail = rec.trace.tail_text(32);
   return out;
 }
@@ -487,6 +521,26 @@ std::string write_repro(const Repro& r, const FuzzCase& fc,
   std::fprintf(f, "prefix %d\n", r.prefix_ops);
   std::fprintf(f, "reduced %d\n", r.reduced ? 1 : 0);
   std::fprintf(f, "fault %d\n", r.fault ? 1 : 0);
+  if (r.plan.active()) {
+    // Embed the triggering FaultPlan: replay must reproduce the exact
+    // drop/dup/delay verdicts, so the plan travels with the repro instead
+    // of being re-derived from conventions that may change.
+    std::fprintf(f,
+                 "netfault seed=%" PRIu64 " drop=%.17g dup=%.17g delay=%.17g "
+                 "dmin=%" PRIu64 " dmax=%" PRIu64 " ackdrop=%.17g "
+                 "rto=%" PRIu64 " maxretries=%d hb=%" PRIu64 "\n",
+                 r.plan.seed, r.plan.net.drop_p, r.plan.net.dup_p,
+                 r.plan.net.delay_p, r.plan.net.delay_min,
+                 r.plan.net.delay_max, r.plan.net.ack_drop_p, r.plan.rto_base,
+                 r.plan.max_retries, r.plan.heartbeat_period);
+    for (const auto& k : r.plan.kills) {
+      std::fprintf(f, "kill rank=%d at=%" PRIu64 "\n", k.world_rank, k.at);
+    }
+    for (const auto& s : r.plan.stalls) {
+      std::fprintf(f, "stall rank=%d at=%" PRIu64 " dur=%" PRIu64 "\n",
+                   s.world_rank, s.at, s.duration);
+    }
+  }
   std::fprintf(
       f,
       "case nodes=%d users_per_node=%d ghosts=%d binding=%s dynamic=%d "
@@ -557,6 +611,28 @@ bool parse_repro(const std::string& path, Repro& out) {
       out.reduced = b != 0;
     } else if (std::sscanf(line, "fault %d", &b) == 1) {
       out.fault = b != 0;
+    } else if (std::sscanf(line,
+                           "netfault seed=%" SCNu64 " drop=%lg dup=%lg "
+                           "delay=%lg dmin=%" SCNu64 " dmax=%" SCNu64
+                           " ackdrop=%lg rto=%" SCNu64 " maxretries=%d "
+                           "hb=%" SCNu64,
+                           &out.plan.seed, &out.plan.net.drop_p,
+                           &out.plan.net.dup_p, &out.plan.net.delay_p,
+                           &out.plan.net.delay_min, &out.plan.net.delay_max,
+                           &out.plan.net.ack_drop_p, &out.plan.rto_base,
+                           &out.plan.max_retries,
+                           &out.plan.heartbeat_period) == 10) {
+    } else {
+      fault::GhostKill k;
+      fault::GhostStall s;
+      if (std::sscanf(line, "kill rank=%d at=%" SCNu64, &k.world_rank,
+                      &k.at) == 2) {
+        out.plan.kills.push_back(k);
+      } else if (std::sscanf(line, "stall rank=%d at=%" SCNu64
+                                   " dur=%" SCNu64,
+                             &s.world_rank, &s.at, &s.duration) == 3) {
+        out.plan.stalls.push_back(s);
+      }
     }
   }
   std::fclose(f);
@@ -565,6 +641,7 @@ bool parse_repro(const std::string& path, Repro& out) {
 
 bool replay(const Repro& r) {
   FuzzCase fc = make_case(r.seed, r.reduced);
+  if (r.plan.active()) fc.fault_plan = r.plan;
   if (r.prefix_ops > 0 &&
       r.prefix_ops < static_cast<int>(fc.ops.size())) {
     fc.ops.resize(static_cast<std::size_t>(r.prefix_ops));
@@ -581,7 +658,8 @@ CampaignResult run_campaign(const CampaignOptions& opt) {
   CampaignResult res;
   for (int c = 0; c < opt.cases; ++c) {
     const std::uint64_t seed = opt.base_seed + static_cast<std::uint64_t>(c);
-    const FuzzCase fc = make_case(seed, opt.reduced);
+    FuzzCase fc = make_case(seed, opt.reduced);
+    if (opt.net_faults) add_net_faults(fc);
     ++res.cases_run;
 
     std::vector<RunOutcome> outs;
@@ -605,7 +683,13 @@ CampaignResult run_campaign(const CampaignOptions& opt) {
       FuzzCase t = fc;
       t.ops.resize(static_cast<std::size_t>(k));
       const RunOutcome rerun = run_case(t, p);
-      Repro rp{seed, p, 0, k, opt.reduced, false, "oracle-divergence"};
+      Repro rp;
+      rp.seed = seed;
+      rp.perturb = p;
+      rp.prefix_ops = k;
+      rp.reduced = opt.reduced;
+      rp.plan = fc.fault_plan;
+      rp.kind = "oracle-divergence";
       Failure fl;
       fl.seed = seed;
       fl.perturb = p;
@@ -633,7 +717,13 @@ CampaignResult run_campaign(const CampaignOptions& opt) {
         FuzzCase t = fc;
         t.ops.resize(static_cast<std::size_t>(k));
         const RunOutcome rerun = run_case(t, p);
-        Repro rp{seed, p, 0, k, opt.reduced, false, "schedule-divergence"};
+        Repro rp;
+        rp.seed = seed;
+        rp.perturb = p;
+        rp.prefix_ops = k;
+        rp.reduced = opt.reduced;
+        rp.plan = fc.fault_plan;
+        rp.kind = "schedule-divergence";
         Failure fl;
         fl.seed = seed;
         fl.perturb = p;

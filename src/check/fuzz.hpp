@@ -24,11 +24,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "check/oracle.hpp"
 #include "core/casper.hpp"
+#include "fault/plan.hpp"
 #include "mpi/types.hpp"
 #include "sim/engine.hpp"
 
@@ -69,6 +71,9 @@ struct FuzzCase {
   mpi::AccOp acc_op = mpi::AccOp::Sum;  ///< the case's commutative acc op
   bool order_sensitive = false;
   std::size_t slot_bytes = 64;  ///< per-slot bytes; layout below
+  /// Injected network/process faults (--faults mode, the fault matrix and
+  /// the ghost-failure suites). Inert unless `fault_plan.active()`.
+  fault::FaultPlan fault_plan;
   std::vector<OpRec> ops;
 
   int nusers() const { return nodes * users_per_node; }
@@ -83,11 +88,19 @@ struct FuzzCase {
 /// counts and slot sizes for the ctest-time corpus.
 FuzzCase make_case(std::uint64_t seed, bool reduced);
 
+/// Derive a deterministic lossy-network FaultPlan from the case's seed and
+/// install it (--faults mode): some mix of drop / duplicate / delay-reorder /
+/// ack-drop probabilities, plus a jittered delay window. The reliable AM
+/// layer must absorb every mix with the oracle staying clean.
+void add_net_faults(FuzzCase& fc);
+
 /// Outcome of one simulated run of a case.
 struct RunOutcome {
   std::vector<Divergence> divergences;
   std::uint64_t atomicity_violations = 0;
   std::uint64_t commits = 0;
+  /// fault.* / recovery.* engine counters (empty when the run had no plan).
+  std::map<std::string, std::uint64_t> fault_stats;
   std::vector<std::uint64_t> content_hash;  ///< per user rank, own segment
   std::vector<sim::Engine::SchedRecord> trace;
   /// Last obs-trace lines (export_text form); populated only when the
@@ -119,6 +132,9 @@ struct Repro {
   int prefix_ops = 0;              ///< minimized op-stream prefix length
   bool reduced = true;
   bool fault = false;
+  /// The network FaultPlan active when the failure triggered, embedded in
+  /// the repro file so a replay reproduces the same drops/dups/delays.
+  fault::FaultPlan plan;
   std::string kind;  ///< "oracle-divergence" | "schedule-divergence"
 };
 
@@ -134,6 +150,9 @@ struct CampaignOptions {
   int cases = 200;
   int schedules = 4;
   bool reduced = true;
+  /// --faults: every case additionally runs under a seed-derived lossy
+  /// network (add_net_faults); failures embed the plan in their repro.
+  bool net_faults = false;
   std::string repro_dir = ".";
   bool verbose = false;
 };

@@ -175,6 +175,10 @@ class CasperLayer final : public mpi::Layer {
     /// Static-binding-free: set after a flush completes under the lock
     /// (paper III.B.3); enables dynamic binding of PUT/GET.
     bool binding_free = false;
+    /// Degraded mode: this origin lazily acquired a lock on the *user*
+    /// window for this target because the target node lost all its ghosts
+    /// (ops go direct, original-MPI style). Released at unlock time.
+    bool user_locked = false;
   };
 
   /// One piece of a (possibly split) redirected operation.
@@ -240,6 +244,17 @@ class CasperLayer final : public mpi::Layer {
     std::vector<std::size_t> node_total;  // per node: shared buffer bytes
     std::vector<OriginEp> ep;             // per user comm rank
     int seq = 0;  ///< allocation sequence number (ghost free matching)
+    /// Fault-injection scoping (satellite fix for the global-flag bypass):
+    /// only a window whose sequence number matches Config::Fault selection
+    /// bypasses the plan cache / applies the origin-dependent segment flip.
+    bool flip_fault = false;
+    /// Fence-epoch degradation is latched *collectively*: at every fence all
+    /// ranks allreduce the death sequence they observed, so every rank takes
+    /// the direct-to-user-window route for the same epochs.
+    std::uint64_t fence_latch = 0;
+    /// Set once fence epochs on this window also fence the user window
+    /// (degraded direct ops need a real epoch there).
+    bool fence_user_open = false;
   };
 
   // --- setup / ghosts ------------------------------------------------------
@@ -292,6 +307,26 @@ class CasperLayer final : public mpi::Layer {
                  std::size_t disp_bytes, int tc, const mpi::Datatype& tdt,
                  CspWin& cw, int target);
 
+  // --- ghost failure recovery (layer_fault.cpp) ----------------------------
+  /// Register the runtime death handler and precompute successor forwarding
+  /// for every planned ghost kill. No-op without kills in the FaultPlan.
+  void setup_fault_recovery();
+  /// Death-handler callback, one heartbeat after a kill (event context —
+  /// pure state mutation, no MPI calls): removes the ghost from the alive
+  /// sets, rebinds its targets onto survivors, invalidates cached plans, and
+  /// flips the node into degraded (no-redirect) mode when it was the last.
+  void on_ghost_death(int world_rank, sim::Time t);
+  /// True when fence-epoch ops on `cw` to targets on `node` must go direct
+  /// to user memory: the node's total ghost loss was latched at a fence.
+  bool fence_direct(const CspWin& cw, int node) const;
+  /// Degraded direct issue on the user window (original-MPI mode), with the
+  /// lazy user-window lock for passive epochs.
+  void issue_degraded(mpi::Env& env, CspWin& cw, OriginEp& ep,
+                      mpi::OpKind kind, mpi::AccOp op, const void* o, int oc,
+                      const mpi::Datatype& odt, const void* o2, void* res,
+                      int rc, const mpi::Datatype& rdt, int target,
+                      std::size_t tdisp, int tc, const mpi::Datatype& tdt);
+
   mpi::Runtime* rt_;
   Config cfg_;
   std::shared_ptr<mpi::Pmpi> pmpi_;
@@ -310,6 +345,16 @@ class CasperLayer final : public mpi::Layer {
   std::vector<std::vector<int>> node_users_;   // per node: user world ranks
   std::vector<int> node_master_;               // per node: first user rank
   int max_local_users_ = 0;
+
+  // --- fault recovery state (inert unless the FaultPlan schedules kills) ---
+  bool fault_recovery_ = false;
+  bool any_ghost_dead_ = false;
+  std::vector<std::vector<int>> alive_ghosts_;  // node_ghosts_ minus dead
+  std::vector<char> ghost_dead_;                // by world rank
+  std::vector<std::uint64_t> ghost_death_seq_;  // by world rank (0 = alive)
+  std::vector<char> node_degraded_;             // per node: all ghosts dead
+  std::uint64_t death_seq_ = 0;                 // detected deaths so far
+  std::uint64_t* stat_rebound_ops_ = nullptr;   // ops issued via rebinding
 
   mpi::Comm user_world_;
   std::vector<mpi::Comm> node_comm_of_;  // per world rank: its node comm

@@ -111,9 +111,25 @@ void CasperLayer::resolve_static(CspWin& cw, int origin, int target,
     // Injected fault (tests only): odd origins see a mirrored map, so two
     // ghosts end up serving the same segment concurrently. A *consistent*
     // flip would still be a valid binding; only the origin dependence
-    // breaks the one-segment-one-ghost invariant.
-    if (cfg_.fault.flip_segment_binding && (origin & 1)) ow = g - 1 - ow;
+    // breaks the one-segment-one-ghost invariant. Scoped per window so an
+    // unfaulted window keeps its ordinary (cached) resolution.
+    if (cw.flip_fault && (origin & 1)) ow = g - 1 - ow;
     return ow;
+  };
+
+  // Ghost-failure rebinding: a chunk owned by a dead ghost is served by a
+  // survivor instead. The remap is a pure function of global death state, so
+  // every origin routes a shared byte to the SAME survivor (accumulate
+  // atomicity holds across the rebinding). With no survivors the original
+  // owner is kept: the runtime completes those deliveries at the NIC.
+  const auto& alive = alive_ghosts_[static_cast<std::size_t>(ti.node)];
+  auto ghost_at = [&](std::size_t ow) {
+    int gw = ng[ow];
+    if (any_ghost_dead_ && ghost_dead_[static_cast<std::size_t>(gw)] != 0 &&
+        !alive.empty()) {
+      gw = alive[ow % alive.size()];
+    }
+    return gw;
   };
 
   const std::size_t es = tdt.elem_size();
@@ -134,8 +150,9 @@ void CasperLayer::resolve_static(CspWin& cw, int origin, int target,
       MMPI_REQUIRE(len % es == 0 && lo % es == 0,
                    "casper: segment boundary would split a basic element "
                    "(misaligned displacement; see paper III.B.2)");
+      const int gw = ghost_at(ow);
       // Extend an existing sub-op for the same ghost if contiguous with it.
-      if (!out.empty() && out.back().ghost == ng[ow] &&
+      if (!out.empty() && out.back().ghost == gw &&
           out.back().tdisp + static_cast<std::size_t>(out.back().tcount) *
                                  out.back().tdt.elem_size() *
                                  static_cast<std::size_t>(
@@ -147,7 +164,7 @@ void CasperLayer::resolve_static(CspWin& cw, int origin, int target,
               payload_off) {
         out.back().tcount += static_cast<int>(len / es);
       } else {
-        out.push_back(SubOp{ng[ow], lo, static_cast<int>(len / es),
+        out.push_back(SubOp{gw, lo, static_cast<int>(len / es),
                             mpi::contig(tdt.base), payload_off});
       }
       lo += len;
@@ -161,9 +178,11 @@ const std::vector<CasperLayer::SubOp>& CasperLayer::plan_lookup(
     CspWin& cw, OriginEp& ep, int origin, int target, std::size_t disp_bytes,
     int tcount, const Datatype& tdt) {
   PlanCache& pc = ep.plans;
-  if (cfg_.fault.flip_segment_binding) {
+  if (cw.flip_fault) {
     // Fault injection (tests only) makes the split origin-dependent; keep
     // that path uncached so the fuzzer sees the raw resolution every time.
+    // Scoped to the flipped window: co-resident unfaulted windows keep
+    // their plan caches hot.
     pc.scratch.clear();
     resolve_static(cw, origin, target, disp_bytes, tcount, tdt, pc.scratch);
     return pc.scratch;
@@ -325,6 +344,32 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
     exec_self(env, kind, op, o, oc, odt, o2, res, rc, rdt, disp_bytes, tc,
               tdt, cw, target);
     return;
+  }
+
+  // Graceful degradation: when every ghost on the target's node is dead,
+  // fall back to original-MPI semantics — issue directly against the user
+  // window (no redirection). Lock epochs switch immediately (the user-window
+  // lock is taken lazily below); fence epochs switch only once the fence
+  // latch proves ALL ranks observed the death before this epoch opened, so
+  // origins never split one epoch across two serialization domains.
+  if (fault_recovery_ && node_degraded_[static_cast<std::size_t>(ti.node)]) {
+    const auto& tl = ep.tl[static_cast<std::size_t>(target)];
+    if (tl.locked || ep.lockall ||
+        (ep.fence_open && fence_direct(cw, ti.node))) {
+      issue_degraded(env, cw, ep, kind, op, o, oc, odt, o2, res, rc, rdt,
+                     target, tdisp, tc, tdt);
+      return;
+    }
+  }
+
+  // A node with some (not all) ghosts dead routes through survivors; count
+  // ops that would have gone to the dead ghost's segment map.
+  if (any_ghost_dead_ && stat_rebound_ops_ != nullptr) {
+    const auto& av = alive_ghosts_[static_cast<std::size_t>(ti.node)];
+    if (!av.empty() &&
+        av.size() != node_ghosts_[static_cast<std::size_t>(ti.node)].size()) {
+      ++*stat_rebound_ops_;
+    }
   }
 
   mpi::Win& iw = route_window(cw, me_u, target);
@@ -647,6 +692,35 @@ void CasperLayer::win_fence(Env& env, unsigned mode_assert, const Win& w) {
     pmpi_->barrier(env, user_world_);
     pmpi_->win_sync(env, cw->global_win);
   }
+
+  // Ghost-failure degradation latch: a fence epoch may switch a node to
+  // direct (user-window) RMA only when EVERY rank agrees the deaths happened
+  // before this epoch — otherwise one origin redirects while another goes
+  // direct within the same epoch and completion splits. Latch the *minimum*
+  // death sequence number all ranks have observed; a node is fence-direct
+  // once all its ghosts' deaths are at or below the latch. Once any node
+  // goes direct, the user window itself needs fence semantics, so we open
+  // (and keep running) a real fence on it.
+  if (fault_recovery_) {
+    int local = static_cast<int>(death_seq_);
+    int latched = local;
+    pmpi_->allreduce(env, &local, &latched, 1, mpi::Dt::Int, mpi::AccOp::Min,
+                     user_world_);
+    cw->fence_latch = static_cast<std::uint64_t>(latched);
+    bool any_direct = cw->fence_user_open;
+    for (int n = 0; n < static_cast<int>(node_ghosts_.size()) && !any_direct;
+         ++n) {
+      if (node_degraded_[static_cast<std::size_t>(n)] &&
+          fence_direct(*cw, n)) {
+        any_direct = true;
+      }
+    }
+    if (any_direct) {
+      cw->fence_user_open = true;
+      pmpi_->win_fence(env, 0, cw->user_win);
+    }
+  }
+
   ep.fence_open = !(mode_assert & mpi::kModeNoSucceed);
   note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::Fence, t0);
   // Report the *user-facing* sync on the user window: the oracle validates
@@ -803,6 +877,12 @@ void CasperLayer::win_unlock(Env& env, int target, const Win& w) {
   if (target == me_u) {
     pmpi_->win_unlock(env, target, cw->user_win);
   }
+  if (tl.user_locked) {
+    // Degraded mode issued directly against the user window under a lazily
+    // acquired lock; release it with the epoch.
+    pmpi_->win_unlock(env, target, cw->user_win);
+    tl.user_locked = false;
+  }
   tl.locked = false;
   tl.binding_free = false;
   ++ep.plans.gen;  // lock transition: cached split plans are stale
@@ -863,6 +943,13 @@ void CasperLayer::win_unlock_all(Env& env, const Win& w) {
     // Complete everything issued under the permanent lockall.
     pmpi_->win_flush_all(env, cw->global_win);
   }
+  for (int u = 0; u < static_cast<int>(ep.tl.size()); ++u) {
+    auto& tl = ep.tl[static_cast<std::size_t>(u)];
+    if (tl.user_locked) {
+      pmpi_->win_unlock(env, u, cw->user_win);
+      tl.user_locked = false;
+    }
+  }
   ep.lockall = false;
   for (auto& tl : ep.tl) tl.binding_free = false;
   ++ep.plans.gen;  // lock transition: cached split plans are stale
@@ -889,6 +976,10 @@ void CasperLayer::win_flush(Env& env, int target, const Win& w) {
   mpi::Win& iw = route_window(*cw, me_u, target);
   for (int g : node_ghosts_[static_cast<std::size_t>(ti.node)]) {
     pmpi_->win_flush(env, g, iw);
+  }
+  if (tl.user_locked) {
+    // Degraded direct ops went to the user window; complete them too.
+    pmpi_->win_flush(env, target, cw->user_win);
   }
   // After a completed flush the lock is known acquired: the
   // static-binding-free interval begins (paper III.B.3) — a rebinding

@@ -82,6 +82,7 @@ CasperLayer::CasperLayer(mpi::Runtime& rt, Config cfg)
     plan_miss_ = &rt_->recorder()->metrics.counter("casper.plan_cache_miss");
   }
   setup_topology();
+  setup_fault_recovery();
 }
 
 void CasperLayer::setup_topology() {
@@ -116,6 +117,10 @@ void CasperLayer::setup_topology() {
     MMPI_REQUIRE(static_cast<int>(ghosts.size()) == cfg_.ghosts_per_node,
                  "casper: ghost carving mismatch");
   }
+  alive_ghosts_ = node_ghosts_;
+  ghost_dead_.assign(static_cast<std::size_t>(n), 0);
+  ghost_death_seq_.assign(static_cast<std::size_t>(n), 0);
+  node_degraded_.assign(static_cast<std::size_t>(topo.nodes), 0);
 }
 
 void CasperLayer::setup_comms(Env& env) {
@@ -175,6 +180,9 @@ void CasperLayer::ghost_loop(Env& env) {
                                             cmd.disp_unit),
                                 cmd.epochs, mpi::Info{});
         cw->seq = cmd.seq;
+        cw->flip_fault = cfg_.fault.flip_segment_binding &&
+                         (cfg_.fault.flip_only_seq < 0 ||
+                          cfg_.fault.flip_only_seq == cmd.seq);
         ghost_wins_[env.world_rank()].push_back(std::move(cw));
         break;
       }

@@ -54,6 +54,9 @@ Win CasperLayer::win_allocate(Env& env, std::size_t bytes, std::size_t du,
 
   auto cw = build_windows(env, bytes, du, epochs, info);
   cw->seq = seq;
+  cw->flip_fault = cfg_.fault.flip_segment_binding &&
+                   (cfg_.fault.flip_only_seq < 0 ||
+                    cfg_.fault.flip_only_seq == seq);
 
   // The user-visible window: a window over COMM_USER_WORLD exposing the same
   // shared segments. The application synchronizes and communicates on this

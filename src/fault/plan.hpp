@@ -1,0 +1,136 @@
+// Fault injection: a seeded, deterministic description of network and ghost
+// process faults applied to one simulated run.
+//
+// A FaultPlan is strictly opt-in: RunConfig::fault == nullptr (the default)
+// changes NOTHING — no extra events, no virtual-time drift, bit-identical
+// traces. With a plan installed, the runtime draws a verdict for every
+// transmission of every software-path data operation (and for every ack on
+// the way back) from a splitmix64 stream keyed by (plan seed, opid, attempt,
+// direction). Verdicts therefore depend only on the operation's identity and
+// retry count, never on host state or fiber interleaving, so faulted runs
+// stay bit-reproducible and the fault counters stay schedule-invariant for a
+// fixed program.
+//
+// Process faults (kill / stall) are virtual-time triggers: a kill marks a
+// ghost rank dead at the chosen instant (see DESIGN.md §11 for the recovery
+// protocol); a stall delays deliveries into a rank for a window of virtual
+// time, modeling a wedged helper that later resumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace casper::fault {
+
+/// Per-message network fault probabilities (software AM path). All disabled
+/// at zero. Probabilities are independent: the verdict draw checks drop,
+/// then duplicate, then delay, so `drop_p + dup_p + delay_p` need not be
+/// bounded by 1 (each is the marginal probability of its branch).
+struct NetFaults {
+  double drop_p = 0.0;   ///< transmission silently lost
+  double dup_p = 0.0;    ///< delivered twice (second copy jittered later)
+  double delay_p = 0.0;  ///< delivered late by a uniform extra latency
+  /// Extra latency bounds for delay / duplicate-jitter verdicts (virtual ns).
+  sim::Time delay_min = sim::us(1);
+  sim::Time delay_max = sim::us(50);
+  /// Acks are faulted too (same stream, direction bit set). An ack loss is
+  /// recovered by the origin's retransmission timer: the target's dedup
+  /// window re-acks without re-executing.
+  double ack_drop_p = 0.0;
+
+  bool any() const {
+    return drop_p > 0.0 || dup_p > 0.0 || delay_p > 0.0 || ack_drop_p > 0.0;
+  }
+};
+
+/// Kill a ghost process at a virtual time: it stops serving redirected
+/// operations; the heartbeat detector notifies the Casper layer one period
+/// later. Kills of user ranks are not modeled (Casper recovers from helper
+/// death, not application death).
+struct GhostKill {
+  int world_rank = -1;
+  sim::Time at = 0;
+};
+
+/// Stall a rank's ingress for [at, at + duration): deliveries queue and
+/// land when the stall lifts. Models a wedged-but-alive helper.
+struct GhostStall {
+  int world_rank = -1;
+  sim::Time at = 0;
+  sim::Time duration = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  NetFaults net;
+  std::vector<GhostKill> kills;
+  std::vector<GhostStall> stalls;
+
+  /// Retransmission timeout for the first attempt; 0 derives a default from
+  /// the machine profile (see Runtime::fault RTO derivation). Subsequent
+  /// attempts back off exponentially (x2, capped at 16x).
+  sim::Time rto_base = 0;
+  /// After this many consecutive lost transmissions of one op the next
+  /// transmission is forcibly delivered, bounding worst-case virtual time
+  /// even at drop_p == 1.0.
+  int max_retries = 16;
+  /// Virtual heartbeat period: a kill at time T is detected (and the layer
+  /// notified) at the next heartbeat tick strictly after T.
+  sim::Time heartbeat_period = sim::us(50);
+
+  bool any_process_faults() const { return !kills.empty() || !stalls.empty(); }
+  bool active() const { return net.any() || any_process_faults(); }
+};
+
+/// Outcome of one transmission attempt.
+enum class NetVerdict : std::uint8_t { Deliver, Drop, Dup, Delay };
+
+struct Verdict {
+  NetVerdict kind = NetVerdict::Deliver;
+  sim::Time extra = 0;  ///< Delay: added latency; Dup: second-copy jitter
+};
+
+/// Deterministic verdict for transmission `attempt` of operation `opid`
+/// (`is_ack` selects the ack direction). Pure in its arguments and the plan
+/// seed: the same logical transmission gets the same fate under every fiber
+/// schedule.
+inline Verdict draw(const FaultPlan& p, std::uint64_t opid,
+                    std::uint32_t attempt, bool is_ack) {
+  sim::Rng rng(p.seed,
+               (opid << 9) ^ (static_cast<std::uint64_t>(attempt) << 1) ^
+                   (is_ack ? 1u : 0u));
+  Verdict v;
+  if (attempt >= static_cast<std::uint32_t>(p.max_retries)) return v;
+  auto span = [&]() {
+    const sim::Time lo = p.net.delay_min;
+    const sim::Time hi =
+        p.net.delay_max > p.net.delay_min ? p.net.delay_max : p.net.delay_min;
+    return lo + rng.next_u64() % (hi - lo + 1);
+  };
+  if (is_ack) {
+    if (p.net.ack_drop_p > 0.0 && rng.next_double() < p.net.ack_drop_p) {
+      v.kind = NetVerdict::Drop;
+    }
+    return v;
+  }
+  if (p.net.drop_p > 0.0 && rng.next_double() < p.net.drop_p) {
+    v.kind = NetVerdict::Drop;
+    return v;
+  }
+  if (p.net.dup_p > 0.0 && rng.next_double() < p.net.dup_p) {
+    v.kind = NetVerdict::Dup;
+    v.extra = span();
+    return v;
+  }
+  if (p.net.delay_p > 0.0 && rng.next_double() < p.net.delay_p) {
+    v.kind = NetVerdict::Delay;
+    v.extra = span();
+    return v;
+  }
+  return v;
+}
+
+}  // namespace casper::fault

@@ -37,6 +37,11 @@ struct AmOp {
   WinImpl* win = nullptr;
   int origin_comm_rank = -1;
   int target_comm_rank = -1;
+  /// Accounting coordinates: the (origin_comm_rank, ·) cell whose
+  /// `outstanding` count the ack decrements. Fault forwarding may rewrite
+  /// target_comm_rank to a successor ghost; the ack still settles against
+  /// the cell the origin issued to. -1 = same as target_comm_rank.
+  int acct_target_comm = -1;
 
   // data description (target side)
   std::size_t target_disp = 0;  // bytes (disp * disp_unit resolved at issue)

@@ -42,6 +42,10 @@
 #include "sim/pool.hpp"
 #include "sim/ring.hpp"
 
+namespace casper::fault {
+struct FaultPlan;
+}
+
 namespace casper::mpi {
 
 /// Top-level configuration of one simulated run.
@@ -65,6 +69,11 @@ struct RunConfig {
   /// to one predictable branch; builds with -DCASPER_TRACE=0 remove even
   /// that. The recorder must outlive the runtime.
   obs::Recorder* recorder = nullptr;
+  /// Fault-injection plan (src/fault/plan.hpp). Null — the default — keeps
+  /// the whole reliability machinery off: no sequence/ack/retry state, no
+  /// extra events, bit-identical virtual time (the same zero-cost-when-off
+  /// contract as `recorder`). The plan must outlive the runtime.
+  const fault::FaultPlan* fault = nullptr;
 };
 
 /// Factory for the interception layer of a run (PMPI model); receives the
@@ -229,6 +238,25 @@ class Runtime {
   /// recycled working set.
   sim::BytePool& buffer_pool() { return pool_; }
 
+  // ------------------------------------------------------------------------
+  // Fault injection & recovery (active only when RunConfig::fault is set).
+  // ------------------------------------------------------------------------
+  /// True when a FaultPlan is installed and active.
+  bool faults_on() const { return fs_ != nullptr; }
+  /// A killed rank: it no longer serves its inbox; deliveries addressed to
+  /// it are completed at delivery time by the simulated NIC/memory system
+  /// (in-flight one-sided data is not lost when the serving process dies).
+  bool rank_dead(int world_rank) const;
+  /// Layer hook: invoked (in event context — state mutation only, no MPI
+  /// calls) when a ghost kill is *detected*, one heartbeat period after the
+  /// kill instant. Receives (world_rank, detect_time).
+  void set_death_handler(std::function<void(int, sim::Time)> fn);
+  /// Layer hook: forwarding target for a rank that may die. AMs addressed to
+  /// a dead rank are rewritten to its (transitively live) successor so one
+  /// live entity keeps serializing read-modify-writes on the node's memory;
+  /// -1 (the default) completes deliveries instantly at the NIC instead.
+  void set_rank_successor(int world_rank, int successor);
+
  private:
   struct RankIo {
     RankIo() = default;
@@ -300,6 +328,35 @@ class Runtime {
 
   // --- lock protocol -------------------------------------------------------
   /// Ensure the delayed lock request for (win, target) has been sent.
+  // --- fault machinery (runtime_core.cpp; all paths require fs_) -----------
+  /// Reliable-transport state; allocated in the constructor iff a FaultPlan
+  /// is installed. Defined in runtime_core.cpp.
+  struct FaultState;
+  /// Post kill / stall / heartbeat-detection events (called before run()).
+  void fault_setup();
+  /// First transmission of a faultable data op: records the retransmission
+  /// entry and runs the verdict-driven wire step.
+  void fault_send(AmOp&& op, sim::Time t_send);
+  /// One wire attempt (initial or retransmission) of a pending op.
+  void fault_transmit(std::uint64_t opid, sim::Time t_send);
+  /// Schedule delivery of one (cloned) copy at t_del, honoring stalls and
+  /// dead targets.
+  void fault_deliver_copy(const AmOp& op, sim::Time t_del);
+  /// Target-side dedup: true = first execution, proceed; false = the op
+  /// already executed — its cached ack was re-sent, skip execution.
+  bool fault_should_execute(AmOp& op, sim::Time t_now);
+  /// Origin-side completion gate: true = first ack for this op, complete it;
+  /// false = duplicate ack, ignore.
+  bool fault_complete(std::uint64_t opid);
+  /// Serve an AM addressed to a dead rank at delivery time (event context):
+  /// lock traffic goes straight to the lock manager, data ops commit via the
+  /// NIC/memory path.
+  void fault_serve_dead(AmOp&& op, sim::Time t);
+  /// Mark a rank dead and drain its queued inbox through fault_serve_dead.
+  void fault_kill_rank(int world_rank, sim::Time t);
+  /// Deep copy of an op (payload cloned from the pool) for retransmission.
+  AmOp fault_clone(const AmOp& op);
+
   void send_lock_request(Env& env, WinImpl& win, int target);
   /// Target-side lock-manager request processing (grant or queue) at time t.
   void lockmgr_request(WinImpl& win, int target, int origin, LockType type,
@@ -346,6 +403,8 @@ class Runtime {
   int next_win_id_ = 1;
   std::uint64_t next_opid_ = 1;
   RmaObserver* observer_ = nullptr;
+  /// Null unless RunConfig::fault is installed (the zero-cost-off gate).
+  std::unique_ptr<FaultState> fs_;
 };
 
 /// Convenience: build a runtime and run `user_main` on every rank.

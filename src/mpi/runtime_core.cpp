@@ -3,8 +3,11 @@
 // acquisition, and atomicity-violation detection.
 #include <algorithm>
 #include <cstring>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
+#include "fault/plan.hpp"
 #include "mpi/check.hpp"
 #include "mpi/datatype.hpp"
 #include "mpi/pmpi.hpp"
@@ -19,7 +22,66 @@ namespace {
 std::byte* seg_addr(const WinImpl& win, int comm_rank, std::size_t disp_bytes) {
   return win.segs[static_cast<std::size_t>(comm_rank)].base + disp_bytes;
 }
+
+bool faultable_kind(OpKind k) {
+  return k != OpKind::LockReq && k != OpKind::LockRelease;
+}
 }  // namespace
+
+/// Reliable-transport + process-fault state. Allocated only when a FaultPlan
+/// is installed: an unfaulted run never touches (or pays for) any of this.
+struct Runtime::FaultState {
+  /// Origin-side retransmission record: the op is kept (payload and all)
+  /// until the first ack arrives; the timeout event retransmits a clone.
+  struct Retrans {
+    AmOp op;
+    std::uint32_t attempt = 0;
+  };
+  std::unordered_map<std::uint64_t, Retrans> pending;
+
+  /// Target-side dedup window: an entry exists from the moment an op is
+  /// claimed for execution. Once executed, the ack payload is cached so a
+  /// redelivery (late duplicate or retransmission racing the ack) re-acks
+  /// idempotently WITHOUT re-executing — the redelivery of a fetch-and-op
+  /// must return the original fetched value, not re-apply the op.
+  struct Served {
+    bool have_ack = false;
+    sim::PoolBuf ack;
+    int entity = 0;                 ///< entity that executed the op
+    std::uint32_t ack_attempt = 0;  ///< ack-direction verdict stream cursor
+  };
+  std::unordered_map<std::uint64_t, Served> served;
+  std::deque<std::uint64_t> served_fifo;  // bounded-window eviction order
+
+  /// Origin-side set of completed (first-acked) opids, to ignore duplicate
+  /// acks. Bounded like the dedup window.
+  std::unordered_set<std::uint64_t> completed;
+  std::deque<std::uint64_t> completed_fifo;
+
+  static constexpr std::size_t kWindow = std::size_t{1} << 16;
+
+  std::vector<char> dead;      // by world rank
+  std::vector<int> successor;  // by world rank: forwarding target, -1 = none
+  std::function<void(int, sim::Time)> death_handler;
+
+  Time rto0 = 0;
+  Time rto_for(std::uint32_t attempt) const {
+    const std::uint32_t shift = attempt > 10 ? 10u : attempt;
+    return rto0 << shift;  // exponential backoff, capped at 1024x
+  }
+
+  // Counter pointers resolved once (see HotStats): the faulted path is not
+  // hot, but verdicts fire per transmission and should not pay map lookups.
+  std::uint64_t* c_drops = nullptr;
+  std::uint64_t* c_dups = nullptr;
+  std::uint64_t* c_delays = nullptr;
+  std::uint64_t* c_ack_drops = nullptr;
+  std::uint64_t* c_retries = nullptr;
+  std::uint64_t* c_dedup_hits = nullptr;
+  std::uint64_t* c_forwards = nullptr;
+  std::uint64_t* c_dead_serves = nullptr;
+  std::uint64_t* c_kills = nullptr;
+};
 
 Runtime::Runtime(RunConfig cfg, std::function<void(Env&)> user_main,
                  LayerFactory layer)
@@ -46,6 +108,29 @@ Runtime::Runtime(RunConfig cfg, std::function<void(Env&)> user_main,
     Env env(*this, ctx);
     layer_->on_rank_start(env, user_main_);
   });
+
+  // Fault state must exist before the layer factory runs: the layer's ctor
+  // registers its ghost-death handler only when faults_on() is already true.
+  if (cfg_.fault != nullptr && cfg_.fault->active()) {
+    fs_ = std::make_unique<FaultState>();
+    fs_->dead.assign(static_cast<std::size_t>(n), 0);
+    fs_->successor.assign(static_cast<std::size_t>(n), -1);
+    // Default retransmission timeout: several round trips of base wire +
+    // handling cost, so a prompt target never triggers a spurious retry but
+    // a lost message is recovered within tens of microseconds.
+    fs_->rto0 = cfg_.fault->rto_base != 0
+                    ? cfg_.fault->rto_base
+                    : 8 * (profile().net_latency + profile().am_handling);
+    fs_->c_drops = &stats().counter("fault.drops");
+    fs_->c_dups = &stats().counter("fault.dups");
+    fs_->c_delays = &stats().counter("fault.delays");
+    fs_->c_ack_drops = &stats().counter("fault.ack_drops");
+    fs_->c_retries = &stats().counter("fault.retries");
+    fs_->c_dedup_hits = &stats().counter("fault.dedup_hits");
+    fs_->c_forwards = &stats().counter("fault.forwards");
+    fs_->c_dead_serves = &stats().counter("fault.dead_serves");
+    fs_->c_kills = &stats().counter("fault.kills");
+  }
 
   layer_ = layer ? layer(*this) : std::make_shared<Pmpi>(*this);
   MMPI_REQUIRE(layer_ != nullptr, "layer factory returned null");
@@ -115,6 +200,7 @@ void Runtime::run() {
       engine_->set_compute_scale(r, cfg_.progress.oversub_scale);
     }
   }
+  if (fs_) fault_setup();
   engine_->run();
   // Snapshot buffer-pool effectiveness into the metrics block. These are
   // host-side allocator statistics, not virtual-time facts: reuse depends on
@@ -123,6 +209,18 @@ void Runtime::run() {
   if (obs::on(recorder())) {
     recorder()->metrics.counter("pool.bytes_reused") = pool_.bytes_reused();
     recorder()->metrics.counter("pool.reuses") = pool_.reuses();
+    if (fs_) {
+      // Mirror the fault/recovery counters (accumulated in engine stats so
+      // tests can read them without a recorder) into the metrics block.
+      for (const char* key :
+           {"fault.drops", "fault.dups", "fault.delays", "fault.ack_drops",
+            "fault.retries", "fault.dedup_hits", "fault.forwards",
+            "fault.dead_serves", "fault.kills", "recovery.ghost_dead",
+            "recovery.rebound_targets", "recovery.rebound_ops",
+            "recovery.direct_ops", "recovery.degraded"}) {
+        recorder()->metrics.counter(key) = stats().counter(key);
+      }
+    }
   }
 }
 
@@ -212,6 +310,7 @@ void Runtime::inject_op(WinImpl& win, int origin_comm, int target_comm,
   op.win = &win;
   op.origin_comm_rank = origin_comm;
   op.target_comm_rank = target_comm;
+  op.acct_target_comm = target_comm;
   op.target_disp = d.tdisp_bytes;
   op.target_count = d.tcount;
   op.target_dt = d.tdt;
@@ -247,6 +346,12 @@ void Runtime::inject_op(WinImpl& win, int origin_comm, int target_comm,
   } else {
     ++*hot_.sw_ops;
     if (obs::on(recorder())) ++recorder()->metrics.counter("ops.sw_path");
+    if (fs_) {
+      // Faulted transport: the op is parked in a retransmission record and
+      // every wire attempt (this one included) runs the verdict machinery.
+      fault_send(std::move(op), t_issue);
+      return;
+    }
     post_event(t_del, [this, op = std::move(op), t_del]() mutable {
       deliver_am(std::move(op), t_del);
     });
@@ -260,6 +365,26 @@ void Runtime::post_event(Time t, sim::EventFn cb) {
 // ------------------------------------------------------------- deliver ----
 
 void Runtime::deliver_am(AmOp&& op, Time t_del) {
+  if (fs_ && fs_->dead[static_cast<std::size_t>(op.target_world)]) {
+    // Forward data ops to the (transitively live) successor so one live
+    // entity keeps serializing RMWs on the node's memory. Ghost windows
+    // expose the whole node buffer from the same base, so rewriting the
+    // target rank preserves the byte addresses. Lock traffic and ops with
+    // no successor are served immediately at delivery (fault_serve_dead).
+    int s = fs_->successor[static_cast<std::size_t>(op.target_world)];
+    while (s >= 0 && fs_->dead[static_cast<std::size_t>(s)])
+      s = fs_->successor[static_cast<std::size_t>(s)];
+    if (s >= 0 && faultable_kind(op.kind)) {
+      ++*fs_->c_forwards;
+      op.target_world = s;
+      op.target_comm_rank = op.win->comm()->rank_of_world(s);
+      MMPI_REQUIRE(op.target_comm_rank >= 0,
+                   "fault successor not in the op's communicator");
+    } else {
+      fault_serve_dead(std::move(op), t_del);
+      return;
+    }
+  }
   op.delivered = t_del;
   switch (cfg_.progress.kind) {
     case progress::Kind::None: {
@@ -320,6 +445,7 @@ void Runtime::agent_process(AmOp&& op, Time t_del) {
     // Read and write both execute at the end event (same host moment), so
     // the fused in-place commit is byte-identical to the two-phase form.
     post_event(end, [this, op = std::move(op), start, end, entity]() mutable {
+      if (fs_ && !fault_should_execute(op, end)) return;
       am_commit(op, start, end, entity);
     });
   });
@@ -349,9 +475,19 @@ void Runtime::poller_process(Env& env, AmOp& op) {
                     op.lock_type, env.now(), /*notify_origin=*/true);
     return;
   }
+  // Dedup gate: a duplicate delivery (network dup, or a retransmission that
+  // raced the ack) must not re-execute — especially not a read-modify-write.
+  if (fs_ && !fault_should_execute(op, env.now())) return;
   const Time t0 = env.now();
   auto staged = am_read_phase(op);
   env.ctx().advance(cost);
+  if (fs_ && fs_->dead[static_cast<std::size_t>(env.world_rank())]) {
+    // The serving rank was killed between the read and write phases: the
+    // write never lands. Release the dedup claim so the origin's
+    // retransmission re-executes the op (at the successor).
+    fs_->served.erase(op.opid);
+    return;
+  }
   if (obs::on(recorder()) && dedicated_progress(env.world_rank())) {
     const std::size_t moved =
         std::max(op.payload.size(),
@@ -638,18 +774,49 @@ void Runtime::record_access(std::uintptr_t lo, std::uintptr_t hi, Time t0,
 
 void Runtime::schedule_ack(const AmOp& op, Time t_done,
                            sim::PoolBuf&& data) {
-  const Time t_ack =
+  Time t_ack =
       t_done + wire_latency(op.target_world, op.origin_world, data.size());
   WinImpl* win = op.win;
   const int oc = op.origin_comm_rank;
-  const int tc = op.target_comm_rank;
+  const int tc = op.acct_target_comm >= 0 ? op.acct_target_comm
+                                          : op.target_comm_rank;
   const int ow = op.origin_world;
   const std::uint64_t opid = op.opid;
   void* res = op.origin_result;
   const int rcount = op.origin_count;
   const Datatype rdt = op.origin_dt;
+
+  if (fs_ && faultable_kind(op.kind)) {
+    // Transport-faulted op (it has a dedup entry from the execution gate):
+    // cache the ack payload for idempotent re-acks, then run the
+    // ack-direction verdict. A dropped ack is recovered by the origin's
+    // retransmission timer: the redelivery hits the dedup cache and re-acks.
+    auto it = fs_->served.find(opid);
+    if (it != fs_->served.end()) {
+      FaultState::Served& sv = it->second;
+      if (!sv.have_ack) {
+        sv.have_ack = true;
+        sv.ack.bind(&pool_);
+        sv.ack.assign(data.data(), data.size());
+      }
+      const fault::Verdict v =
+          fault::draw(*cfg_.fault, opid, sv.ack_attempt++, /*is_ack=*/true);
+      if (v.kind == fault::NetVerdict::Drop) {
+        ++*fs_->c_ack_drops;
+        if (obs::on(recorder())) {
+          recorder()->trace.instant(op.target_world, obs::Ev::FaultInject,
+                                    t_done, opid,
+                                    static_cast<std::uint64_t>(v.kind), 1);
+        }
+        return;
+      }
+      t_ack += v.extra;  // Delay; Dup of an ack is modeled as Deliver
+    }
+  }
+
   post_event(t_ack, [this, win, oc, tc, ow, opid, res, rcount, rdt,
                      data = std::move(data), t_ack]() {
+    if (fs_ && !fault_complete(opid)) return;  // duplicate ack
     auto& ots = win->ost[static_cast<std::size_t>(oc)]
                     .tgt[static_cast<std::size_t>(tc)];
     --ots.outstanding;
@@ -661,6 +828,213 @@ void Runtime::schedule_ack(const AmOp& op, Time t_done,
       recorder()->trace.instant(ow, obs::Ev::OpFlushed, t_ack, opid);
     engine_->wake(ow, t_ack);
   });
+}
+
+// ----------------------------------------------- fault injection layer ----
+
+bool Runtime::rank_dead(int world_rank) const {
+  return fs_ != nullptr && fs_->dead[static_cast<std::size_t>(world_rank)] != 0;
+}
+
+void Runtime::set_death_handler(std::function<void(int, sim::Time)> fn) {
+  MMPI_REQUIRE(fs_ != nullptr, "death handler requires an active FaultPlan");
+  fs_->death_handler = std::move(fn);
+}
+
+void Runtime::set_rank_successor(int world_rank, int successor) {
+  MMPI_REQUIRE(fs_ != nullptr, "successor map requires an active FaultPlan");
+  fs_->successor[static_cast<std::size_t>(world_rank)] = successor;
+}
+
+void Runtime::fault_setup() {
+  const fault::FaultPlan& p = *cfg_.fault;
+  const Time hb = std::max<Time>(p.heartbeat_period, 1);
+  for (const fault::GhostKill& k : p.kills) {
+    if (k.world_rank < 0 || k.world_rank >= engine_->nranks()) continue;
+    post_event(k.at, [this, k]() { fault_kill_rank(k.world_rank, k.at); });
+    // Detection: the failure becomes visible at the first heartbeat boundary
+    // strictly after the kill instant; the layer's handler (registered via
+    // set_death_handler) reroutes traffic from that point on.
+    const Time t_detect = (k.at / hb + 1) * hb;
+    post_event(t_detect, [this, k, t_detect]() {
+      if (fs_->death_handler) fs_->death_handler(k.world_rank, t_detect);
+    });
+  }
+}
+
+AmOp Runtime::fault_clone(const AmOp& op) {
+  AmOp c;
+  c.kind = op.kind;
+  c.opid = op.opid;
+  c.origin_world = op.origin_world;
+  c.target_world = op.target_world;
+  c.win = op.win;
+  c.origin_comm_rank = op.origin_comm_rank;
+  c.target_comm_rank = op.target_comm_rank;
+  c.acct_target_comm = op.acct_target_comm;
+  c.target_disp = op.target_disp;
+  c.target_count = op.target_count;
+  c.target_dt = op.target_dt;
+  c.op = op.op;
+  c.payload.bind(&pool_);
+  if (!op.payload.empty()) c.payload.assign(op.payload.data(), op.payload.size());
+  c.origin_result = op.origin_result;
+  c.origin_count = op.origin_count;
+  c.origin_dt = op.origin_dt;
+  c.lock_type = op.lock_type;
+  c.cross_numa = op.cross_numa;
+  return c;
+}
+
+void Runtime::fault_send(AmOp&& op, Time t_send) {
+  const std::uint64_t opid = op.opid;
+  FaultState::Retrans& r = fs_->pending[opid];
+  r.op = std::move(op);
+  r.attempt = 0;
+  fault_transmit(opid, t_send);
+}
+
+void Runtime::fault_transmit(std::uint64_t opid, Time t_send) {
+  auto it = fs_->pending.find(opid);
+  if (it == fs_->pending.end()) return;  // acked while the timer slept
+  FaultState::Retrans& r = it->second;
+  const AmOp& op = r.op;
+  // Verdicts are a pure function of (plan seed, opid, attempt, direction):
+  // the opid set of a fixed program is schedule-invariant, so the fault.*
+  // counters are too — see DESIGN.md §11.
+  const fault::Verdict v =
+      fault::draw(*cfg_.fault, opid, r.attempt, /*is_ack=*/false);
+  const std::size_t wire_bytes =
+      op.kind == OpKind::Get ? 16 : op.payload.size();
+  const Time t_del =
+      t_send + wire_latency(op.origin_world, op.target_world, wire_bytes);
+  if (v.kind != fault::NetVerdict::Deliver && obs::on(recorder())) {
+    recorder()->trace.instant(op.origin_world, obs::Ev::FaultInject, t_send,
+                              opid, static_cast<std::uint64_t>(v.kind),
+                              v.extra);
+  }
+  switch (v.kind) {
+    case fault::NetVerdict::Drop:
+      ++*fs_->c_drops;
+      break;
+    case fault::NetVerdict::Dup:
+      ++*fs_->c_dups;
+      fault_deliver_copy(op, t_del);
+      fault_deliver_copy(op, t_del + v.extra);
+      break;
+    case fault::NetVerdict::Delay:
+      ++*fs_->c_delays;
+      fault_deliver_copy(op, t_del + v.extra);
+      break;
+    case fault::NetVerdict::Deliver:
+      fault_deliver_copy(op, t_del);
+      break;
+  }
+  // Timeout-driven retry with exponential backoff. The timer self-cancels
+  // when the first ack erases the retransmission record.
+  const Time t_retry = t_send + fs_->rto_for(r.attempt);
+  ++r.attempt;
+  post_event(t_retry, [this, opid, t_retry]() {
+    auto it2 = fs_->pending.find(opid);
+    if (it2 == fs_->pending.end()) return;  // acked in time
+    ++*fs_->c_retries;
+    if (obs::on(recorder())) {
+      recorder()->trace.instant(it2->second.op.origin_world, obs::Ev::AmRetry,
+                                t_retry, opid, it2->second.attempt);
+    }
+    fault_transmit(opid, t_retry);
+  });
+}
+
+void Runtime::fault_deliver_copy(const AmOp& op, Time t_del) {
+  Time t = t_del;
+  // An ingress stall holds everything arriving at the target inside the
+  // stall window until the stall ends.
+  for (const fault::GhostStall& s : cfg_.fault->stalls) {
+    if (s.world_rank == op.target_world && t >= s.at && t < s.at + s.duration)
+      t = s.at + s.duration;
+  }
+  AmOp copy = fault_clone(op);
+  post_event(t, [this, copy = std::move(copy), t]() mutable {
+    deliver_am(std::move(copy), t);
+  });
+}
+
+bool Runtime::fault_should_execute(AmOp& op, Time t_now) {
+  auto [it, fresh] = fs_->served.try_emplace(op.opid);
+  if (fresh) {
+    fs_->served_fifo.push_back(op.opid);
+    if (fs_->served_fifo.size() > FaultState::kWindow) {
+      fs_->served.erase(fs_->served_fifo.front());
+      fs_->served_fifo.pop_front();
+    }
+    return true;
+  }
+  ++*fs_->c_dedup_hits;
+  if (it->second.have_ack) {
+    // Re-ack from the cached payload (the originally fetched value for RMW
+    // ops) without re-executing.
+    sim::PoolBuf again(&pool_);
+    if (!it->second.ack.empty())
+      again.assign(it->second.ack.data(), it->second.ack.size());
+    schedule_ack(op, t_now, std::move(again));
+  }
+  // No cached ack yet: the first execution is still in flight; its own ack
+  // (or the next retransmission) completes the op.
+  return false;
+}
+
+bool Runtime::fault_complete(std::uint64_t opid) {
+  auto it = fs_->pending.find(opid);
+  if (it != fs_->pending.end()) {
+    fs_->pending.erase(it);
+    fs_->completed.insert(opid);
+    fs_->completed_fifo.push_back(opid);
+    if (fs_->completed_fifo.size() > FaultState::kWindow) {
+      fs_->completed.erase(fs_->completed_fifo.front());
+      fs_->completed_fifo.pop_front();
+    }
+    return true;
+  }
+  // Already completed => duplicate ack; unknown opid => an op that never
+  // entered the faulted transport (hardware path), complete normally.
+  return fs_->completed.count(opid) == 0;
+}
+
+void Runtime::fault_serve_dead(AmOp&& op, Time t) {
+  if (op.kind == OpKind::LockReq) {
+    lockmgr_request(*op.win, op.target_comm_rank, op.origin_comm_rank,
+                    op.lock_type, t);
+    return;
+  }
+  if (op.kind == OpKind::LockRelease) {
+    lockmgr_release(*op.win, op.target_comm_rank, op.origin_comm_rank,
+                    op.lock_type, t, /*notify_origin=*/true);
+    return;
+  }
+  if (!fault_should_execute(op, t)) return;
+  ++*fs_->c_dead_serves;
+  // In-flight one-sided data is not lost when the serving process dies: the
+  // NIC/memory system completes the transfer at delivery time. Zero-width
+  // commit, so it cannot interleave with a live entity's two-phase service.
+  const int nic_entity = 2 * engine_->nranks() + op.target_world;
+  am_commit(op, t, t, nic_entity);
+}
+
+void Runtime::fault_kill_rank(int world_rank, Time t) {
+  if (fs_->dead[static_cast<std::size_t>(world_rank)] != 0) return;
+  fs_->dead[static_cast<std::size_t>(world_rank)] = 1;
+  ++*fs_->c_kills;
+  // Death is modeled at the RMA-service level: the rank's fiber stays alive
+  // for simulator control flow (command loop, barriers, finalize), but its
+  // inbox is re-dispatched now and future deliveries are redirected at
+  // arrival (see deliver_am).
+  auto& io = io_[static_cast<std::size_t>(world_rank)];
+  while (!io.inbox.empty()) {
+    AmOp op = std::move(io.inbox.front());
+    io.inbox.pop_front();
+    deliver_am(std::move(op), t);
+  }
 }
 
 // -------------------------------------------------------- lock manager ----

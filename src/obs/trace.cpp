@@ -21,6 +21,10 @@ const char* to_string(Ev ev) {
     case Ev::FiberSwitch: return "fiber.switch";
     case Ev::GhostService: return "ghost.service";
     case Ev::Compute: return "compute";
+    case Ev::FaultInject: return "fault.inject";
+    case Ev::AmRetry: return "am.retry";
+    case Ev::GhostDead: return "ghost.dead";
+    case Ev::Rebind: return "recovery.rebind";
   }
   return "unknown";
 }

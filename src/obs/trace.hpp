@@ -41,6 +41,10 @@ enum class Ev : std::uint8_t {
   FiberSwitch,   ///< instant: scheduler resumed rank
   GhostService,  ///< span: dedicated rank served op   a=dur  b=opid c=bytes
   Compute,       ///< span: application computation    a=dur
+  FaultInject,   ///< instant: injected net fault      a=opid b=verdict c=extra
+  AmRetry,       ///< instant: origin retransmitted    a=opid b=attempt
+  GhostDead,     ///< instant: ghost kill detected     a=ghost b=kill_time
+  Rebind,        ///< instant: targets rebound off dead ghost a=ghost b=count
 };
 
 const char* to_string(Ev ev);

@@ -8,8 +8,13 @@
 // injected bug going undetected, which would mean the harness lost its teeth.
 //
 //   fuzz_conformance [--cases N] [--schedules N] [--base-seed N] [--full]
-//                    [--out DIR] [--no-fault-proof] [--verbose]
+//                    [--faults] [--out DIR] [--no-fault-proof] [--verbose]
 //   fuzz_conformance --replay FILE      # re-run a recorded repro
+//
+// --faults additionally subjects every case to a seed-derived lossy network
+// (dropped / duplicated / delayed-reordered AMs and dropped acks): the
+// reliable AM layer must keep the oracle clean under every mix, and any
+// failure's repro file embeds the triggering FaultPlan.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -25,8 +30,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: fuzz_conformance [--cases N] [--schedules N] "
-               "[--base-seed N] [--full] [--out DIR] [--no-fault-proof] "
-               "[--verbose] | --replay FILE\n");
+               "[--base-seed N] [--full] [--faults] [--out DIR] "
+               "[--no-fault-proof] [--verbose] | --replay FILE\n");
   return 2;
 }
 
@@ -55,8 +60,13 @@ bool fault_proof(std::uint64_t base_seed, int schedules, bool reduced,
       check::FuzzCase t = fc;
       t.ops.resize(static_cast<std::size_t>(k));
       const check::RunOutcome rerun = check::run_case(t, p, true);
-      check::Repro rp{seed, p, 0, k, reduced, /*fault=*/true,
-                      "oracle-divergence"};
+      check::Repro rp;
+      rp.seed = seed;
+      rp.perturb = p;
+      rp.prefix_ops = k;
+      rp.reduced = reduced;
+      rp.fault = true;
+      rp.kind = "oracle-divergence";
       const std::string path = check::write_repro(rp, fc, rerun, out_dir);
       if (path.empty()) {
         std::fprintf(stderr, "fault-proof: could not write repro file\n");
@@ -123,6 +133,8 @@ int main(int argc, char** argv) {
       opt.repro_dir = v;
     } else if (a == "--full") {
       opt.reduced = false;
+    } else if (a == "--faults") {
+      opt.net_faults = true;
     } else if (a == "--no-fault-proof") {
       do_fault_proof = false;
     } else if (a == "--verbose") {
@@ -150,9 +162,10 @@ int main(int argc, char** argv) {
   }
 
   const check::CampaignResult res = check::run_campaign(opt);
-  std::printf("fuzz_conformance: %d case(s) x %d schedule(s) = %d run(s), "
+  std::printf("fuzz_conformance%s: %d case(s) x %d schedule(s) = %d run(s), "
               "%" PRIu64 " observed commits, %zu failure(s)\n",
-              res.cases_run, opt.schedules, res.runs, res.total_commits,
+              opt.net_faults ? " [--faults]" : "", res.cases_run,
+              opt.schedules, res.runs, res.total_commits,
               res.failures.size());
   for (const auto& f : res.failures) {
     std::fprintf(stderr,

@@ -204,8 +204,13 @@ TEST(Fuzzer, ReproFileRoundTrips) {
       const check::RunOutcome out = check::run_case(fc, p, true);
       if (out.oracle_clean()) continue;
 
-      check::Repro rp{seed, p, 0, static_cast<int>(fc.ops.size()), true,
-                      true, "oracle-divergence"};
+      check::Repro rp;
+      rp.seed = seed;
+      rp.perturb = p;
+      rp.prefix_ops = static_cast<int>(fc.ops.size());
+      rp.reduced = true;
+      rp.fault = true;
+      rp.kind = "oracle-divergence";
       const std::string path =
           check::write_repro(rp, fc, out, testing::TempDir());
       ASSERT_FALSE(path.empty());

@@ -206,4 +206,53 @@ TEST(HotPathAlloc, PlanCacheInvalidatedByLockEpochsAndRebindingFlush) {
   EXPECT_EQ(counter_or_zero(rec, "casper.plan_cache_hit"), 4u);
 }
 
+// Regression: the injected flip fault (core::Config::Fault) must be scoped
+// per window, not process-global. With flip_only_seq = 0 only the first
+// allocated window takes the uncached fault path (contributing neither hits
+// nor misses); a co-resident unfaulted window must keep its plan cache fully
+// hot. The unscoped default (flip_only_seq = -1) bypasses caching on both.
+TEST(HotPathAlloc, FlipFaultScopedPerWindowKeepsOtherCachesHot) {
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "built with CASPER_TRACE=0";
+  auto workload = [](mpi::Env& env) {
+    mpi::Comm w = env.world();
+    const int me = env.rank(w);
+    void* a_base = nullptr;
+    void* b_base = nullptr;
+    // Allocation order fixes the per-rank window seq: win_a = 0, win_b = 1.
+    mpi::Win win_a = env.win_allocate(64 * sizeof(double), sizeof(double),
+                                      mpi::Info{}, w, &a_base);
+    mpi::Win win_b = env.win_allocate(64 * sizeof(double), sizeof(double),
+                                      mpi::Info{}, w, &b_base);
+    double v = 1.0;
+    if (me == 0) {
+      env.win_lock_all(0, win_a);
+      env.win_lock_all(0, win_b);
+      // Identical op streams on both windows.
+      for (int i = 0; i < 8; ++i) env.put(&v, 1, 1, 0, win_a);
+      for (int i = 0; i < 8; ++i) env.put(&v, 1, 1, 0, win_b);
+      env.win_unlock_all(win_b);
+      env.win_unlock_all(win_a);
+    }
+    env.barrier(w);
+    env.win_free(win_b);
+    env.win_free(win_a);
+  };
+
+  core::Config faulted = one_ghost();
+  faulted.fault.flip_segment_binding = true;
+  faulted.fault.flip_only_seq = 0;  // scope the flip to win_a only
+  obs::Recorder scoped;
+  mpi::exec(casper_config(&scoped), workload, core::layer(faulted));
+  // win_a's 8 puts all bypass the cache; win_b still warms and hits.
+  EXPECT_EQ(counter_or_zero(scoped, "casper.plan_cache_miss"), 1u)
+      << "fault bypass leaked into the unfaulted window's plan cache";
+  EXPECT_EQ(counter_or_zero(scoped, "casper.plan_cache_hit"), 7u);
+
+  faulted.fault.flip_only_seq = -1;  // default: every window is faulted
+  obs::Recorder global;
+  mpi::exec(casper_config(&global), workload, core::layer(faulted));
+  EXPECT_EQ(counter_or_zero(global, "casper.plan_cache_miss"), 0u);
+  EXPECT_EQ(counter_or_zero(global, "casper.plan_cache_hit"), 0u);
+}
+
 }  // namespace
