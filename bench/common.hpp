@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
@@ -57,6 +58,12 @@ inline const char* flag_value(int argc, char** argv, const char* flag) {
   return nullptr;
 }
 
+/// Integer value of `--flag N`-style options; `def` when absent.
+inline int int_flag(int argc, char** argv, const char* flag, int def) {
+  const char* v = flag_value(argc, argv, flag);
+  return v != nullptr ? std::atoi(v) : def;
+}
+
 /// One simulated execution. `user_cpn` is the number of application
 /// processes per node; Casper nodes get `ghosts` extra cores for ghosts, the
 /// thread modes keep the paper's Table-I core accounting (oversubscribed =
@@ -71,6 +78,11 @@ struct RunSpec {
   core::Binding binding = core::Binding::Rank;
   core::DynamicLb dynamic = core::DynamicLb::None;
   std::uint64_t seed = 12345;
+  /// Engine shards (worker threads). 1 = the classic single-threaded engine;
+  /// >1 partitions ranks by node across shards under conservative lookahead.
+  /// Virtual-time results are shard-count invariant, so any value reproduces
+  /// the same figure; host wall-clock scales with available cores.
+  int shards = 1;
   /// Observability recorder to attach to the run (see src/obs/); null runs
   /// uninstrumented. Used for `--trace` dumps and BENCH_*.json metric blocks.
   obs::Recorder* recorder = nullptr;
@@ -84,6 +96,7 @@ inline void run(const RunSpec& spec, std::function<void(mpi::Env&)> app) {
   rc.machine.topo.nodes = spec.nodes;
   rc.seed = spec.seed;
   rc.recorder = spec.recorder;
+  rc.shards = spec.shards;
   switch (spec.mode) {
     case Mode::Original:
       rc.machine.topo.cores_per_node = spec.user_cpn;

@@ -1,15 +1,22 @@
 // Host-side throughput of the simulator scheduler itself: rank switches/sec
-// and event dispatches/sec at 16 / 256 / 1024 simulated ranks. Emits
+// and event dispatches/sec at 16 / 256 / 1024 simulated ranks, plus a
+// shard-count sweep of the sharded scheduler at 1024 ranks. Emits
 // BENCH_engine.json so successive PRs have a perf trajectory for the engine
 // (these are host costs, not virtual time).
 //
-// Usage: engine_throughput [--out PATH] [--switches N] [--events N]
+// Every number is the best of --reps identical runs: the quantity being
+// tracked is the code's cost, and min-time (max-rate) is the standard
+// estimator least polluted by scheduler preemption on a shared host.
+//
+// Usage: engine_throughput [--out PATH] [--switches N] [--events N] [--reps N]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/record.hpp"
@@ -22,6 +29,13 @@ namespace {
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+template <typename F>
+double best_of(int reps, F&& run_once) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) best = std::max(best, run_once());
+  return best;
 }
 
 /// All ranks repeatedly advance by 1 ns in lockstep, so every advance leaves
@@ -67,6 +81,40 @@ double measure_event_rate(int nranks, int total_events) {
   return static_cast<double>(batches) * per_batch / dt;
 }
 
+/// Shard-sweep workload: kGroups posters spread over the rank space (one per
+/// contiguous 128-rank block at nranks=1024, so exactly one per shard at
+/// shards=8) each post timestamp-ordered batches of events homed to
+/// themselves. The workload is byte-identical for every shard count — only
+/// the partitioning changes — so the shards=1 row (which runs the classic
+/// single-threaded scheduler) is the honest denominator of the sharded
+/// speedup gate. A generous lookahead keeps the whole run inside one
+/// conservative window: this measures queue + dispatch cost, not barriers.
+double measure_sharded_event_rate(int nranks, int shards, int total_events) {
+  sim::Engine::Options o;
+  o.nranks = nranks;
+  o.stack_bytes = 64 * 1024;
+  o.shards = shards;
+  o.lookahead = sim::us(1000);
+  const int groups = 8;
+  const int batches = 64;
+  const int per_batch = total_events / batches;
+  const int stride = nranks / groups;
+  sim::Engine e(o, [per_batch, stride](sim::Context& ctx) {
+    if (ctx.rank() % stride != 0) return;
+    const int self = ctx.rank();
+    for (int b = 0; b < batches; ++b) {
+      for (int i = 0; i < per_batch; ++i) {
+        ctx.engine().post_event(ctx.now() + sim::ns(1 + i % 7), self, [] {});
+      }
+      ctx.advance(sim::ns(16));  // drain the batch
+    }
+  });
+  const auto t0 = Clock::now();
+  e.run();
+  const double dt = seconds_since(t0);
+  return static_cast<double>(groups) * batches * per_batch / dt;
+}
+
 /// Small instrumented run (Recorder attached as the scheduler observer) so
 /// the emitted JSON carries an obs metrics block like the other benches.
 /// Separate from the timed loops above — those always run uninstrumented.
@@ -80,9 +128,9 @@ void collect_obs_metrics(obs::Metrics* out) {
   });
   e.set_sched_observer(&rec);
   e.run();
-  rec.metrics.counter("sched.observed_switches") = rec.trace.recorded();
-  rec.metrics.counter("sched.trace_dropped") = rec.trace.dropped();
-  *out = rec.metrics;
+  rec.metrics().counter("sched.observed_switches") = rec.trace().recorded();
+  rec.metrics().counter("sched.trace_dropped") = rec.trace().dropped();
+  *out = rec.metrics();
 }
 
 }  // namespace
@@ -91,6 +139,7 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_engine.json";
   int switches_per_rank = 2000;
   int total_events = 200000;
+  int reps = 3;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
@@ -98,22 +147,52 @@ int main(int argc, char** argv) {
       switches_per_rank = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
       total_events = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
     }
   }
 
   const std::vector<int> rank_counts = {16, 256, 1024};
   std::string json = "{\n  \"bench\": \"engine_throughput\",\n"
-                     "  \"scheduler\": \"fiber\",\n  \"results\": [\n";
+                     "  \"scheduler\": \"fiber\",\n";
+  {
+    char line[64];
+    std::snprintf(line, sizeof line, "  \"host_cpus\": %u,\n",
+                  std::thread::hardware_concurrency());
+    json += line;
+  }
+  json += "  \"results\": [\n";
   for (std::size_t i = 0; i < rank_counts.size(); ++i) {
     const int n = rank_counts[i];
-    const double sw = measure_switch_rate(n, switches_per_rank);
-    const double ev = measure_event_rate(n, total_events);
+    const double sw = best_of(
+        reps, [&] { return measure_switch_rate(n, switches_per_rank); });
+    const double ev =
+        best_of(reps, [&] { return measure_event_rate(n, total_events); });
     std::printf("nranks=%4d  switches/sec=%.3e  events/sec=%.3e\n", n, sw, ev);
     char line[256];
     std::snprintf(line, sizeof line,
                   "    {\"nranks\": %d, \"switches_per_sec\": %.1f, "
                   "\"events_per_sec\": %.1f}%s\n",
                   n, sw, ev, i + 1 < rank_counts.size() ? "," : "");
+    json += line;
+  }
+  json += "  ],\n";
+
+  // Shard-count sweep at the largest rank count. shards=1 is the classic
+  // scheduler; the ISSUE gate is events_per_sec(shards>=4) >= 2.5x that row.
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+  json += "  \"shard_sweep\": [\n";
+  for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+    const int s = shard_counts[i];
+    const double ev = best_of(reps, [&] {
+      return measure_sharded_event_rate(1024, s, total_events);
+    });
+    std::printf("nranks=1024  shards=%d  events/sec=%.3e\n", s, ev);
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "    {\"nranks\": 1024, \"shards\": %d, "
+                  "\"events_per_sec\": %.1f}%s\n",
+                  s, ev, i + 1 < shard_counts.size() ? "," : "");
     json += line;
   }
   json += "  ],\n";

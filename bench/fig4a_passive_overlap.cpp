@@ -94,9 +94,9 @@ int main(int argc, char** argv) {
         std::cerr << "fig4a: cannot open " << trace_path << "\n";
         return 1;
       }
-      rec.trace.export_chrome(f);
-      std::cout << "trace: " << rec.trace.recorded() << " events ("
-                << rec.trace.dropped() << " dropped) -> " << trace_path
+      rec.trace().export_chrome(f);
+      std::cout << "trace: " << rec.trace().recorded() << " events ("
+                << rec.trace().dropped() << " dropped) -> " << trace_path
                 << "\n";
     }
     if (want_json) {
@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
         }
       });
       if (!report::write_bench_json_file(
-              "BENCH_fig4a.json", "fig4a", t, &rec.metrics,
+              "BENCH_fig4a.json", "fig4a", t, &rec.metrics(),
               bench::host_block_json(sweep_ms, kRuns))) {
         std::cerr << "fig4a: cannot write BENCH_fig4a.json\n";
         return 1;

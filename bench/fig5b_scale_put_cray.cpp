@@ -14,6 +14,9 @@ using bench::RunSpec;
 int main(int argc, char** argv) {
   const bool csv = report::csv_mode(argc, argv);
   const bool full = bench::has_flag(argc, argv, "--full");
+  // Engine shards: virtual-time results are shard-count invariant, so the
+  // figure is identical for any value; >1 uses host worker threads.
+  const int shards = bench::int_flag(argc, argv, "--shards", 1);
   report::banner(std::cout, "Fig 5(b)",
                  "put scalability on Cray XC30 (ppn=1)");
 
@@ -29,6 +32,7 @@ int main(int argc, char** argv) {
       s.profile = net::cray_xc30_regular();
       s.nodes = p;
       s.user_cpn = 1;
+      s.shards = shards;
       return s;
     };
     // Casper on the DMAPP-capable network: hardware PUTs are redirected to

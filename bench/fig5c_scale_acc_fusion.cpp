@@ -12,6 +12,9 @@ using bench::RunSpec;
 int main(int argc, char** argv) {
   const bool csv = report::csv_mode(argc, argv);
   const bool full = bench::has_flag(argc, argv, "--full");
+  // Engine shards: virtual-time results are shard-count invariant, so the
+  // figure is identical for any value; >1 uses host worker threads.
+  const int shards = bench::int_flag(argc, argv, "--shards", 1);
   report::banner(std::cout, "Fig 5(c)",
                  "accumulate scalability on Fusion/MVAPICH (ppn=1)");
 
@@ -24,6 +27,7 @@ int main(int argc, char** argv) {
       s.profile = net::fusion_mvapich();
       s.nodes = p;
       s.user_cpn = 1;
+      s.shards = shards;
       return s;
     };
     t.row({report::fmt_count(static_cast<std::uint64_t>(p)),

@@ -1,0 +1,192 @@
+// fig5_xl: the Fig. 5 communication shape (RMA - compute - RMA burst) pushed
+// to 10k-100k simulated ranks — the scale demonstration for the sharded
+// event engine. All-to-all RMA is O(p^2) messages and a window over the full
+// world carries O(p^2) lock state, both of which are the *simulated MPI's*
+// scaling limits, not the engine's; so the XL variant keeps the per-rank
+// work fixed: ranks are tiled into 64-rank communicators, each rank drives a
+// fixed-degree-8 neighbor exchange inside its tile (1 accumulate + a 4-put
+// burst per neighbor per iteration, 100 us compute between), plus a
+// tile-stride p2p ring over the world that deliberately crosses node — and
+// therefore shard — boundaries every iteration. Runs in original-MPI mode:
+// the Casper ghost layer's per-window origin state is itself O(p^2) at full
+// world scale (faithful to the paper's target sizes, which top out at 256).
+//
+// Sweeps engine shards {1,2,4,8} per rank count and emits BENCH_fig5xl.json.
+// The virtual iteration time is a deterministic simulation fact and must be
+// IDENTICAL for every shard count (conservative-lookahead invariant); the
+// bench exits nonzero if it is not. Host wall-clock and ops/sec are
+// informational (single-core hosts serialize the shards).
+//
+// Usage: fig5xl_scale [--out PATH] [--full] [--iters N]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace casper;
+using bench::Mode;
+using bench::RunSpec;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr int kTile = 64;    // ranks per RMA tile communicator
+constexpr int kDegree = 8;   // neighbors each rank targets inside its tile
+constexpr int kBurst = 4;    // puts per neighbor in the second phase
+constexpr int kUserCpn = 8;  // processes per simulated node
+
+/// One config: avg virtual iteration time (us) on rank 0, host wall ms.
+struct Row {
+  int nranks = 0;
+  int shards = 0;
+  double virt_iter_us = 0;
+  double host_ms = 0;
+  double ops_per_sec = 0;
+};
+
+Row run_config(int nranks, int shards, int iters) {
+  RunSpec s;
+  s.mode = Mode::Original;
+  s.profile = net::cray_xc30_regular();
+  s.nodes = nranks / kUserCpn;
+  s.user_cpn = kUserCpn;
+  s.shards = shards;
+
+  double virt_us = 0;
+  const auto t0 = Clock::now();
+  bench::run(s, [iters, &virt_us](mpi::Env& env) {
+    mpi::Comm w = env.world();
+    const int p = env.size(w);
+    const int me = env.rank(w);
+    mpi::Comm tile = env.comm_split(w, me / kTile, me);
+    const int tn = env.size(tile);
+    const int tr = env.rank(tile);
+    void* base = nullptr;
+    mpi::Win win = env.win_allocate(
+        static_cast<std::size_t>(tn) * sizeof(double), sizeof(double),
+        mpi::Info{}, tile, &base);
+    env.win_lock_all(0, win);
+    env.barrier(w);
+    const sim::Time start = env.now();
+    double v = 1.0;
+    double ring = 0.0;
+    for (int it = 0; it < iters; ++it) {
+      // Phase 1: one software-path accumulate per neighbor.
+      for (int k = 1; k <= kDegree; ++k) {
+        env.accumulate(&v, 1, (tr + k) % tn, static_cast<std::size_t>(tr),
+                       mpi::AccOp::Sum, win);
+      }
+      env.win_flush_all(win);
+      env.compute(sim::us(100));
+      // Phase 2: a put burst per neighbor.
+      for (int k = 1; k <= kDegree; ++k) {
+        for (int b = 0; b < kBurst; ++b) {
+          env.put(&v, 1, (tr + k) % tn, static_cast<std::size_t>(tr), win);
+        }
+      }
+      env.win_flush_all(win);
+      // Tile-stride ring over the WORLD: tiles are node-aligned, so this hop
+      // crosses node (and shard) boundaries — the cross-shard traffic the
+      // conservative lookahead has to order.
+      mpi::Request reqs[2];
+      reqs[0] = env.irecv(&ring, 1, mpi::Dt::Double, (me + p - kTile) % p,
+                          7, w);
+      reqs[1] = env.isend(&v, 1, mpi::Dt::Double, (me + kTile) % p, 7, w);
+      env.waitall(reqs, 2);
+      env.barrier(w);
+    }
+    const sim::Time end = env.now();
+    env.win_unlock_all(win);
+    env.win_free(win);
+    if (me == 0) virt_us = sim::to_us(end - start) / iters;
+  });
+
+  Row r;
+  r.nranks = nranks;
+  r.shards = shards;
+  r.virt_iter_us = virt_us;
+  r.host_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  const double rma_ops = static_cast<double>(nranks) * kDegree *
+                         (1 + kBurst) * iters;
+  r.ops_per_sec = rma_ops / (r.host_ms / 1000.0);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  const int iters = bench::int_flag(argc, argv, "--iters", 2);
+  const char* outflag = bench::flag_value(argc, argv, "--out");
+  const std::string out = outflag != nullptr ? outflag : "BENCH_fig5xl.json";
+
+  // 10k ranks by default; --full adds the 100k point (the fiber stacks alone
+  // are ~2 GB of address space there — minutes, not seconds).
+  std::vector<int> rank_counts = {10240};
+  if (full) rank_counts.push_back(102400);
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+
+  std::printf("fig5_xl: tiled neighbor exchange, tile=%d degree=%d iters=%d\n",
+              kTile, kDegree, iters);
+  std::string json = "{\n  \"bench\": \"fig5xl\",\n";
+  {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  \"tile\": %d, \"degree\": %d, \"burst\": %d, "
+                  "\"iters\": %d,\n  \"host_cpus\": %u,\n  \"rows\": [\n",
+                  kTile, kDegree, kBurst, iters,
+                  std::thread::hardware_concurrency());
+    json += line;
+  }
+
+  bool determinism_ok = true;
+  for (std::size_t ri = 0; ri < rank_counts.size(); ++ri) {
+    const int n = rank_counts[ri];
+    double virt_ref = 0;
+    for (std::size_t si = 0; si < shard_counts.size(); ++si) {
+      const Row r = run_config(n, shard_counts[si], iters);
+      std::printf(
+          "nranks=%6d shards=%d  virt_iter=%.3f us  host=%.0f ms  "
+          "rma_ops/sec=%.3e\n",
+          r.nranks, r.shards, r.virt_iter_us, r.host_ms, r.ops_per_sec);
+      if (si == 0) {
+        virt_ref = r.virt_iter_us;
+      } else if (r.virt_iter_us != virt_ref) {
+        std::fprintf(stderr,
+                     "fig5_xl: DETERMINISM VIOLATION: nranks=%d shards=%d "
+                     "virt=%.9f != shards=1 virt=%.9f\n",
+                     n, r.shards, r.virt_iter_us, virt_ref);
+        determinism_ok = false;
+      }
+      char line[256];
+      std::snprintf(line, sizeof line,
+                    "    {\"nranks\": %d, \"shards\": %d, "
+                    "\"virt_iter_us\": %.3f, \"host_ms\": %.1f, "
+                    "\"rma_ops_per_sec\": %.1f}%s\n",
+                    r.nranks, r.shards, r.virt_iter_us, r.host_ms,
+                    r.ops_per_sec,
+                    ri + 1 < rank_counts.size() ||
+                            si + 1 < shard_counts.size()
+                        ? ","
+                        : "");
+      json += line;
+    }
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fig5xl_scale: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  if (!full) std::printf("(10k ranks; pass --full to add the 100k point)\n");
+  return determinism_ok ? 0 : 1;
+}

@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
     s.recorder = &rec;
     bench::fig6_alltoall_acc_us(s, 1);
     if (!report::write_bench_json_file(
-            "BENCH_fig6a.json", "fig6a", t, &rec.metrics,
+            "BENCH_fig6a.json", "fig6a", t, &rec.metrics(),
             bench::host_block_json(sweep_ms, kRuns))) {
       std::cerr << "fig6a: cannot write BENCH_fig6a.json\n";
       return 1;

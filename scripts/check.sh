@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full local gate: tier-1 tests, the conformance fuzzer at its fixed seed
-# corpus (clean and faulted), the chaos/fault matrix, then ASan builds
-# running the fuzzer smoke corpus and a ghost-failure soak. Run from the
-# repo root:  scripts/check.sh
+# corpus (clean and faulted), the chaos/fault matrix, ASan builds running
+# the fuzzer smoke corpus and a ghost-failure soak, and a TSan build of the
+# sharded engine + runtime determinism suites. Run from the repo root:
+#   scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,18 +11,18 @@ BUILD=build
 BUILD_ASAN=build-asan
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "== [1/9] tier-1: build + ctest =="
+echo "== [1/10] tier-1: build + ctest =="
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
-echo "== [2/9] conformance fuzzer: fixed seed corpus =="
+echo "== [2/10] conformance fuzzer: fixed seed corpus =="
 # A larger sweep than the ctest-time run; still deterministic (fixed base
 # seed), so failures here are reproducible verbatim.
 "./$BUILD/tests/fuzz_conformance" --base-seed 1 --cases 500 --schedules 8 \
   --out "$BUILD/tests"
 
-echo "== [3/9] conformance fuzzer: faulted corpus (--faults) =="
+echo "== [3/10] conformance fuzzer: faulted corpus (--faults) =="
 # The same generator under seed-derived lossy networks (drops, duplicates,
 # delayed/reordered AMs, lost acks): the reliable AM layer must keep the
 # shadow oracle clean on every mix. Any repro embeds the FaultPlan. The
@@ -29,14 +30,14 @@ echo "== [3/9] conformance fuzzer: faulted corpus (--faults) =="
 "./$BUILD/tests/fuzz_conformance" --base-seed 1 --cases 200 --schedules 2 \
   --faults --no-fault-proof --out "$BUILD/tests"
 
-echo "== [4/9] chaos matrix + ghost failure/recovery suites =="
+echo "== [4/10] chaos matrix + ghost failure/recovery suites =="
 # {drop,dup,reorder,delay} x {PUT,ACC,GET_ACC,FAO,CAS} x {lock,lockall,
 # fence} under the oracle, plus ghost kills across 64 seeds, last-ghost
 # degradation, and kills composed with a lossy network (DESIGN.md §11).
 "./$BUILD/tests/test_fault_matrix"
 "./$BUILD/tests/test_ghost_failure"
 
-echo "== [5/9] ASan: fuzzer smoke corpus + ghost-failure soak =="
+echo "== [5/10] ASan: fuzzer smoke corpus + ghost-failure soak =="
 cmake -B "$BUILD_ASAN" -S . -DCASPER_ASAN=ON >/dev/null
 cmake --build "$BUILD_ASAN" -j"$JOBS" --target fuzz_conformance \
   test_check_oracle test_fault_matrix test_ghost_failure
@@ -50,21 +51,33 @@ cmake --build "$BUILD_ASAN" -j"$JOBS" --target fuzz_conformance \
 "./$BUILD_ASAN/tests/fuzz_conformance" --base-seed 11 --cases 30 \
   --schedules 2 --faults --no-fault-proof --out "$BUILD_ASAN/tests"
 
-echo "== [6/9] trace-enabled fuzz smoke (CASPER_TRACE=1) =="
+echo "== [6/10] TSan: sharded engine + sharded runtime determinism =="
+# The sharded engine is the only multi-threaded subsystem: shard workers,
+# the cross-shard outbox hand-off, and the window barrier. Fiber switches
+# are TSan-annotated (src/sim/fiber.cpp), so rank-fiber stacks are tracked
+# correctly. Both suites sweep shards in {1,2,4,8}.
+BUILD_TSAN=build-tsan
+cmake -B "$BUILD_TSAN" -S . -DCASPER_TSAN=ON >/dev/null
+cmake --build "$BUILD_TSAN" -j"$JOBS" --target test_sim_engine_sharded \
+  test_sharded_runtime
+"./$BUILD_TSAN/tests/test_sim_engine_sharded"
+"./$BUILD_TSAN/tests/test_sharded_runtime"
+
+echo "== [7/10] trace-enabled fuzz smoke (CASPER_TRACE=1) =="
 # Same corpus slice with the recorder attached: exercises every obs
 # instrumentation site under fuzzed schedules, and any repro written here
 # embeds the virtual-time trace tail.
 CASPER_TRACE=1 "./$BUILD/tests/fuzz_conformance" --base-seed 7 --cases 50 \
   --schedules 2 --out "$BUILD/tests"
 
-echo "== [7/9] chrome-trace export: schema + casper track layout =="
+echo "== [8/10] chrome-trace export: schema + casper track layout =="
 cmake --build "$BUILD" -j"$JOBS" --target fig4a_passive_overlap
 "./$BUILD/bench/fig4a_passive_overlap" --trace "$BUILD/fig4a_trace.json" \
   > /dev/null
 python3 scripts/validate_chrome_trace.py "$BUILD/fig4a_trace.json" \
   --require-casper-tracks
 
-echo "== [8/9] untraced Release build (-DCASPER_TRACE=0) =="
+echo "== [9/10] untraced Release build (-DCASPER_TRACE=0) =="
 # The hot path is sprinkled with obs instrumentation behind CASPER_TRACE;
 # prove the untraced production configuration still compiles and links after
 # any refactor, not just the traced default.
@@ -74,7 +87,7 @@ cmake -B "$BUILD_NT" -S . -DCASPER_TRACE=OFF \
 cmake --build "$BUILD_NT" -j"$JOBS"
 "./$BUILD_NT/tests/test_casper" >/dev/null
 
-echo "== [9/9] perf-regression gate: BENCH_*.json ratchet =="
+echo "== [10/10] perf-regression gate: BENCH_*.json ratchet =="
 # Host-side perf ratchet against the committed baselines, serial (the bench
 # processes are the only load), best-of-N inside bench.sh. Intentional
 # re-baselines go through scripts/bench.sh --update; see DESIGN.md §9.

@@ -477,7 +477,7 @@ RunOutcome run_case(const FuzzCase& fc, std::uint64_t perturb_seed,
       }
     }
   }
-  if (want_trace) out.trace_tail = rec.trace.tail_text(32);
+  if (want_trace) out.trace_tail = rec.trace().tail_text(32);
   return out;
 }
 

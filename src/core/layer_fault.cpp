@@ -97,10 +97,10 @@ void CasperLayer::on_ghost_death(int world_rank, sim::Time t) {
 
   if (obs::on(rt_->recorder())) {
     obs::Recorder* rec = rt_->recorder();
-    rec->trace.instant(world_rank, obs::Ev::GhostDead, t,
+    rec->trace().instant(world_rank, obs::Ev::GhostDead, t,
                        static_cast<std::uint64_t>(world_rank),
                        static_cast<std::uint64_t>(node), death_seq_);
-    rec->trace.instant(world_rank, obs::Ev::Rebind, t, rebound,
+    rec->trace().instant(world_rank, obs::Ev::Rebind, t, rebound,
                        static_cast<std::uint64_t>(alive.size()),
                        static_cast<std::uint64_t>(
                            node_degraded_[static_cast<std::size_t>(node)]));

@@ -4,6 +4,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/casper.hpp"
@@ -333,11 +334,24 @@ class CasperLayer final : public mpi::Layer {
 
   /// Hot-path counter pointers, resolved once at construction (stats map
   /// nodes are stable): per-op increments must not pay a string lookup.
-  std::uint64_t* stat_dynamic_ops_ = nullptr;
-  std::uint64_t* stat_split_subops_ = nullptr;
-  std::uint64_t* stat_self_ops_ = nullptr;
-  std::uint64_t* plan_hit_ = nullptr;   // recorder metric (null if obs off)
-  std::uint64_t* plan_miss_ = nullptr;  // recorder metric (null if obs off)
+  /// One pointer per engine shard (each shard owns a stats replica, merged
+  /// after the run); index with shard_idx(). Unsharded runs hold a single
+  /// pointer into the global stats, so behaviour is unchanged.
+  std::vector<std::uint64_t*> stat_dynamic_ops_;
+  std::vector<std::uint64_t*> stat_split_subops_;
+  std::vector<std::uint64_t*> stat_self_ops_;
+  /// Recorder metric pointers (null if obs off). Also null when sharded: the
+  /// recorder's per-shard replicas are created at run() — after this layer's
+  /// constructor — so sharded runs fall back to the per-shard metrics map
+  /// lookup at the call site instead of caching a pointer here.
+  std::uint64_t* plan_hit_ = nullptr;
+  std::uint64_t* plan_miss_ = nullptr;
+
+  /// Index into the per-shard stat pointer vectors for the calling worker
+  /// thread (0 on the main thread and in single-shard runs).
+  static std::size_t shard_idx() {
+    return static_cast<std::size_t>(sim::Engine::current_shard());
+  }
 
   // topology-derived, computed once in the constructor
   std::vector<bool> is_ghost_;                 // by world rank
@@ -362,6 +376,20 @@ class CasperLayer final : public mpi::Layer {
   /// Ghost-side record of internal windows, per ghost world rank, matched by
   /// sequence number on free.
   std::map<int, std::vector<std::shared_ptr<CspWin>>> ghost_wins_;
+  /// Guards winmap_ (lookups AND registration), the ghost_wins_ map
+  /// structure, and the one-time user_world_ publication when the engine is
+  /// sharded: member ranks on different worker threads can allocate or free
+  /// windows inside the same conservative window, so a find can otherwise
+  /// race a concurrent insert. Never locked (defer_lock) in single-shard
+  /// runs. Held only around map/pointer accesses — NEVER across a pmpi_ call
+  /// (those can switch fibers, and another fiber on the same worker thread
+  /// relocking would deadlock).
+  std::mutex winmap_mu_;
+  /// ghost_wins_[me] with the map-structure race handled: operator[] may
+  /// insert, so the slot is created under winmap_mu_ when sharded. The
+  /// returned vector is only ever mutated by rank `me`'s own fiber (map
+  /// references are stable under later inserts).
+  std::vector<std::shared_ptr<CspWin>>& my_ghost_wins(int me);
   /// Per-world-rank count of managed window allocations (sequence source).
   std::vector<int> alloc_seq_;
 };

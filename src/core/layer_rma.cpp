@@ -58,10 +58,10 @@ void note_epoch_sync(mpi::Runtime& rt, Env& env, const mpi::Win& user_win,
   if (!obs::on(rt.recorder())) return;
   obs::Recorder* rec = rt.recorder();
   const sim::Time dur = env.now() - t0;
-  rec->trace.span(env.world_rank(), obs::Ev::EpochTranslate, t0, dur,
+  rec->trace().span(env.world_rank(), obs::Ev::EpochTranslate, t0, dur,
                   static_cast<std::uint64_t>(k),
                   static_cast<std::uint64_t>(user_win->id()));
-  rec->metrics.histogram(std::string("sync_ns.") + mpi::to_string(k))
+  rec->metrics().histogram(std::string("sync_ns.") + mpi::to_string(k))
       .add(dur);
 }
 }  // namespace
@@ -207,7 +207,13 @@ const std::vector<CasperLayer::SubOp>& CasperLayer::plan_lookup(
         e.disp_bytes == disp_bytes && e.tcount == tcount &&
         e.tdt.base == tdt.base && e.tdt.blocklen == tdt.blocklen &&
         e.tdt.stride == tdt.stride) {
-      if (plan_hit_ != nullptr) ++*plan_hit_;
+      if (plan_hit_ != nullptr) {
+        ++*plan_hit_;
+      } else if (obs::on(rt_->recorder())) {
+        // Sharded: no cached pointer (replicas appear after construction);
+        // bump this shard's metrics replica through the routed accessor.
+        ++rt_->recorder()->metrics().counter("casper.plan_cache_hit");
+      }
       return e.subs;
     }
   }
@@ -223,7 +229,11 @@ const std::vector<CasperLayer::SubOp>& CasperLayer::plan_lookup(
       break;
     }
   }
-  if (plan_miss_ != nullptr) ++*plan_miss_;
+  if (plan_miss_ != nullptr) {
+    ++*plan_miss_;
+  } else if (obs::on(rt_->recorder())) {
+    ++rt_->recorder()->metrics().counter("casper.plan_cache_miss");
+  }
   victim->gen = pc.gen;
   victim->target = target;
   victim->disp_bytes = disp_bytes;
@@ -382,14 +392,14 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
   auto note_redirect = [&](int ghost, std::size_t nbytes) {
     if (rec == nullptr) return;
     const int gw = iw->comm()->world_rank(ghost);
-    rec->trace.instant(env.world_rank(), obs::Ev::OpRedirected, env.now(),
+    rec->trace().instant(env.world_rank(), obs::Ev::OpRedirected, env.now(),
                        static_cast<std::uint64_t>(gw),
                        static_cast<std::uint64_t>(kind), nbytes);
-    ++rec->metrics.counter("casper.redirected_ops");
-    rec->metrics.histogram("redirect_bytes").add(nbytes);
+    ++rec->metrics().counter("casper.redirected_ops");
+    rec->metrics().histogram("redirect_bytes").add(nbytes);
     const std::string g = std::to_string(gw);
-    ++rec->metrics.counter("ghost." + g + ".ops");
-    rec->metrics.counter("ghost." + g + ".bytes") += nbytes;
+    ++rec->metrics().counter("ghost." + g + ".ops");
+    rec->metrics().counter("ghost." + g + ".bytes") += nbytes;
   };
 
   // NUMA hint: the ghost processing this op touches the target user's
@@ -408,12 +418,12 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
     ++ep.ops_to_ghost[static_cast<std::size_t>(ghost)];
     ep.bytes_to_ghost[static_cast<std::size_t>(ghost)] += bytes;
     if (rec != nullptr) {
-      rec->trace.instant(env.world_rank(), obs::Ev::LbDecision, env.now(),
+      rec->trace().instant(env.world_rank(), obs::Ev::LbDecision, env.now(),
                          static_cast<std::uint64_t>(
                              iw->comm()->world_rank(ghost)),
                          static_cast<std::uint64_t>(cfg_.dynamic), bytes);
-      ++rec->metrics.counter("casper.dynamic_ops");
-      ++rec->metrics.counter(std::string("casper.lb.") +
+      ++rec->metrics().counter("casper.dynamic_ops");
+      ++rec->metrics().counter(std::string("casper.lb.") +
                              lb_name(cfg_.dynamic));
     }
     note_redirect(ghost, bytes);
@@ -424,7 +434,7 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
     } else {
       pmpi_->get(env, res, rc, rdt, ghost, gdisp, tc, tdt, iw);
     }
-    ++*stat_dynamic_ops_;
+    ++*stat_dynamic_ops_[shard_idx()];
     return;
   }
 
@@ -450,7 +460,7 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
     const SubOp& s = subs[0];
     ++ep.ops_to_ghost[static_cast<std::size_t>(s.ghost)];
     ep.bytes_to_ghost[static_cast<std::size_t>(s.ghost)] += bytes;
-    if (rec != nullptr) ++rec->metrics.counter("casper.binding_fastpath");
+    if (rec != nullptr) ++rec->metrics().counter("casper.binding_fastpath");
     note_redirect(s.ghost, bytes);
     numa_hint(s.ghost);
     switch (kind) {
@@ -488,9 +498,9 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
                    kind == OpKind::Acc || kind == OpKind::GetAcc,
                "casper: split not supported for this op kind");
   if (rec != nullptr) {
-    rec->trace.instant(env.world_rank(), obs::Ev::OpSegmentSplit, env.now(),
+    rec->trace().instant(env.world_rank(), obs::Ev::OpSegmentSplit, env.now(),
                        subs.size(), static_cast<std::uint64_t>(kind), bytes);
-    ++rec->metrics.counter("casper.binding_split");
+    ++rec->metrics().counter("casper.binding_split");
   }
   const bool fetches = kind == OpKind::Get || kind == OpKind::GetAcc;
   sim::PoolBuf packed(&rt_->buffer_pool());
@@ -526,8 +536,8 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
       default:
         break;
     }
-    ++*stat_split_subops_;
-    if (rec != nullptr) ++rec->metrics.counter("casper.split_subops");
+    ++*stat_split_subops_[shard_idx()];
+    if (rec != nullptr) ++rec->metrics().counter("casper.split_subops");
   }
   if (fetches) {
     // The pieces land in `gather` asynchronously; unpacking into the user's
@@ -587,9 +597,9 @@ void CasperLayer::exec_self(Env& env, OpKind kind, AccOp op, const void* o,
     default:
       MMPI_REQUIRE(false, "casper: bad self op");
   }
-  ++*stat_self_ops_;
+  ++*stat_self_ops_[shard_idx()];
   if (obs::on(rt_->recorder()))
-    ++rt_->recorder()->metrics.counter("casper.self_ops");
+    ++rt_->recorder()->metrics().counter("casper.self_ops");
 
   if (rt_->observer() != nullptr) {
     // Self PUT/GET bypass the runtime's AM path entirely (direct load/store

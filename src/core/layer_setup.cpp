@@ -74,12 +74,26 @@ CasperLayer::CasperLayer(mpi::Runtime& rt, Config cfg)
                "%d-core node",
                cfg_.ghosts_per_node, rt_->topo().cores_per_node);
   pmpi_ = std::make_shared<mpi::Pmpi>(rt);
-  stat_dynamic_ops_ = &rt_->stats().counter("casper_dynamic_ops");
-  stat_split_subops_ = &rt_->stats().counter("casper_split_subops");
-  stat_self_ops_ = &rt_->stats().counter("casper_self_ops");
-  if (obs::on(rt_->recorder())) {
-    plan_hit_ = &rt_->recorder()->metrics.counter("casper.plan_cache_hit");
-    plan_miss_ = &rt_->recorder()->metrics.counter("casper.plan_cache_miss");
+  // One counter pointer per shard: a worker thread must bump its own shard's
+  // stats replica (merged after the run). Unsharded, shard_stats(0) is the
+  // global stats object and this is the old single-pointer behaviour.
+  auto& eng = rt_->engine();
+  const std::size_t nshards = static_cast<std::size_t>(eng.shards());
+  stat_dynamic_ops_.resize(nshards);
+  stat_split_subops_.resize(nshards);
+  stat_self_ops_.resize(nshards);
+  for (std::size_t s = 0; s < nshards; ++s) {
+    sim::Stats& st = eng.shard_stats(static_cast<int>(s));
+    stat_dynamic_ops_[s] = &st.counter("casper_dynamic_ops");
+    stat_split_subops_[s] = &st.counter("casper_split_subops");
+    stat_self_ops_[s] = &st.counter("casper_self_ops");
+  }
+  if (obs::on(rt_->recorder()) && !eng.sharded()) {
+    // Sharded runs skip the cached pointers: the recorder's per-shard metric
+    // replicas only exist once run() starts, so those paths do the (colder)
+    // per-shard map lookup at the call site instead.
+    plan_hit_ = &rt_->recorder()->metrics().counter("casper.plan_cache_hit");
+    plan_miss_ = &rt_->recorder()->metrics().counter("casper.plan_cache_miss");
   }
   setup_topology();
   setup_fault_recovery();
@@ -130,7 +144,14 @@ void CasperLayer::setup_comms(Env& env) {
   Comm uw = rt_->p_comm_split(env, rt_->world(), ghost ? -1 : 0, me);
   if (!ghost) {
     MMPI_REQUIRE(uw != nullptr, "casper: user world creation failed");
-    user_world_ = uw;
+    // Every user rank receives the SAME shared CommImpl; publish it once.
+    // Sharded, the concurrent shared_ptr assignments from different worker
+    // threads would race, so the first arrival writes under the lock and the
+    // rest just observe it (each rank reads user_world_ only after its own
+    // setup_comms, which synchronized on winmap_mu_).
+    std::unique_lock<std::mutex> lk(winmap_mu_, std::defer_lock);
+    if (rt_->engine().sharded()) lk.lock();
+    if (user_world_ == nullptr) user_world_ = uw;
   }
   // Node communicator including ghosts (used for the shared-memory mapping).
   Comm nc = rt_->p_comm_split(env, rt_->world(),
@@ -147,10 +168,10 @@ void CasperLayer::on_rank_start(Env& env,
     // Refine the default "rank N" track names now roles are known: trace
     // viewers then separate ghost service tracks from user compute tracks.
     if (ghost) {
-      rt_->recorder()->trace.set_entity_name(me,
+      rt_->recorder()->trace().set_entity_name(me,
                                              "ghost " + std::to_string(me));
     } else {
-      rt_->recorder()->trace.set_entity_name(
+      rt_->recorder()->trace().set_entity_name(
           me, "user " + std::to_string(user_world_->rank_of_world(me)));
     }
   }
@@ -183,11 +204,11 @@ void CasperLayer::ghost_loop(Env& env) {
         cw->flip_fault = cfg_.fault.flip_segment_binding &&
                          (cfg_.fault.flip_only_seq < 0 ||
                           cfg_.fault.flip_only_seq == cmd.seq);
-        ghost_wins_[env.world_rank()].push_back(std::move(cw));
+        my_ghost_wins(env.world_rank()).push_back(std::move(cw));
         break;
       }
       case GhostCmd::kWinFree: {
-        auto& mine = ghost_wins_[env.world_rank()];
+        auto& mine = my_ghost_wins(env.world_rank());
         auto it = std::find_if(mine.begin(), mine.end(),
                                [&cmd](const auto& cw) {
                                  return cw->seq == cmd.seq;
@@ -207,6 +228,17 @@ void CasperLayer::ghost_loop(Env& env) {
         MMPI_REQUIRE(false, "casper ghost: bad command %d", cmd.code);
     }
   }
+}
+
+std::vector<std::shared_ptr<CasperLayer::CspWin>>& CasperLayer::my_ghost_wins(
+    int me) {
+  // operator[] may create the slot (a map-structure mutation); ghosts on
+  // other shards can be doing the same concurrently. The returned vector is
+  // only ever touched by rank `me`'s fiber, and std::map references stay
+  // valid across later inserts, so callers use it outside the lock.
+  std::unique_lock<std::mutex> lk(winmap_mu_, std::defer_lock);
+  if (rt_->engine().sharded()) lk.lock();
+  return ghost_wins_[me];
 }
 
 void CasperLayer::user_finalize(Env& env) {

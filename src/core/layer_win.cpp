@@ -17,6 +17,13 @@ std::size_t align64(std::size_t v) { return (v + 63) & ~std::size_t{63}; }
 }  // namespace
 
 CasperLayer::CspWin* CasperLayer::managed(const Win& w) {
+  // Sharded, a lookup can race another rank's registration of a DIFFERENT
+  // window inside the same conservative window (std::map insert invalidates
+  // nothing, but concurrent find/insert is still a data race), so lookups
+  // take the registry lock too. Uncontended in practice; never locked when
+  // single-shard.
+  std::unique_lock<std::mutex> lk(winmap_mu_, std::defer_lock);
+  if (rt_->engine().sharded()) lk.lock();
   auto it = winmap_.find(w.get());
   return it == winmap_.end() ? nullptr : it->second.get();
 }
@@ -39,7 +46,7 @@ Win CasperLayer::win_allocate(Env& env, std::size_t bytes, std::size_t du,
   // and the paper's scope). Other communicators fall through to the MPI
   // implementation unmanaged: correct, but without asynchronous progress.
   if (c != user_world_) {
-    ++rt_->stats().counter("casper_unmanaged_windows");
+    ++rt_->engine().stats_local().counter("casper_unmanaged_windows");
     return pmpi_->win_allocate(env, bytes, du, info, c, base);
   }
   const unsigned epochs = parse_epochs(info);
@@ -80,11 +87,14 @@ Win CasperLayer::win_allocate(Env& env, std::size_t bytes, std::size_t du,
 
   // One canonical CspWin per user window, shared by all member ranks: the
   // first rank to get here registers its instance; later ranks only merge
-  // their node's shared-memory window handle into it.
+  // their node's shared-memory window handle into it. Pure map/pointer work,
+  // so holding the registry lock here (sharded) is safe — no pmpi_ calls.
+  std::unique_lock<std::mutex> lk(winmap_mu_, std::defer_lock);
+  if (rt_->engine().sharded()) lk.lock();
   auto it = winmap_.find(cw->user_win.get());
   if (it == winmap_.end()) {
     winmap_[cw->user_win.get()] = cw;
-    ++rt_->stats().counter("casper_managed_windows");
+    ++rt_->engine().stats_local().counter("casper_managed_windows");
     return cw->user_win;
   }
   it->second->shm_by_node[static_cast<std::size_t>(my_node)] =
@@ -241,12 +251,20 @@ void CasperLayer::free_internal_windows(Env& env, CspWin& cw) {
 }
 
 void CasperLayer::win_free(Env& env, Win& w) {
-  auto it = winmap_.find(w.get());
-  if (it == winmap_.end()) {
+  std::shared_ptr<CspWin> keep;  // keep the CspWin alive through teardown
+  {
+    // Lock scoped to the lookup only: the teardown below makes pmpi_ calls
+    // that can switch fibers, and holding winmap_mu_ across a fiber switch
+    // would deadlock another fiber on the same worker thread.
+    std::unique_lock<std::mutex> lk(winmap_mu_, std::defer_lock);
+    if (rt_->engine().sharded()) lk.lock();
+    auto it = winmap_.find(w.get());
+    if (it != winmap_.end()) keep = it->second;
+  }
+  if (keep == nullptr) {
     pmpi_->win_free(env, w);
     return;
   }
-  auto keep = it->second;  // keep the CspWin alive through teardown
   GhostCmd cmd;
   cmd.code = GhostCmd::kWinFree;
   cmd.seq = keep->seq;
@@ -254,7 +272,11 @@ void CasperLayer::win_free(Env& env, Win& w) {
   free_internal_windows(env, *keep);
   Win uw = keep->user_win;
   pmpi_->win_free(env, uw);  // collective: all members are done after this
-  winmap_.erase(keep->user_win.get());
+  {
+    std::unique_lock<std::mutex> lk(winmap_mu_, std::defer_lock);
+    if (rt_->engine().sharded()) lk.lock();
+    winmap_.erase(keep->user_win.get());  // no-op after the first member
+  }
   w.reset();
 }
 
@@ -263,7 +285,7 @@ Win CasperLayer::win_allocate_shared(Env& env, std::size_t bytes,
                                      const Comm& c, void** base) {
   // Shared windows are node-local by construction; no asynchronous progress
   // problem to solve, pass through (paper supports the allocate model only).
-  ++rt_->stats().counter("casper_unmanaged_windows");
+  ++rt_->engine().stats_local().counter("casper_unmanaged_windows");
   return pmpi_->win_allocate_shared(env, bytes, du, info, c, base);
 }
 
@@ -273,7 +295,7 @@ Win CasperLayer::win_create(Env& env, void* base, std::size_t bytes,
   // The "create" model needs OS support (XPMEM/SMARTMAP) to map user memory
   // into the ghosts; like the paper's implementation we fall back to the
   // native MPI path, unmanaged.
-  ++rt_->stats().counter("casper_unmanaged_windows");
+  ++rt_->engine().stats_local().counter("casper_unmanaged_windows");
   return pmpi_->win_create(env, base, bytes, du, info, c);
 }
 

@@ -5,9 +5,11 @@
 // the rendezvous state used to implement collectives deterministically.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -63,11 +65,17 @@ class CommImpl {
   /// Rendezvous state for the collective currently in flight on this
   /// communicator. Exactly one collective can be in flight at a time (MPI
   /// requires collective calls to be ordered identically on all members).
+  ///
+  /// Sharded engines run members of one communicator on different worker
+  /// threads: `mu` then guards arrival bookkeeping and the finalize callback,
+  /// while `generation`/`release_time` are atomics because waiters poll them
+  /// outside the lock (the wake predicate). Single-shard runs never lock.
   struct CollState {
     int arrived = 0;
-    std::uint64_t generation = 0;
+    std::atomic<std::uint64_t> generation{0};
     sim::Time max_arrival = 0;
-    sim::Time release_time = 0;
+    std::atomic<sim::Time> release_time{0};
+    std::mutex mu;
     /// One entry per arrived member: its buffers and two integer arguments.
     /// The last arriver (the "releaser") runs the collective's finalize
     /// callback over these entries — while every other member is still

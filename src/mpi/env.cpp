@@ -12,7 +12,7 @@ void Env::compute(sim::Time d) {
   const sim::Time t0 = ctx_->now();
   ctx_->compute(d);
   if (obs::on(rt_->recorder())) {
-    rt_->recorder()->trace.span(world_rank(), obs::Ev::Compute, t0,
+    rt_->recorder()->trace().span(world_rank(), obs::Ev::Compute, t0,
                                 ctx_->now() - t0);
   }
 }

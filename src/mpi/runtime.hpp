@@ -25,6 +25,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "mpi/am.hpp"
@@ -74,6 +75,13 @@ struct RunConfig {
   /// extra events, bit-identical virtual time (the same zero-cost-when-off
   /// contract as `recorder`). The plan must outlive the runtime.
   const fault::FaultPlan* fault = nullptr;
+  /// Engine shards (worker threads). 1 — the default — is the classic
+  /// single-threaded engine, bit-exact with every previous release. Values
+  /// > 1 partition ranks by node across shards synchronized by conservative
+  /// lookahead (= the inter-node network latency, the smallest cross-node
+  /// delay any event can have); clamped to the node count. Sharded runs
+  /// reject perturb_seed, fault plans, and RmaObservers.
+  int shards = 1;
 };
 
 /// Factory for the interception layer of a run (PMPI model); receives the
@@ -289,6 +297,30 @@ class Runtime {
 
   /// Schedule an engine event (thin wrapper over the engine).
   void post_event(sim::Time t, sim::EventFn cb);
+  /// Schedule an engine event homed on `home_world`'s shard: the event runs
+  /// on the worker thread that owns that rank, so it may touch the rank's
+  /// io_/window state without locks. Equal to the plain overload when
+  /// unsharded; cross-shard posts require t >= the posting shard's window
+  /// end, which wire latencies guarantee (cross-shard implies cross-node,
+  /// and every cross-node delay >= net_latency >= lookahead).
+  void post_event(sim::Time t, int home_world, sim::EventFn cb);
+
+  // --- shard-aware bookkeeping ---------------------------------------------
+  /// Next RMA operation id. Unsharded: the classic global sequence (golden
+  /// traces are byte-identical). Sharded: per-shard sequences tagged with the
+  /// shard id in the high bits — unique without cross-thread coordination.
+  std::uint64_t make_opid();
+  /// Communicator / window id allocation and window registration, serialized
+  /// under a mutex when sharded (disjoint-comm collectives can finalize
+  /// concurrently). Ids never feed virtual time, so the host-order
+  /// nondeterminism of concurrent allocation is observationally benign.
+  int alloc_comm_id();
+  int alloc_win_id();
+  void register_win(const Win& win);
+  /// Shrink the engine lookahead so a shard-spanning communicator's
+  /// collective release (ceil_log2(p) * barrier_stage after the last
+  /// arrival) can never land inside the posting shard's current window.
+  void shard_clamp_for_members(const std::vector<int>& members);
 
   // --- RMA internals -------------------------------------------------------
   sim::Time wire_latency(int a_world, int b_world, std::size_t bytes) const;
@@ -369,8 +401,10 @@ class Runtime {
   void on_lock_granted(WinImpl& win, int origin, int target, sim::Time t);
   void flush_target(Env& env, int target, WinImpl& win, bool force_lock);
 
-  /// Pointers into stats() for per-op counters, resolved once at
+  /// Pointers into per-shard stats for per-op counters, resolved once at
   /// construction: the hot path must not pay a map lookup per operation.
+  /// One instance per shard (index 0 when unsharded) so increments from
+  /// different worker threads never share a cache line or race.
   struct HotStats {
     std::uint64_t* sw_ops = nullptr;
     std::uint64_t* hw_ops = nullptr;
@@ -379,6 +413,9 @@ class Runtime {
     std::uint64_t* am_prompt = nullptr;
     std::uint64_t* interrupts = nullptr;
   };
+  HotStats& hot() {
+    return hot_[static_cast<std::size_t>(sim::Engine::current_shard())];
+  }
 
   RunConfig cfg_;
   std::function<void(Env&)> user_main_;
@@ -386,7 +423,7 @@ class Runtime {
   /// both: pending event closures and queued inbox ops own PoolBufs that
   /// release into this pool on destruction.
   sim::BytePool pool_;
-  HotStats hot_;
+  std::vector<HotStats> hot_;
   std::vector<bool> dedicated_;
   std::unique_ptr<sim::Engine> engine_;
   std::shared_ptr<Layer> layer_;
@@ -394,14 +431,20 @@ class Runtime {
   std::vector<RankIo> io_;
   /// Globally ordered in-flight software RMA accesses (absolute byte
   /// ranges): overlapping windows alias memory, so violation detection must
-  /// work on addresses, not window coordinates.
-  std::vector<InflightOp> inflight_;
+  /// work on addresses, not window coordinates. One list per shard: ranks of
+  /// one node live on one shard, and window memory belongs to a node, so
+  /// overlapping accesses always meet in the same shard's list.
+  std::vector<std::vector<InflightOp>> inflight_;
   /// All windows ever created (weak): used for deadlock diagnostics.
   std::vector<std::weak_ptr<WinImpl>> win_registry_;
   void dump_comm_state() const;
   int next_comm_id_ = 1;
   int next_win_id_ = 1;
   std::uint64_t next_opid_ = 1;
+  /// Per-shard opid sequences (sharded runs only; see make_opid).
+  std::vector<std::uint64_t> opid_seq_;
+  /// Guards comm/win id allocation + win_registry_ when sharded.
+  std::mutex registry_mu_;
   RmaObserver* observer_ = nullptr;
   /// Null unless RunConfig::fault is installed (the zero-cost-off gate).
   std::unique_ptr<FaultState> fs_;

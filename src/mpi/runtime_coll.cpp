@@ -61,6 +61,14 @@ void Runtime::coll_run(Env& env, const Comm& comm, const void* src, void* dst,
   auto& c = comm->coll;
   env.ctx().advance(profile().op_inject);
 
+  // Sharded runs lock the rendezvous: members of one communicator can arrive
+  // on different worker threads. The release time is a pure function of the
+  // members' arrival times (max + log2(p) stages), not of host arrival
+  // order, so virtual-time results stay shard-count-invariant; only the
+  // identity of the releaser (who runs finalize) is host-dependent, and
+  // finalize runs while every other member is still blocked in the call.
+  std::unique_lock<std::mutex> lk(c.mu, std::defer_lock);
+  if (engine_->sharded()) lk.lock();
   const std::uint64_t mygen = c.generation;
   c.parts.push_back(
       CommImpl::CollState::Part{env.world_rank(), src, dst, a, b});
@@ -79,13 +87,18 @@ void Runtime::coll_run(Env& env, const Comm& comm, const void* src, void* dst,
     c.max_arrival = 0;
     c.release_time = rel;
     ++c.generation;
+    if (lk.owns_lock()) lk.unlock();
+    // wake_at: cross-shard-safe (identical to wake when unsharded). Valid
+    // because rel >= now + stages*barrier_stage and the lookahead is clamped
+    // to at most that for every shard-spanning communicator.
     for (int w : comm->members()) {
-      if (w != env.world_rank()) engine_->wake(w, rel);
+      if (w != env.world_rank()) engine_->wake_at(w, rel);
     }
     const int me = env.world_rank();
     post_event(rel, [this, me, rel]() { engine_->wake(me, rel); });
     progress_wait(env, [&env, rel]() { return env.now() >= rel; });
   } else {
+    if (lk.owns_lock()) lk.unlock();
     progress_wait(env, [&c, mygen]() { return c.generation != mygen; });
     const Time rel = c.release_time;
     const int me = env.world_rank();
@@ -252,7 +265,8 @@ Comm Runtime::p_comm_split(Env& env, const Comm& comm, int color, int key) {
           std::vector<int> members;
           members.reserve(group.size());
           for (const auto* p : group) members.push_back(p->world);
-          auto nc = std::make_shared<CommImpl>(next_comm_id_++, members);
+          auto nc = std::make_shared<CommImpl>(alloc_comm_id(), members);
+          shard_clamp_for_members(members);
           for (const auto* p : group) {
             *static_cast<Comm*>(p->dst) = nc;
           }
@@ -264,12 +278,37 @@ Comm Runtime::p_comm_split(Env& env, const Comm& comm, int color, int key) {
 Comm Runtime::p_comm_dup(Env& env, const Comm& comm) {
   Comm result;
   coll_run(env, comm, nullptr, &result, 0, 0, 8, [this](CommImpl& cm) {
-    auto nc = std::make_shared<CommImpl>(next_comm_id_++, cm.members());
+    auto nc = std::make_shared<CommImpl>(alloc_comm_id(), cm.members());
+    shard_clamp_for_members(cm.members());
     for (const auto& p : cm.coll.parts) {
       *static_cast<Comm*>(p.dst) = nc;
     }
   });
   return result;
+}
+
+void Runtime::shard_clamp_for_members(const std::vector<int>& members) {
+  if (!engine_->sharded() || members.empty()) return;
+  const int s0 = engine_->shard_of_rank(members.front());
+  bool spans = false;
+  for (int w : members) {
+    if (engine_->shard_of_rank(w) != s0) {
+      spans = true;
+      break;
+    }
+  }
+  if (!spans) return;  // intra-shard comms never wake across shards
+  // A collective on this communicator releases ceil_log2(p)*barrier_stage
+  // after its last arrival at the earliest (per_stage >= barrier_stage), so
+  // a lookahead at or below that keeps every cross-shard wake_at beyond the
+  // posting shard's window end. Clamps take effect at the next window
+  // barrier, and the communicator is unusable until its (collective)
+  // creation releases — which is itself beyond the current window — so no
+  // collective on it can run against the unclamped window.
+  const Time floor =
+      static_cast<Time>(ceil_log2(static_cast<int>(members.size()))) *
+      profile().barrier_stage;
+  engine_->clamp_lookahead(floor);
 }
 
 // -------------------------------------------------------- point-to-point --
@@ -320,10 +359,11 @@ void Runtime::p_send(Env& env, const void* buf, int count, Dt dt, int dest,
   const int dst_world = comm->world_rank(dest);
   const Time t_del =
       env.now() + wire_latency(env.world_rank(), dst_world, bytes);
-  post_event(t_del, [this, dst_world, t_del, m = std::move(m)]() mutable {
+  post_event(t_del, dst_world,
+             [this, dst_world, t_del, m = std::move(m)]() mutable {
     deliver_p2p(dst_world, std::move(m), t_del);
   });
-  ++stats().counter("p2p_msgs");
+  ++engine_->stats_local().counter("p2p_msgs");
 }
 
 Request Runtime::p_irecv(Env& env, void* buf, int count, Dt dt, int src,

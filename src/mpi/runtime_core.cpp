@@ -100,6 +100,27 @@ Runtime::Runtime(RunConfig cfg, std::function<void(Env&)> user_main,
   eo.seed = cfg_.seed;
   eo.stack_bytes = cfg_.stack_bytes;
   eo.perturb_seed = cfg_.perturb_seed;
+  // Sharding: partition ranks by node (never split a node across shards —
+  // ghost/user traffic, shared node buffers and the per-rank io_ state then
+  // stay shard-local), with conservative lookahead = the inter-node latency:
+  // no cross-node event can precede it, so cross-shard posts always land at
+  // or beyond the receiving shard's window end.
+  const int nnodes = cfg_.machine.topo.nodes;
+  const int nshards = std::clamp(cfg_.shards, 1, nnodes);
+  if (nshards > 1) {
+    MMPI_REQUIRE(cfg_.perturb_seed == 0,
+                 "sharded runs explore one schedule; perturb_seed requires "
+                 "shards == 1");
+    MMPI_REQUIRE(cfg_.fault == nullptr || !cfg_.fault->active(),
+                 "fault injection requires shards == 1");
+    const int cpn = cfg_.machine.topo.cores_per_node;
+    eo.shards = nshards;
+    eo.lookahead = cfg_.machine.profile.net_latency;
+    eo.shard_of = [cpn, nnodes, nshards](int r) {
+      return ((r / cpn) * nshards) / nnodes;
+    };
+    pool_.set_thread_safe(true);
+  }
   // Engine construction is cheap: rank fibers (and their guard-paged stacks)
   // are only created inside run(). The rank body below therefore always sees
   // layer_ assigned, even though the factory runs after this line so that it
@@ -108,6 +129,12 @@ Runtime::Runtime(RunConfig cfg, std::function<void(Env&)> user_main,
     Env env(*this, ctx);
     layer_->on_rank_start(env, user_main_);
   });
+  // World-spanning collectives release ceil_log2(p)*barrier_stage after the
+  // last arrival; shrink the lookahead so that release can never land inside
+  // the releaser's own window (split/dup comms re-clamp on creation).
+  if (engine_->sharded()) shard_clamp_for_members(world_->members());
+  inflight_.resize(static_cast<std::size_t>(engine_->shards()));
+  opid_seq_.assign(static_cast<std::size_t>(engine_->shards()), 1);
 
   // Fault state must exist before the layer factory runs: the layer's ctor
   // registers its ghost-death handler only when faults_on() is already true.
@@ -136,12 +163,21 @@ Runtime::Runtime(RunConfig cfg, std::function<void(Env&)> user_main,
   MMPI_REQUIRE(layer_ != nullptr, "layer factory returned null");
   engine_->set_deadlock_dump([this] { dump_comm_state(); });
 
-  hot_.sw_ops = &stats().counter("sw_ops");
-  hot_.hw_ops = &stats().counter("hw_ops");
-  hot_.cross_numa_ops = &stats().counter("cross_numa_ops");
-  hot_.am_busy_arrival = &stats().counter("am_busy_arrival");
-  hot_.am_prompt = &stats().counter("am_prompt");
-  hot_.interrupts = &stats().counter("interrupts");
+  // One HotStats per shard, each pointing into that shard's own counter
+  // registry (shard_stats degrades to the global registry when unsharded, so
+  // counter names and totals are unchanged; sharded registries are folded
+  // into the global one after run()).
+  hot_.resize(static_cast<std::size_t>(engine_->shards()));
+  for (int s = 0; s < engine_->shards(); ++s) {
+    sim::Stats& st = engine_->shard_stats(s);
+    HotStats& h = hot_[static_cast<std::size_t>(s)];
+    h.sw_ops = &st.counter("sw_ops");
+    h.hw_ops = &st.counter("hw_ops");
+    h.cross_numa_ops = &st.counter("cross_numa_ops");
+    h.am_busy_arrival = &st.counter("am_busy_arrival");
+    h.am_prompt = &st.counter("am_prompt");
+    h.interrupts = &st.counter("interrupts");
+  }
 
   if (obs::on(cfg_.recorder)) {
     engine_->set_sched_observer(cfg_.recorder);
@@ -151,7 +187,7 @@ Runtime::Runtime(RunConfig cfg, std::function<void(Env&)> user_main,
     for (int e = 0; e < 3 * n; ++e) {
       if (!agents && progress::classify_entity(e, n) == progress::EntityClass::Agent)
         continue;
-      cfg_.recorder->trace.set_entity_name(e, progress::entity_label(e, n));
+      cfg_.recorder->trace().set_entity_name(e, progress::entity_label(e, n));
     }
   }
 }
@@ -201,14 +237,19 @@ void Runtime::run() {
     }
   }
   if (fs_) fault_setup();
+  MMPI_REQUIRE(!engine_->sharded() || observer_ == nullptr,
+               "conformance observers assume a single-threaded schedule; "
+               "detach the observer or run with shards == 1");
+  if (obs::on(recorder())) recorder()->set_shards(engine_->shards());
   engine_->run();
+  if (obs::on(recorder())) recorder()->merge_shards();
   // Snapshot buffer-pool effectiveness into the metrics block. These are
   // host-side allocator statistics, not virtual-time facts: reuse depends on
   // the interleaving of staging buffers, so "pool.*" keys are exempt from
   // the schedule-invariance contract the other counters obey.
   if (obs::on(recorder())) {
-    recorder()->metrics.counter("pool.bytes_reused") = pool_.bytes_reused();
-    recorder()->metrics.counter("pool.reuses") = pool_.reuses();
+    recorder()->metrics().counter("pool.bytes_reused") = pool_.bytes_reused();
+    recorder()->metrics().counter("pool.reuses") = pool_.reuses();
     if (fs_) {
       // Mirror the fault/recovery counters (accumulated in engine stats so
       // tests can read them without a recorder) into the metrics block.
@@ -218,7 +259,7 @@ void Runtime::run() {
             "fault.dead_serves", "fault.kills", "recovery.ghost_dead",
             "recovery.rebound_targets", "recovery.rebound_ops",
             "recovery.direct_ops", "recovery.degraded"}) {
-        recorder()->metrics.counter(key) = stats().counter(key);
+        recorder()->metrics().counter(key) = stats().counter(key);
       }
     }
   }
@@ -304,7 +345,7 @@ void Runtime::inject_op(WinImpl& win, int origin_comm, int target_comm,
   AmOp op;
   op.kind = d.kind;
   op.op = d.op;
-  op.opid = next_opid_++;
+  op.opid = make_opid();
   op.origin_world = ow;
   op.target_world = tw;
   op.win = &win;
@@ -319,7 +360,7 @@ void Runtime::inject_op(WinImpl& win, int origin_comm, int target_comm,
   op.origin_count = d.ocount;
   op.origin_dt = d.odt;
   op.cross_numa = d.cross_numa;
-  if (op.cross_numa) ++*hot_.cross_numa_ops;
+  if (op.cross_numa) ++*hot().cross_numa_ops;
 
   const bool request_like =
       op.kind == OpKind::Get;  // request small, response carries data
@@ -327,14 +368,15 @@ void Runtime::inject_op(WinImpl& win, int origin_comm, int target_comm,
   const Time t_del = t_issue + wire_latency(ow, tw, wire_bytes);
 
   if (is_hw_op(d)) {
-    ++*hot_.hw_ops;
-    if (obs::on(recorder())) ++recorder()->metrics.counter("ops.hw_path");
+    ++*hot().hw_ops;
+    if (obs::on(recorder())) ++recorder()->metrics().counter("ops.hw_path");
     // Hardware execution: performed "by the NIC" instantly at delivery; the
     // target CPU is not involved. NIC entity ids live above agent ids.
     const int nic_entity = 2 * engine_->nranks() + tw;
-    post_event(t_del, [this, op = std::move(op), t_del, nic_entity]() mutable {
+    post_event(t_del, tw,
+               [this, op = std::move(op), t_del, nic_entity]() mutable {
       if (obs::on(recorder())) {
-        recorder()->trace.instant(nic_entity, obs::Ev::OpHwPath, t_del,
+        recorder()->trace().instant(nic_entity, obs::Ev::OpHwPath, t_del,
                                   op.opid,
                                   static_cast<std::uint64_t>(op.kind),
                                   op.payload.size());
@@ -344,15 +386,15 @@ void Runtime::inject_op(WinImpl& win, int origin_comm, int target_comm,
       am_commit(op, t_del, t_del, nic_entity);
     });
   } else {
-    ++*hot_.sw_ops;
-    if (obs::on(recorder())) ++recorder()->metrics.counter("ops.sw_path");
+    ++*hot().sw_ops;
+    if (obs::on(recorder())) ++recorder()->metrics().counter("ops.sw_path");
     if (fs_) {
       // Faulted transport: the op is parked in a retransmission record and
       // every wire attempt (this one included) runs the verdict machinery.
       fault_send(std::move(op), t_issue);
       return;
     }
-    post_event(t_del, [this, op = std::move(op), t_del]() mutable {
+    post_event(t_del, tw, [this, op = std::move(op), t_del]() mutable {
       deliver_am(std::move(op), t_del);
     });
   }
@@ -360,6 +402,34 @@ void Runtime::inject_op(WinImpl& win, int origin_comm, int target_comm,
 
 void Runtime::post_event(Time t, sim::EventFn cb) {
   engine_->post_event(t, std::move(cb));
+}
+
+void Runtime::post_event(Time t, int home_world, sim::EventFn cb) {
+  engine_->post_event(t, home_world, std::move(cb));
+}
+
+std::uint64_t Runtime::make_opid() {
+  if (!engine_->sharded()) return next_opid_++;  // golden-trace byte-identity
+  const auto s = static_cast<std::size_t>(sim::Engine::current_shard());
+  return (static_cast<std::uint64_t>(s + 1) << 40) | opid_seq_[s]++;
+}
+
+int Runtime::alloc_comm_id() {
+  std::unique_lock<std::mutex> lk(registry_mu_, std::defer_lock);
+  if (engine_->sharded()) lk.lock();
+  return next_comm_id_++;
+}
+
+int Runtime::alloc_win_id() {
+  std::unique_lock<std::mutex> lk(registry_mu_, std::defer_lock);
+  if (engine_->sharded()) lk.lock();
+  return next_win_id_++;
+}
+
+void Runtime::register_win(const Win& win) {
+  std::unique_lock<std::mutex> lk(registry_mu_, std::defer_lock);
+  if (engine_->sharded()) lk.lock();
+  win_registry_.push_back(win);
 }
 
 // ------------------------------------------------------------- deliver ----
@@ -391,7 +461,7 @@ void Runtime::deliver_am(AmOp&& op, Time t_del) {
       auto& io = io_[static_cast<std::size_t>(op.target_world)];
       const int tw = op.target_world;
       op.busy_arrival = !io.in_mpi;
-      ++*(op.busy_arrival ? hot_.am_busy_arrival : hot_.am_prompt);
+      ++*(op.busy_arrival ? hot().am_busy_arrival : hot().am_prompt);
       io.inbox.push_back(std::move(op));
       engine_->wake(tw, t_del);
       break;
@@ -419,7 +489,7 @@ void Runtime::agent_process(AmOp&& op, Time t_del) {
   io.agent_busy_until = end;
 
   if (interrupt) {
-    ++*hot_.interrupts;
+    ++*hot().interrupts;
     // The interrupt handler preempts the target core: if the target is
     // computing, the handler's time is stolen from the computation.
     if (engine_->rank_computing(op.target_world)) {
@@ -493,12 +563,12 @@ void Runtime::poller_process(Env& env, AmOp& op) {
         std::max(op.payload.size(),
                  data_bytes(op.target_count, op.target_dt));
     obs::Recorder* rec = recorder();
-    rec->trace.span(env.world_rank(), obs::Ev::GhostService, t0,
+    rec->trace().span(env.world_rank(), obs::Ev::GhostService, t0,
                     env.now() - t0, op.opid, moved);
     const std::string g = std::to_string(env.world_rank());
-    ++rec->metrics.counter("ghost." + g + ".service_ops");
-    rec->metrics.counter("ghost." + g + ".service_bytes") += moved;
-    rec->metrics.histogram("ghost_service_ns").add(env.now() - t0);
+    ++rec->metrics().counter("ghost." + g + ".service_ops");
+    rec->metrics().counter("ghost." + g + ".service_bytes") += moved;
+    rec->metrics().histogram("ghost_service_ns").add(env.now() - t0);
   }
   am_write_phase(op, std::move(staged), t0, env.now(), env.world_rank());
 }
@@ -616,10 +686,10 @@ void Runtime::am_write_phase(const AmOp& op, sim::PoolBuf&& staged, Time t0,
 
   record_access(lo, hi, t0, t1, entity, is_write);
   if (obs::on(recorder())) {
-    recorder()->trace.instant(entity, obs::Ev::OpCommitted, t1, op.opid,
+    recorder()->trace().instant(entity, obs::Ev::OpCommitted, t1, op.opid,
                               static_cast<std::uint64_t>(op.kind),
                               data_bytes(op.target_count, op.target_dt));
-    ++recorder()->metrics.counter("ops.committed");
+    ++recorder()->metrics().counter("ops.committed");
   }
   observe_commit(op, t1, entity);
   schedule_ack(op, t1, std::move(ack_data));
@@ -686,10 +756,10 @@ void Runtime::am_commit(const AmOp& op, Time t0, Time t1, int entity) {
 
   record_access(lo, hi, t0, t1, entity, is_write);
   if (obs::on(recorder())) {
-    recorder()->trace.instant(entity, obs::Ev::OpCommitted, t1, op.opid,
+    recorder()->trace().instant(entity, obs::Ev::OpCommitted, t1, op.opid,
                               static_cast<std::uint64_t>(op.kind),
                               data_bytes(op.target_count, op.target_dt));
-    ++recorder()->metrics.counter("ops.committed");
+    ++recorder()->metrics().counter("ops.committed");
   }
   observe_commit(op, t1, entity);
   schedule_ack(op, t1, std::move(ack_data));
@@ -755,10 +825,14 @@ void Runtime::exec_self(Env& env, const AmOp& op) {
 
 void Runtime::record_access(std::uintptr_t lo, std::uintptr_t hi, Time t0,
                             Time t1, int entity, bool is_write) {
+  // Per-shard list: window memory belongs to a node and nodes never split
+  // across shards, so accesses that can alias always meet in the same list.
+  auto& inflight =
+      inflight_[static_cast<std::size_t>(sim::Engine::current_shard())];
   // Processing-start times are nondecreasing in commit order, so entries
   // whose interval ended at or before t0 can never overlap future accesses.
-  std::erase_if(inflight_, [t0](const InflightOp& e) { return e.t1 <= t0; });
-  for (const InflightOp& e : inflight_) {
+  std::erase_if(inflight, [t0](const InflightOp& e) { return e.t1 <= t0; });
+  for (const InflightOp& e : inflight) {
     if (e.entity == entity) continue;
     if (!(e.is_write || is_write)) continue;
     // Half-open interval overlap; a zero-width (instant) access is detected
@@ -766,10 +840,10 @@ void Runtime::record_access(std::uintptr_t lo, std::uintptr_t hi, Time t0,
     const bool time_overlap = e.t0 < t1 && t0 < e.t1;
     const bool byte_overlap = e.lo < hi && lo < e.hi;
     if (time_overlap && byte_overlap) {
-      ++stats().counter("atomicity_violations");
+      ++engine_->stats_local().counter("atomicity_violations");
     }
   }
-  inflight_.push_back(InflightOp{entity, lo, hi, t0, t1, is_write});
+  inflight.push_back(InflightOp{entity, lo, hi, t0, t1, is_write});
 }
 
 void Runtime::schedule_ack(const AmOp& op, Time t_done,
@@ -804,7 +878,7 @@ void Runtime::schedule_ack(const AmOp& op, Time t_done,
       if (v.kind == fault::NetVerdict::Drop) {
         ++*fs_->c_ack_drops;
         if (obs::on(recorder())) {
-          recorder()->trace.instant(op.target_world, obs::Ev::FaultInject,
+          recorder()->trace().instant(op.target_world, obs::Ev::FaultInject,
                                     t_done, opid,
                                     static_cast<std::uint64_t>(v.kind), 1);
         }
@@ -814,8 +888,8 @@ void Runtime::schedule_ack(const AmOp& op, Time t_done,
     }
   }
 
-  post_event(t_ack, [this, win, oc, tc, ow, opid, res, rcount, rdt,
-                     data = std::move(data), t_ack]() {
+  post_event(t_ack, ow, [this, win, oc, tc, ow, opid, res, rcount, rdt,
+                         data = std::move(data), t_ack]() {
     if (fs_ && !fault_complete(opid)) return;  // duplicate ack
     auto& ots = win->ost[static_cast<std::size_t>(oc)]
                     .tgt[static_cast<std::size_t>(tc)];
@@ -825,7 +899,7 @@ void Runtime::schedule_ack(const AmOp& op, Time t_done,
       unpack(res, rcount, rdt, data);
     }
     if (obs::on(recorder()))
-      recorder()->trace.instant(ow, obs::Ev::OpFlushed, t_ack, opid);
+      recorder()->trace().instant(ow, obs::Ev::OpFlushed, t_ack, opid);
     engine_->wake(ow, t_ack);
   });
 }
@@ -909,7 +983,7 @@ void Runtime::fault_transmit(std::uint64_t opid, Time t_send) {
   const Time t_del =
       t_send + wire_latency(op.origin_world, op.target_world, wire_bytes);
   if (v.kind != fault::NetVerdict::Deliver && obs::on(recorder())) {
-    recorder()->trace.instant(op.origin_world, obs::Ev::FaultInject, t_send,
+    recorder()->trace().instant(op.origin_world, obs::Ev::FaultInject, t_send,
                               opid, static_cast<std::uint64_t>(v.kind),
                               v.extra);
   }
@@ -939,7 +1013,7 @@ void Runtime::fault_transmit(std::uint64_t opid, Time t_send) {
     if (it2 == fs_->pending.end()) return;  // acked in time
     ++*fs_->c_retries;
     if (obs::on(recorder())) {
-      recorder()->trace.instant(it2->second.op.origin_world, obs::Ev::AmRetry,
+      recorder()->trace().instant(it2->second.op.origin_world, obs::Ev::AmRetry,
                                 t_retry, opid, it2->second.attempt);
     }
     fault_transmit(opid, t_retry);
@@ -1054,20 +1128,20 @@ void Runtime::send_lock_request(Env& env, WinImpl& win, int target) {
 
   if (profile().hw_lock) {
     // NIC-level lock handling: processed at delivery with no target software.
-    post_event(t_arr, [this, w, target, me, type, t_arr]() {
+    post_event(t_arr, tw, [this, w, target, me, type, t_arr]() {
       lockmgr_request(*w, target, me, type, t_arr);
     });
   } else {
     AmOp op;
     op.kind = OpKind::LockReq;
-    op.opid = next_opid_++;
+    op.opid = make_opid();
     op.origin_world = env.world_rank();
     op.target_world = tw;
     op.win = w;
     op.origin_comm_rank = me;
     op.target_comm_rank = target;
     op.lock_type = type;
-    post_event(t_arr, [this, op = std::move(op), t_arr]() mutable {
+    post_event(t_arr, tw, [this, op = std::move(op), t_arr]() mutable {
       deliver_am(std::move(op), t_arr);
     });
   }
@@ -1082,7 +1156,7 @@ void Runtime::lockmgr_request(WinImpl& win, int target, int origin,
     const int tw = win.comm()->world_rank(target);
     const Time t_ack = t + wire_latency(tw, ow, 0);
     WinImpl* w = &win;
-    post_event(t_ack, [this, w, origin, target, t_ack]() {
+    post_event(t_ack, ow, [this, w, origin, target, t_ack]() {
       on_lock_granted(*w, origin, target, t_ack);
     });
   } else {
@@ -1100,7 +1174,7 @@ void Runtime::lockmgr_release(WinImpl& win, int target, int origin,
     const int tw = win.comm()->world_rank(target);
     const Time t_ack = t + wire_latency(tw, ow, 0);
     WinImpl* w = &win;
-    post_event(t_ack, [this, w, origin, target, ow, t_ack]() {
+    post_event(t_ack, ow, [this, w, origin, target, ow, t_ack]() {
       auto& ots = w->ost[static_cast<std::size_t>(origin)]
                       .tgt[static_cast<std::size_t>(target)];
       ots.release_pending = false;
@@ -1118,7 +1192,7 @@ void Runtime::lockmgr_release(WinImpl& win, int target, int origin,
     const int tw = win.comm()->world_rank(target);
     const Time t_ack = t + wire_latency(tw, ow, 0);
     WinImpl* w = &win;
-    post_event(t_ack, [this, w, p, target, t_ack]() {
+    post_event(t_ack, ow, [this, w, p, target, t_ack]() {
       on_lock_granted(*w, p.origin, target, t_ack);
     });
   }
@@ -1145,10 +1219,10 @@ void Runtime::observe_sync(WinImpl& win, int world_rank, SyncKind kind,
                            sim::Time t) {
   if (observer_) observer_->on_sync(win, world_rank, kind, t);
   if (obs::on(recorder())) {
-    recorder()->trace.instant(world_rank, obs::Ev::EpochEnd, t,
+    recorder()->trace().instant(world_rank, obs::Ev::EpochEnd, t,
                               static_cast<std::uint64_t>(kind),
                               static_cast<std::uint64_t>(win.id()));
-    ++recorder()->metrics.counter(std::string("sync.") + to_string(kind));
+    ++recorder()->metrics().counter(std::string("sync.") + to_string(kind));
   }
 }
 

@@ -43,7 +43,7 @@ Win Runtime::p_win_allocate(Env& env, std::size_t bytes,
       env, comm, nullptr, &result, static_cast<long long>(bytes),
       static_cast<long long>(disp_unit), 16,
       [this, &t, shared, &info, &comm](CommImpl& cm) {
-        auto win = std::make_shared<WinImpl>(next_win_id_++, comm);
+        auto win = std::make_shared<WinImpl>(alloc_win_id(), comm);
         win->info = info;
         win->is_shared = shared;
         const int n = cm.size();
@@ -94,7 +94,7 @@ Win Runtime::p_win_allocate(Env& env, std::size_t bytes,
             win->node_buffers.push_back(buf);
           }
         }
-        win_registry_.push_back(win);
+        register_win(win);
         if (observer_) observer_->on_win_register(*win);
         for (const auto& p : cm.coll.parts) {
           *static_cast<Win*>(p.dst) = win;
@@ -117,7 +117,7 @@ Win Runtime::p_win_create(Env& env, void* base, std::size_t bytes,
   coll_run(env, comm, base, &result, static_cast<long long>(bytes),
            static_cast<long long>(disp_unit), 16, [this, &comm, &info](
                                                       CommImpl& cm) {
-    auto win = std::make_shared<WinImpl>(next_win_id_++, comm);
+    auto win = std::make_shared<WinImpl>(alloc_win_id(), comm);
     win->info = info;
     auto parts = cm.coll.parts;
     for (const auto& p : parts) {
@@ -127,7 +127,7 @@ Win Runtime::p_win_create(Env& env, void* base, std::size_t bytes,
       seg.size = static_cast<std::size_t>(p.a);
       seg.disp_unit = static_cast<std::size_t>(p.b);
     }
-    win_registry_.push_back(win);
+    register_win(win);
     if (observer_) observer_->on_win_register(*win);
     for (const auto& p : parts) {
       *static_cast<Win*>(p.dst) = win;
@@ -190,12 +190,12 @@ void Runtime::p_rma(Env& env, const RmaArgs& a, const Win& win) {
                "RMA origin/target data size mismatch");
 
   if (obs::on(recorder())) {
-    recorder()->trace.instant(env.world_rank(), obs::Ev::OpIssued, env.now(),
+    recorder()->trace().instant(env.world_rank(), obs::Ev::OpIssued, env.now(),
                               static_cast<std::uint64_t>(a.kind),
                               static_cast<std::uint64_t>(
                                   win->comm()->world_rank(a.target)),
                               data_bytes(a.tcount, a.tdt));
-    ++recorder()->metrics.counter("ops.issued");
+    ++recorder()->metrics().counter("ops.issued");
   }
 
   auto& rio = io_[static_cast<std::size_t>(env.world_rank())];
@@ -299,7 +299,7 @@ void Runtime::p_win_fence(Env& env, unsigned mode_assert, const Win& win) {
   my.fence_open = !(mode_assert & kModeNoSucceed);
   my.epoch = my.fence_open ? EpochKind::Fence : EpochKind::None;
   if (my.fence_open && obs::on(recorder())) {
-    recorder()->trace.instant(env.world_rank(), obs::Ev::EpochBegin,
+    recorder()->trace().instant(env.world_rank(), obs::Ev::EpochBegin,
                               env.now(), static_cast<std::uint64_t>(my.epoch),
                               static_cast<std::uint64_t>(win->id()));
   }
@@ -326,7 +326,7 @@ void Runtime::p_win_post(Env& env, const Group& group, unsigned mode_assert,
   for (int cr : my.exposure_group) {
     const int ow = win->comm()->world_rank(cr);
     const Time t_arr = env.now() + wire_latency(env.world_rank(), ow, 8);
-    post_event(t_arr, [this, w, cr, t_arr]() {
+    post_event(t_arr, ow, [this, w, cr, t_arr]() {
       ++w->ost[static_cast<std::size_t>(cr)].posts_seen;
       engine_->wake(w->comm()->world_rank(cr), t_arr);
     });
@@ -345,7 +345,7 @@ void Runtime::p_win_start(Env& env, const Group& group, unsigned mode_assert,
   }
   my.epoch = EpochKind::Pscw;
   if (obs::on(recorder())) {
-    recorder()->trace.instant(env.world_rank(), obs::Ev::EpochBegin,
+    recorder()->trace().instant(env.world_rank(), obs::Ev::EpochBegin,
                               env.now(), static_cast<std::uint64_t>(my.epoch),
                               static_cast<std::uint64_t>(win->id()));
   }
@@ -367,7 +367,7 @@ void Runtime::p_win_complete(Env& env, const Win& win) {
   for (int t : my.access_group) {
     const int tw = win->comm()->world_rank(t);
     const Time t_arr = env.now() + wire_latency(env.world_rank(), tw, 8);
-    post_event(t_arr, [this, w, t, t_arr]() {
+    post_event(t_arr, tw, [this, w, t, t_arr]() {
       ++w->ost[static_cast<std::size_t>(t)].completes_seen;
       engine_->wake(w->comm()->world_rank(t), t_arr);
     });
@@ -404,7 +404,7 @@ void Runtime::p_win_lock(Env& env, LockType type, int target,
   env.ctx().advance(profile().op_inject);
   my.epoch = EpochKind::Lock;
   if (obs::on(recorder())) {
-    recorder()->trace.instant(env.world_rank(), obs::Ev::EpochBegin,
+    recorder()->trace().instant(env.world_rank(), obs::Ev::EpochBegin,
                               env.now(), static_cast<std::uint64_t>(my.epoch),
                               static_cast<std::uint64_t>(win->id()));
   }
@@ -449,21 +449,21 @@ void Runtime::p_win_unlock(Env& env, int target, const Win& win) {
       WinImpl* w = win.get();
       const LockType type = ots.lock_type;
       if (profile().hw_lock) {
-        post_event(t_arr, [this, w, target, me, type, t_arr]() {
+        post_event(t_arr, tw, [this, w, target, me, type, t_arr]() {
           lockmgr_release(*w, target, me, type, t_arr,
                           /*notify_origin=*/true);
         });
       } else {
         AmOp op;
         op.kind = OpKind::LockRelease;
-        op.opid = next_opid_++;
+        op.opid = make_opid();
         op.origin_world = env.world_rank();
         op.target_world = tw;
         op.win = w;
         op.origin_comm_rank = me;
         op.target_comm_rank = target;
         op.lock_type = type;
-        post_event(t_arr, [this, op = std::move(op), t_arr]() mutable {
+        post_event(t_arr, tw, [this, op = std::move(op), t_arr]() mutable {
           deliver_am(std::move(op), t_arr);
         });
       }
@@ -493,7 +493,7 @@ void Runtime::p_win_lock_all(Env& env, unsigned mode_assert, const Win& win) {
   env.ctx().advance(profile().op_inject);
   my.epoch = EpochKind::LockAll;
   if (obs::on(recorder())) {
-    recorder()->trace.instant(env.world_rank(), obs::Ev::EpochBegin,
+    recorder()->trace().instant(env.world_rank(), obs::Ev::EpochBegin,
                               env.now(), static_cast<std::uint64_t>(my.epoch),
                               static_cast<std::uint64_t>(win->id()));
   }

@@ -15,6 +15,21 @@ void Histogram::add(std::uint64_t v) {
   if (v > max_) max_ = v;
 }
 
+void Histogram::merge(const Histogram& o) {
+  for (int k = 0; k < kBuckets; ++k) buckets_[k] += o.buckets_[k];
+  count_ += o.count_;
+  sum_ += o.sum_;
+  if (o.count_ != 0) {
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+}
+
+void Metrics::merge_from(const Metrics& o) {
+  for (const auto& [name, v] : o.counters_) counters_[name] += v;
+  for (const auto& [name, h] : o.histograms_) histograms_[name].merge(h);
+}
+
 namespace {
 
 void json_string(std::ostream& os, const std::string& s) {

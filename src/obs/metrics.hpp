@@ -29,6 +29,10 @@ class Histogram {
     return (k >= 0 && k < kBuckets) ? buckets_[k] : 0;
   }
 
+  /// Fold another histogram in: buckets/count/sum add, min/max widen. Used
+  /// when per-shard replicas are merged after a sharded run.
+  void merge(const Histogram& o);
+
   static constexpr int kBuckets = 64;
 
  private:
@@ -52,6 +56,11 @@ class Metrics {
   const std::map<std::string, Histogram>& histograms() const {
     return histograms_;
   }
+
+  /// Add every counter and histogram of `o` into this registry (counters
+  /// sum, histograms merge). std::map keys keep the dump order fixed no
+  /// matter which shard first created a name.
+  void merge_from(const Metrics& o);
 
   /// {"counters":{...},"histograms":{name:{count,sum,min,max,mean,
   ///  buckets:[[k,n],...]}}} — empty buckets omitted. `indent` spaces prefix

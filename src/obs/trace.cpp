@@ -70,6 +70,38 @@ const std::string* Tracer::entity_name(int entity) const {
   return it == names_.end() ? nullptr : &it->second;
 }
 
+Tracer Tracer::merged(const std::vector<const Tracer*>& parts,
+                      std::size_t ring_capacity) {
+  Tracer out(ring_capacity);
+  std::uint64_t total_recorded = 0;
+  std::vector<std::vector<TraceEvent>> snaps;
+  snaps.reserve(parts.size());
+  for (const Tracer* p : parts) {
+    for (const auto& [entity, name] : p->names_) out.names_[entity] = name;
+    out.dropped_ += p->dropped_;
+    total_recorded += p->seq_;
+    snaps.push_back(p->ordered());
+  }
+  struct Keyed {
+    const TraceEvent* e;
+    std::size_t part;
+  };
+  std::vector<Keyed> all;
+  for (std::size_t s = 0; s < snaps.size(); ++s)
+    for (const TraceEvent& e : snaps[s]) all.push_back({&e, s});
+  std::sort(all.begin(), all.end(), [](const Keyed& x, const Keyed& y) {
+    if (x.e->t != y.e->t) return x.e->t < y.e->t;
+    if (x.part != y.part) return x.part < y.part;
+    return x.e->seq < y.e->seq;
+  });
+  for (const Keyed& k : all)
+    out.push(k.e->entity, k.e->ev, k.e->t, k.e->a, k.e->b, k.e->c);
+  // push() numbered only the retained records; recorded() reports the total
+  // ever pushed across all parts. Future pushes continue from there.
+  out.seq_ = total_recorded;
+  return out;
+}
+
 std::vector<TraceEvent> Tracer::ordered() const {
   std::vector<TraceEvent> out;
   for (const Ring& r : rings_) {

@@ -88,6 +88,18 @@ class Tracer {
 
   /// All retained events merged into record (seq) order.
   std::vector<TraceEvent> ordered() const;
+
+  /// Deterministic cross-shard merge: every retained record of `parts`,
+  /// ordered by (virtual time, part index, intra-part record order) and
+  /// renumbered with fresh dense seq values; entity names unioned;
+  /// recorded() and dropped() summed. The part index is the shard id, so the
+  /// ordering key is pure virtual-time data — host thread interleaving never
+  /// leaks into the merged trace.
+  static Tracer merged(const std::vector<const Tracer*>& parts,
+                       std::size_t ring_capacity);
+
+  /// Per-entity ring capacity (as rounded up at construction).
+  std::size_t capacity() const { return cap_; }
   /// Total records evicted from full rings.
   std::uint64_t dropped() const { return dropped_; }
   /// Total records ever pushed.

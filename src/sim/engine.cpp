@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,10 +8,13 @@ namespace casper::sim {
 
 namespace {
 // Context of the rank fiber currently holding the token on this thread;
-// null while the scheduler fiber (or no engine) runs. All fibers of an
-// engine share the thread that called run(), so a plain thread_local is
+// null while a scheduler fiber (or no engine) runs. All fibers of a shard
+// share the one OS thread driving that shard, so a plain thread_local is
 // both correct and nesting-safe (saved/restored around each handoff).
 thread_local Context* g_current_ctx = nullptr;
+// Shard id of the scheduler running on this thread. 0 outside run() and in
+// single-shard mode; shard_main() sets it for the lifetime of a worker.
+thread_local int g_shard_id = 0;
 }  // namespace
 
 // ---------------------------------------------------------------- Context --
@@ -39,11 +43,48 @@ Engine::Engine(Options opts, RankMain main)
   // Stream id well clear of the rank id space so perturbation salts never
   // correlate with any rank's own random stream.
   perturb_rng_ = Rng(opts_.perturb_seed, 0xfeedfacecafeULL);
+
+  if (opts_.shards > opts_.nranks) opts_.shards = opts_.nranks;
+  lookahead_.store(opts_.lookahead < 1 ? Time{1} : opts_.lookahead,
+                   std::memory_order_relaxed);
+  if (opts_.shards > 1) {
+    if (opts_.perturb_seed != 0) {
+      std::fprintf(stderr,
+                   "sim::Engine: perturb_seed is single-shard only (the "
+                   "sharded merge order explores its own tie permutations)\n");
+      std::abort();
+    }
+    const int S = opts_.shards;
+    shard_of_rank_.resize(static_cast<std::size_t>(opts_.nranks));
+    const int block = (opts_.nranks + S - 1) / S;
+    for (int s = 0; s < S; ++s) {
+      shards_.push_back(std::make_unique<ShardState>());
+      shards_.back()->id = s;
+      shards_.back()->cal.sorted = true;
+      shards_.back()->outbox.resize(static_cast<std::size_t>(S));
+    }
+    for (int r = 0; r < opts_.nranks; ++r) {
+      const int s = opts_.shard_of ? opts_.shard_of(r) : r / block;
+      if (s < 0 || s >= S) {
+        std::fprintf(stderr, "sim::Engine: shard_of(%d) = %d out of [0, %d)\n",
+                     r, s, S);
+        std::abort();
+      }
+      shard_of_rank_[static_cast<std::size_t>(r)] = s;
+      shards_[static_cast<std::size_t>(s)]->ranks.push_back(r);
+    }
+  }
 }
 
-Engine::~Engine() = default;  // RankState::fiber unmaps each stack
+Engine::~Engine() = default;  // RankState::fiber releases each stack
 
 Time Engine::rank_now(int rank) const { return ranks_[rank]->now; }
+
+int Engine::current_shard() { return g_shard_id; }
+
+Engine::ShardState& Engine::cur_shard() {
+  return *shards_[static_cast<std::size_t>(g_shard_id)];
+}
 
 Context& Engine::current() {
   if (g_current_ctx == nullptr) {
@@ -51,6 +92,22 @@ Context& Engine::current() {
     std::abort();
   }
   return *g_current_ctx;
+}
+
+Stats& Engine::stats_local() {
+  return shards_.empty() ? stats_ : cur_shard().stats;
+}
+
+Stats& Engine::shard_stats(int shard) {
+  return shards_.empty() ? stats_ : shards_[static_cast<std::size_t>(shard)]->stats;
+}
+
+void Engine::clamp_lookahead(Time la) {
+  if (la < 1) la = 1;
+  Time cur = lookahead_.load(std::memory_order_relaxed);
+  while (la < cur && !lookahead_.compare_exchange_weak(
+                         cur, la, std::memory_order_relaxed)) {
+  }
 }
 
 void Engine::fiber_trampoline(void* arg) {
@@ -63,59 +120,280 @@ void Engine::rank_fiber_body(int rank) {
   rs.st = St::Running;
   main_(rs.ctx);
   rs.st = St::Done;
-  ++done_count_;
+  if (shards_.empty()) {
+    ++done_count_;
+  } else {
+    ++cur_shard().done;
+  }
   yield_to_scheduler(rank, /*exiting=*/true);
   // Unreachable: a Done fiber is never resumed (Fiber aborts if it is).
 }
 
+void Engine::ensure_fiber(RankState& rs, StackPool* pool) {
+  if (!rs.fiber) {
+    rs.fiber = std::make_unique<Fiber>(&Engine::fiber_trampoline, &rs,
+                                       opts_.stack_bytes, pool);
+  }
+}
+
 void Engine::hand_token_to(int rank) {
   RankState& rs = *ranks_[rank];
+  Fiber* sched;
+  if (shards_.empty()) {
+    sched = &sched_fiber_;
+    ensure_fiber(rs, nullptr);
+  } else {
+    ShardState& sh = cur_shard();
+    sched = sh.sched_fiber;
+    ensure_fiber(rs, &sh.stacks);
+  }
   Context* prev = g_current_ctx;
   g_current_ctx = &rs.ctx;
-  Fiber::switch_to(sched_fiber_, *rs.fiber);
+  Fiber::switch_to(*sched, *rs.fiber);
   g_current_ctx = prev;
   if (rs.st == St::Done) rs.fiber.reset();  // reclaim the stack eagerly
 }
 
 void Engine::yield_to_scheduler(int rank, bool exiting) {
   RankState& rs = *ranks_[rank];
-  Fiber::switch_to(*rs.fiber, sched_fiber_, exiting);
+  Fiber* sched = shards_.empty() ? &sched_fiber_ : cur_shard().sched_fiber;
+  Fiber::switch_to(*rs.fiber, *sched, exiting);
   // Execution resumes here when the scheduler hands the token back.
 }
 
 void Engine::make_ready(int rank, Time t) {
   RankState& rs = *ranks_[rank];
   rs.st = St::Ready;
-  ready_.push(HeapItem{t, seq_++, next_salt(), rank});
+  if (shards_.empty()) {
+    ready_.push(HeapItem{t, seq_++, next_salt(), rank});
+  } else {
+    // Only legal shard-locally (or pre-run / in the barrier's serial
+    // section, while every shard is quiescent).
+    ShardState& sh = *shards_[static_cast<std::size_t>(shard_of_rank_[rank])];
+    sh.ready.push(HeapItem{t, sh.seq++, 0, rank});
+  }
+}
+
+void Engine::post_ctx(std::int32_t* sender, Time* send_t,
+                      std::uint64_t* seq) {
+  if (g_current_ctx != nullptr) {
+    RankState& rs = *ranks_[static_cast<std::size_t>(g_current_ctx->rank())];
+    *sender = g_current_ctx->rank();
+    *send_t = rs.now;
+    *seq = rs.post_seq++;
+    return;
+  }
+  if (running_) {
+    ShardState& sh = cur_shard();
+    if (sh.exec_home >= 0) {
+      *sender = sh.exec_home;
+      *send_t = sh.exec_now;
+      *seq = ranks_[static_cast<std::size_t>(sh.exec_home)]->post_seq++;
+      return;
+    }
+  }
+  *sender = -1;  // pre-run setup, single-threaded
+  *send_t = 0;
+  *seq = setup_post_seq_++;
 }
 
 void Engine::post_event(Time t, EventFn cb) {
-  std::uint32_t slot;
-  if (free_slots_.empty()) {
-    slot = static_cast<std::uint32_t>(event_cbs_.size());
-    event_cbs_.push_back(std::move(cb));
-  } else {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-    event_cbs_[slot] = std::move(cb);
+  if (shards_.empty()) {
+    const std::uint32_t slot = slots_.put(std::move(cb));
+    if (opts_.perturb_seed == 0) {
+      // Salt-free runs take the O(1) calendar (same order as the heap).
+      if (cal_.in_span(t)) {
+        cal_.add(t, slot, -1, -1, 0, 0);  // unsorted: append order is seq
+        if (t < next_ev_) next_ev_ = t;
+      } else {
+        far_.push(EventKey{t, 0, seq_++, 0, slot, -1, -1});
+      }
+      return;
+    }
+    events_.push(EventKey{t, 0, seq_++, next_salt(), slot, -1, -1});
+    return;
   }
-  events_.push(EventKey{t, seq_++, next_salt(), slot});
+  // A non-homed post runs on the posting shard, i.e. effectively homed to
+  // the posting context's own rank — record that home so nested posts from
+  // its callback inherit a shard-layout-independent attribution.
+  std::int32_t sender;
+  Time send_t;
+  std::uint64_t seq;
+  post_ctx(&sender, &send_t, &seq);
+  shard_insert_local(cur_shard(), t, sender, sender, send_t, seq,
+                     std::move(cb));
+}
+
+void Engine::post_event(Time t, int home_rank, EventFn cb) {
+  if (shards_.empty()) {
+    post_event(t, std::move(cb));
+    return;
+  }
+  std::int32_t sender;
+  Time send_t;
+  std::uint64_t seq;
+  post_ctx(&sender, &send_t, &seq);
+  const int dst = shard_of_rank_[static_cast<std::size_t>(home_rank)];
+  ShardState& sh = cur_shard();
+  if (dst == sh.id) {
+    shard_insert_local(sh, t, home_rank, sender, send_t, seq, std::move(cb));
+    return;
+  }
+  // Conservative-lookahead contract: a cross-shard effect may not land
+  // inside the current window (the destination may already have executed
+  // past it). The runtime guarantees cross-shard edges carry at least the
+  // minimum network latency >= lookahead, so this only fires on a homing
+  // bug.
+  if (t < sh.window_end) {
+    std::fprintf(stderr,
+                 "sim::Engine: cross-shard event at t=%.3f us violates the "
+                 "lookahead window (end %.3f us, shard %d -> %d)\n",
+                 to_us(t), to_us(sh.window_end), sh.id, dst);
+    std::abort();
+  }
+  sh.outbox[static_cast<std::size_t>(dst)].push_back(ShardState::Staged{
+      t, send_t, seq, home_rank, sender, std::move(cb)});
+}
+
+void Engine::shard_insert_local(ShardState& sh, Time t, std::int32_t home,
+                                std::int32_t sender, Time send_t,
+                                std::uint64_t seq, EventFn cb) {
+  const std::uint32_t slot = sh.slots.put(std::move(cb));
+  if (sh.cal.in_span(t)) {
+    sh.cal.add(t, slot, home, sender, send_t, seq);
+    if (t < sh.next_ev) sh.next_ev = t;
+  } else {
+    sh.far.push(EventKey{t, send_t, seq, 0, slot, sender, home});
+  }
+}
+
+void Engine::refill_core(Calendar& cal, MinHeap<EventKey>& far,
+                         Time& next_ev) {
+  // Pull every spilled event now inside the calendar span. Runs at every
+  // base advance, *before* any same-time direct insert can append, so the
+  // bucket append order stays identical to (t, seq) order. The unsigned
+  // comparison deliberately excludes overdue entries (t < base): they can
+  // never be bucketed again and pop from the spill heap instead.
+  while (!far.empty() && far.top().t - cal.base < Calendar::kBuckets) {
+    const EventKey k = far.pop();
+    cal.add(k.t, k.slot, k.home, k.sender, k.send_t, k.seq);
+    if (k.t < next_ev) next_ev = k.t;
+  }
+}
+
+Time Engine::Calendar::next_from(Time from) const {
+  std::size_t i = static_cast<std::size_t>(from) & (kBuckets - 1);
+  std::size_t left = kBuckets - static_cast<std::size_t>(from - base);
+  for (;;) {
+    const std::uint64_t w = occ[i >> 6] & (~std::uint64_t{0} << (i & 63));
+    if (w != 0) {
+      const auto tz = static_cast<std::size_t>(std::countr_zero(w));
+      return from + (tz - (i & 63));
+    }
+    const std::size_t step = 64 - (i & 63);
+    if (step >= left) return kNever;
+    from += step;
+    left -= step;
+    i = (i + step) & (kBuckets - 1);
+  }
+}
+
+Time Engine::next_event_core(Calendar& cal, MinHeap<EventKey>& far,
+                             Time& next_ev, Time bound) {
+  Time ftop = far.empty() ? kNever : far.top().t;
+  if (cal.pending == 0 && ftop == kNever) return kNever;
+  // Slide the span forward as far as safety allows: never past a pending
+  // event (the calendar lower bound or the spill minimum) and never past
+  // `bound` — the earliest point still-to-run work could post from, so
+  // nothing lands below `base` in the common case. Absolute bucket indexing
+  // means moving `base` relocates no data; refilling right here (before any
+  // same-time direct insert can append) keeps bucket order identical to seq
+  // order. An overdue spill entry (t < base, from a lagging-clock rank)
+  // wraps both min-comparisons to "huge", which is exactly right: it must
+  // not drag `base` backwards, and it wins the final min below.
+  Time nb = cal.pending == 0 ? ftop : (next_ev < ftop ? next_ev : ftop);
+  if (nb > bound) nb = bound;
+  if (nb > cal.base) {
+    cal.base = nb;
+    refill_core(cal, far, next_ev);
+    ftop = far.empty() ? kNever : far.top().t;
+  }
+  if (cal.pending == 0) return ftop;  // beyond the span, or overdue
+  const Time from = next_ev > cal.base ? next_ev : cal.base;
+  const Time t = cal.next_from(from);
+  next_ev = t;
+  return ftop < t ? ftop : t;  // ftop < t only when overdue
+}
+
+Engine::PoppedEvent Engine::pop_event_core(Calendar& cal,
+                                           MinHeap<EventKey>& far,
+                                           Time next_ev, Time te) {
+  // Spill-sourced iff the calendar has nothing in span or the spill top is
+  // overdue (strictly below the freshly scanned calendar minimum `next_ev`);
+  // equal times are impossible across the two structures.
+  if (cal.pending == 0 || (!far.empty() && far.top().t < next_ev)) {
+    const EventKey k = far.pop();
+    return PoppedEvent{k.slot, k.home};
+  }
+  const Calendar::Node n = cal.pop_at(te);
+  return PoppedEvent{n.slot, n.home};
+}
+
+Time Engine::shard_next_time(ShardState& sh) {
+  while (!sh.ready.empty() &&
+         ranks_[sh.ready.top().rank]->st != St::Ready) {
+    sh.ready.pop();  // stale entry (rank was re-queued)
+  }
+  const Time tr = sh.ready.empty() ? kNever : sh.ready.top().t;
+  const Time bound = tr < sh.window_end ? tr : sh.window_end;
+  const Time te = next_event_core(sh.cal, sh.far, sh.next_ev, bound);
+  return te < tr ? te : tr;
 }
 
 void Engine::advance_self_to(Time t) {
   Context& ctx = current();
   RankState& rs = *ranks_[ctx.rank()];
   if (t < rs.now) t = rs.now;
-  // Fast path: if nothing else (event or rank) is scheduled at or before t,
-  // the scheduler would immediately hand the token back to this rank — skip
-  // the two fiber switches. Strict comparisons keep the global execution
-  // order identical to the slow path.
-  const bool event_earlier = !events_.empty() && events_.top().t <= t;
-  const bool rank_earlier = !ready_.empty() && ready_.top().t <= t;
-  if (!event_earlier && !rank_earlier) {
-    rs.now = t;
-    if (t > horizon_) horizon_ = t;
-    return;
+  if (shards_.empty()) {
+    // Fast path: if nothing else (event or rank) is scheduled at or before
+    // t, the scheduler would immediately hand the token back to this rank —
+    // skip the two fiber switches. Strict comparisons keep the global
+    // execution order identical to the slow path. The calendar check must
+    // be *exact* for the same reason (a spurious slow path would emit an
+    // extra scheduling record): when the lower bound next_ev_ can't decide,
+    // scan — the result is the true calendar minimum and is cached.
+    bool event_earlier;
+    if (opts_.perturb_seed == 0) {
+      event_earlier = !far_.empty() && far_.top().t <= t;
+      if (!event_earlier && cal_.pending != 0 && next_ev_ <= t) {
+        const Time from = next_ev_ > cal_.base ? next_ev_ : cal_.base;
+        next_ev_ = cal_.next_from(from);
+        event_earlier = next_ev_ <= t;
+      }
+    } else {
+      event_earlier = !events_.empty() && events_.top().t <= t;
+    }
+    const bool rank_earlier = !ready_.empty() && ready_.top().t <= t;
+    if (!event_earlier && !rank_earlier) {
+      rs.now = t;
+      if (t > horizon_) horizon_ = t;
+      return;
+    }
+  } else {
+    // Sharded fast path: additionally require t inside the current window
+    // (time beyond it needs the barrier to certify no cross-shard event
+    // lands first). next_ev is a lower bound, so the check errs only toward
+    // the (correct) slow path.
+    ShardState& sh = cur_shard();
+    const bool event_earlier =
+        (sh.cal.pending != 0 && sh.next_ev <= t) ||
+        (!sh.far.empty() && sh.far.top().t <= t);
+    const bool rank_earlier = !sh.ready.empty() && sh.ready.top().t <= t;
+    if (t < sh.window_end && !event_earlier && !rank_earlier) {
+      rs.now = t;
+      if (t > sh.horizon) sh.horizon = t;
+      return;
+    }
   }
   make_ready(ctx.rank(), t);
   yield_to_scheduler(ctx.rank());
@@ -129,9 +407,27 @@ void Engine::block_self() {
 }
 
 void Engine::wake(int rank, Time t) {
+  if (!shards_.empty() && shard_of_rank_[static_cast<std::size_t>(rank)] !=
+                              g_shard_id) {
+    std::fprintf(stderr,
+                 "sim::Engine: wake(%d) crossed shards (%d -> %d); use "
+                 "wake_at()\n",
+                 rank, g_shard_id,
+                 shard_of_rank_[static_cast<std::size_t>(rank)]);
+    std::abort();
+  }
   RankState& rs = *ranks_[rank];
   if (rs.st != St::Blocked) return;
   make_ready(rank, t > rs.now ? t : rs.now);
+}
+
+void Engine::wake_at(int rank, Time t) {
+  if (shards_.empty() ||
+      shard_of_rank_[static_cast<std::size_t>(rank)] == g_shard_id) {
+    wake(rank, t);
+    return;
+  }
+  post_event(t, rank, [this, rank, t] { wake(rank, t); });
 }
 
 void Engine::add_compute_penalty(int rank, Time t) {
@@ -183,12 +479,59 @@ void Engine::die_deadlocked() {
 
 void Engine::run() {
   running_ = true;
-  // Create all rank fibers (suspended at their entry) and make them runnable
-  // at t=0; each starts executing main_ when first scheduled.
-  for (int r = 0; r < nranks(); ++r) {
-    ranks_[r]->fiber = std::make_unique<Fiber>(
-        &Engine::fiber_trampoline, ranks_[r].get(), opts_.stack_bytes);
-    make_ready(r, 0);
+  if (shards_.empty()) {
+    run_single();
+  } else {
+    run_sharded();
+  }
+  running_ = false;
+}
+
+// The classic single-threaded scheduler, bit-exact with previous releases:
+// scheduling decisions depend only on the (t, salt, seq) heap keys, never on
+// slot ids or fiber creation time (fibers are now created lazily on first
+// schedule, which changes when mmap happens but not what order code runs in).
+void Engine::run_single() {
+  for (int r = 0; r < nranks(); ++r) make_ready(r, 0);
+
+  if (opts_.perturb_seed == 0) {
+    // Calendar-queue variant: every salt is zero, so pop order is (t, seq)
+    // for events and (t, events-first, rank, seq) overall — identical to
+    // the heap loop below, at O(1) per event instead of O(log pending).
+    while (done_count_ < nranks()) {
+      while (!ready_.empty() && ranks_[ready_.top().rank]->st != St::Ready) {
+        ready_.pop();  // stale entry (rank was re-queued)
+      }
+      const Time tr = ready_.empty() ? kNever : ready_.top().t;
+      const Time te = next_event_core(cal_, far_, next_ev_, tr);
+      if (te == kNever && tr == kNever) die_deadlocked();
+
+      // Events run before ranks at the same timestamp so that deliveries
+      // are visible to a rank resuming at that instant.
+      if (te <= tr) {
+        const PoppedEvent pe = pop_event_core(cal_, far_, next_ev_, te);
+        // Move the callback out and recycle its slot *before* invoking: the
+        // callback may post events (growing the pool) or run nested engines.
+        EventFn cb = slots_.take(pe.slot);
+        if (te > horizon_) horizon_ = te;
+        if (sched_trace_) sched_trace_->push_back(SchedRecord{te, -1});
+        if (sched_obs_) sched_obs_->on_schedule(te, -1);
+        cb();
+        continue;
+      }
+
+      const HeapItem item = ready_.pop();
+      RankState& rs = *ranks_[item.rank];
+      if (item.t > rs.now) rs.now = item.t;
+      if (rs.now > horizon_) horizon_ = rs.now;
+      rs.st = St::Running;
+      if (sched_trace_) {
+        sched_trace_->push_back(SchedRecord{item.t, item.rank});
+      }
+      if (sched_obs_) sched_obs_->on_schedule(item.t, item.rank);
+      hand_token_to(item.rank);
+    }
+    return;
   }
 
   while (done_count_ < nranks()) {
@@ -203,10 +546,8 @@ void Engine::run() {
     if (run_event) {
       const EventKey key = events_.pop();
       // Move the callback out and recycle its slot *before* invoking: the
-      // callback may post events (growing event_cbs_) or run nested engines.
-      EventFn cb = std::move(event_cbs_[key.slot]);
-      event_cbs_[key.slot] = nullptr;
-      free_slots_.push_back(key.slot);
+      // callback may post events (growing the pool) or run nested engines.
+      EventFn cb = slots_.take(key.slot);
       if (key.t > horizon_) horizon_ = key.t;
       if (sched_trace_) sched_trace_->push_back(SchedRecord{key.t, -1});
       if (sched_obs_) sched_obs_->on_schedule(key.t, -1);
@@ -224,7 +565,172 @@ void Engine::run() {
     if (sched_obs_) sched_obs_->on_schedule(item.t, item.rank);
     hand_token_to(item.rank);
   }
-  running_ = false;
+}
+
+// --------------------------------------------------------- sharded driver --
+
+void Engine::run_sharded() {
+  if (sched_trace_ != nullptr) {
+    std::fprintf(stderr,
+                 "sim::Engine: set_schedule_trace is single-shard only\n");
+    std::abort();
+  }
+  stop_flag_ = false;
+  // Quiescent setup on the caller's thread: every shard's initial ready set.
+  for (int r = 0; r < nranks(); ++r) make_ready(r, 0);
+
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size() - 1);
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    workers.emplace_back([this, s] { shard_main(*shards_[s]); });
+  }
+  shard_main(*shards_[0]);
+  for (auto& w : workers) w.join();
+
+  // Fold per-shard results into the engine-wide views.
+  for (auto& sh : shards_) {
+    if (sh->horizon > horizon_) horizon_ = sh->horizon;
+    for (const auto& [name, v] : sh->stats.all()) stats_.counter(name) += v;
+    sh->stats.clear();
+  }
+}
+
+void Engine::shard_main(ShardState& sh) {
+  g_shard_id = sh.id;
+  Fiber adopted;  // this worker thread's scheduler fiber
+  sh.sched_fiber = &adopted;
+  for (;;) {
+    if (window_barrier(sh)) break;
+    execute_window(sh);
+  }
+  sh.sched_fiber = nullptr;
+  g_shard_id = 0;
+}
+
+bool Engine::window_barrier(ShardState& sh) {
+  std::unique_lock<std::mutex> lk(barrier_mu_);
+  if (++barrier_count_ == static_cast<int>(shards_.size())) {
+    barrier_count_ = 0;
+    serial_merge_and_plan();
+    ++barrier_gen_;
+    barrier_cv_.notify_all();
+  } else {
+    const std::uint64_t gen = barrier_gen_;
+    barrier_cv_.wait(lk, [&] { return barrier_gen_ != gen; });
+  }
+  (void)sh;
+  return stop_flag_;
+}
+
+// Runs with every shard parked at the barrier (the barrier mutex orders all
+// shard-private state both ways), so it may touch any shard without atomics.
+void Engine::serial_merge_and_plan() {
+  // Merge staged cross-shard events. Every entry carries its canonical
+  // (send_t, sender, seq) key from post time and the destination buckets
+  // sort by that key, so the insert order here is immaterial: the resulting
+  // schedule is a pure function of the simulation, invariant to both host
+  // thread timing and the shard count itself.
+  for (auto& src : shards_) {
+    for (std::size_t d = 0; d < shards_.size(); ++d) {
+      auto& box = src->outbox[d];
+      if (box.empty()) continue;
+      ShardState& dst = *shards_[d];
+      for (auto& st : box) {
+        shard_insert_local(dst, st.t, st.home, st.sender, st.send_t, st.seq,
+                           std::move(st.cb));
+      }
+      box.clear();
+    }
+  }
+
+  int done = 0;
+  for (auto& sh : shards_) done += sh->done;
+  if (done == nranks()) {
+    stop_flag_ = true;
+    return;
+  }
+
+  Time tmin = kNever;
+  for (auto& sh : shards_) {
+    sh->next_time = shard_next_time(*sh);
+    if (sh->next_time < tmin) tmin = sh->next_time;
+  }
+  if (tmin == kNever) {
+    for (auto& sh : shards_) {
+      if (sh->horizon > horizon_) horizon_ = sh->horizon;
+    }
+    die_deadlocked();
+  }
+
+  const Time wend = tmin + lookahead_.load(std::memory_order_relaxed);
+  for (auto& sh : shards_) sh->window_end = wend;
+}
+
+// Execute every local item with t < window_end, in (t, events-before-ranks,
+// canonical causal key) order. The causal key — posting context's virtual
+// time, home rank, per-sender sequence — is assigned at post time from
+// simulation state alone, so the schedule each rank observes is identical
+// for every shard count: virtual-time results are shard-count-invariant.
+void Engine::execute_window(ShardState& sh) {
+  const Time wend = sh.window_end;
+  for (;;) {
+    while (!sh.ready.empty() &&
+           ranks_[sh.ready.top().rank]->st != St::Ready) {
+      sh.ready.pop();  // stale entry
+    }
+    const Time tr = sh.ready.empty() ? kNever : sh.ready.top().t;
+    const Time bound = tr < wend ? tr : wend;
+    const Time te = next_event_core(sh.cal, sh.far, sh.next_ev, bound);
+    if (te >= wend && tr >= wend) return;
+
+    if (te <= tr) {
+      const PoppedEvent pe = pop_event_core(sh.cal, sh.far, sh.next_ev, te);
+      EventFn cb = sh.slots.take(pe.slot);
+      if (te > sh.horizon) sh.horizon = te;
+      sh.exec_now = te;
+      sh.exec_home = pe.home;  // nested posts attribute to this rank
+      if (sched_obs_) sched_obs_->on_schedule(te, -1);
+      cb();
+      // Batch-drain the rest of this nanosecond: after one event the next
+      // item is usually another event in the same bucket, so skip the full
+      // bound/base/bitmap rescan while it provably stays the minimum —
+      // bucket still occupied at te with no lower post (next_ev == te), no
+      // overdue spill, and no rank due at or before te (equal-time events
+      // run before ranks anyway; a stale ready entry below te just falls
+      // back to the slow path, which skips it). Pop order within the
+      // bucket is unchanged, so the schedule is identical.
+      const std::size_t bi =
+          static_cast<std::size_t>(te) & (Calendar::kBuckets - 1);
+      while (sh.cal.head[bi] != Calendar::kNil && sh.next_ev == te &&
+             (sh.far.empty() || sh.far.top().t > te) &&
+             (sh.ready.empty() || sh.ready.top().t >= te)) {
+        const Calendar::Node n = sh.cal.pop_at(te);
+        // The successor's callback slot is the next iteration's likely
+        // cache miss; n.next still names it (pop_at copied before relink).
+        if (n.next != Calendar::kNil) {
+          const Calendar::Node& nx = sh.cal.nodes[n.next];
+          if ((nx.slot & SlotPool::kBigBit) == 0) {
+            __builtin_prefetch(sh.slots.small.data() + nx.slot);
+          }
+        }
+        EventFn cb2 = sh.slots.take(n.slot);
+        sh.exec_home = n.home;
+        if (sched_obs_) sched_obs_->on_schedule(te, -1);
+        cb2();
+      }
+      sh.exec_home = -1;
+      continue;
+    }
+
+    const HeapItem item = sh.ready.pop();
+    RankState& rs = *ranks_[item.rank];
+    if (item.t > rs.now) rs.now = item.t;
+    if (rs.now > sh.horizon) sh.horizon = rs.now;
+    rs.st = St::Running;
+    sh.exec_now = item.t;
+    if (sched_obs_) sched_obs_->on_schedule(item.t, item.rank);
+    hand_token_to(item.rank);
+  }
 }
 
 }  // namespace casper::sim

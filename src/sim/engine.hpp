@@ -1,26 +1,43 @@
 // Deterministic discrete-event engine with cooperatively scheduled ranks.
 //
 // Each simulated MPI rank is a user-level stackful fiber (sim::Fiber — a
-// ucontext coroutine with its own guard-paged stack) multiplexed on the one
-// OS thread that calls run(). Exactly one party (a rank fiber or the
-// scheduler) runs at any moment; the scheduler always resumes the runnable
-// rank / event with the smallest (virtual time, sequence number) key, so
-// execution order — and therefore every simulated result — is
-// bit-reproducible. A rank switch is a ~100 ns userspace register swap, not
-// the mutex/condvar OS-thread handoff (two kernel context switches plus lock
-// traffic) earlier versions paid per scheduling decision.
+// coroutine with its own guard-paged stack). In the classic configuration
+// (Options::shards == 1) every fiber is multiplexed on the one OS thread
+// that calls run(): exactly one party (a rank fiber or the scheduler) runs
+// at any moment; the scheduler always resumes the runnable rank / event with
+// the smallest (virtual time, sequence number) key, so execution order — and
+// therefore every simulated result — is bit-reproducible. A rank switch is a
+// ~100 ns userspace register swap, not the mutex/condvar OS-thread handoff
+// (two kernel context switches plus lock traffic) earlier versions paid per
+// scheduling decision.
 //
-// Determinism argument: scheduling decisions depend only on the (t, seq)
-// min-heaps, seq is a single monotonically increasing counter, and every tie
-// is broken by seq — a total order. Fibers make the interleaving literally
-// single-threaded, so no OS scheduler choice, lock handoff, or memory-model
-// subtlety can perturb it; Options::stack_bytes changes where stacks live,
-// never what order code runs in.
+// Determinism argument (single shard): scheduling decisions depend only on
+// the (t, seq) min-heaps, seq is a single monotonically increasing counter,
+// and every tie is broken by seq — a total order. Fibers make the
+// interleaving literally single-threaded, so no OS scheduler choice, lock
+// handoff, or memory-model subtlety can perturb it; Options::stack_bytes
+// changes where stacks live, never what order code runs in.
+//
+// Sharded configuration (Options::shards > 1, DESIGN.md §12): ranks are
+// partitioned into shards, each driven by its own host worker thread with a
+// private ready heap, event calendar, slot pools, fiber stack pool, and
+// stats block — intra-shard scheduling takes no locks at all. Shards advance
+// in conservative lookahead windows (Lubachevsky bounded-lag): a window
+// barrier computes the global minimum next-item time T and every shard then
+// executes only items with t < T + lookahead. Cross-shard effects are staged
+// in per-destination outboxes and merged at the next barrier. Events the
+// runtime posts across shards carry at least the minimum network latency,
+// so with lookahead <= that latency no merged event can land inside an
+// already-executed region. Same-timestamp ties are broken by a canonical
+// causal key (send virtual time, sender rank, per-sender posting sequence)
+// assigned at post time — a pure function of the simulation, independent of
+// which host thread staged the event — so virtual-time results, window
+// bytes, and metrics are SHARD-COUNT INVARIANT, not merely run-to-run
+// stable (tests/test_sharded_runtime.cpp sweeps shards over {1,2,4,8}).
 //
 // Stack sizing: Options::stack_bytes sizes each rank fiber's stack (rounded
 // up to whole pages, minimum Fiber::kMinStackBytes). A PROT_NONE guard page
-// below each stack turns overflow into a deterministic fault, preserving the
-// overflow safety pthread stacks used to provide.
+// below each stack turns overflow into a deterministic fault.
 //
 // Rank code interacts with the engine through `Context`:
 //   ctx.compute(us(100));   // model computation (extendable by stolen cycles)
@@ -29,13 +46,20 @@
 //
 // Event callbacks posted with post_event() run on the scheduler fiber at
 // their timestamp, strictly interleaved with rank execution in time order.
-// They must not block; they typically deliver messages and wake ranks.
+// They must not block; they typically deliver messages and wake ranks. In
+// sharded mode an event must run on the shard owning the rank whose state it
+// mutates — post it with the homed overload post_event(t, home_rank, cb).
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/eventfn.hpp"
@@ -53,6 +77,9 @@ class Engine;
 /// (the observability layer's Recorder implements it). Unlike
 /// set_schedule_trace this does not accumulate storage in the engine, so it
 /// suits long runs where only a bounded window of history is wanted.
+/// Sharded runs invoke it concurrently from every shard thread; an
+/// implementation must route through per-shard storage (Recorder does, via
+/// Engine::current_shard()).
 class SchedObserver {
  public:
   virtual ~SchedObserver() = default;
@@ -107,7 +134,22 @@ class Engine {
     /// that instant), and virtual-time ordering is never violated, so every
     /// perturbed schedule is one the unperturbed rules could legally emit
     /// under different message timings. 0 = classic deterministic order.
+    /// Single-shard only (the sharded scheduler's merge order is its own,
+    /// already-explored source of legal tie permutations).
     std::uint64_t perturb_seed = 0;
+    /// Number of scheduler shards (worker threads). 1 = the classic
+    /// single-threaded scheduler, bit-exact with previous releases.
+    int shards = 1;
+    /// Conservative synchronization window for shards > 1: no cross-shard
+    /// effect may be scheduled less than `lookahead` after the time of the
+    /// party posting it (the runtime sets this to the minimum cross-node
+    /// network latency and clamps it further when small cross-shard
+    /// communicators exist; see clamp_lookahead()).
+    Time lookahead = us(1);
+    /// Rank -> shard id map; must be stable and in [0, shards). Defaults to
+    /// contiguous equal blocks. The MPI runtime passes a node-aligned map so
+    /// cross-shard always implies cross-node (inter-node latency floor).
+    std::function<int(int)> shard_of;
   };
   using RankMain = std::function<void(Context&)>;
 
@@ -137,8 +179,16 @@ class Engine {
 
   /// Schedule `cb` to run on the scheduler fiber at virtual time `t` (>= the
   /// current global time). EventFn is move-only, so closures may own pooled
-  /// buffers; posting allocates nothing once the slot pool is warm.
+  /// buffers; posting allocates nothing once the slot pool is warm. In
+  /// sharded mode the event runs on the calling shard — use the homed
+  /// overload whenever the callback touches another rank's state.
   void post_event(Time t, EventFn cb);
+
+  /// Schedule `cb` to run at `t` on the shard owning `home_rank` (the rank
+  /// whose state the callback mutates). Identical to the unhomed overload
+  /// when shards == 1. Cross-shard posts must satisfy the lookahead
+  /// contract: t >= (posting shard's window end); violations abort.
+  void post_event(Time t, int home_rank, EventFn cb);
 
   /// Move the calling rank's clock to `t` and yield until then.
   void advance_self_to(Time t);
@@ -149,10 +199,16 @@ class Engine {
   void block_self();
 
   /// Make `rank` runnable no earlier than time `t` (no-op unless blocked).
+  /// Sharded mode: `rank` must live on the calling shard (see wake_at).
   void wake(int rank, Time t);
 
+  /// Cross-shard-safe wake: direct when `rank` is shard-local (or shards ==
+  /// 1, where it is byte-identical to wake()), otherwise staged as a homed
+  /// event at `t`. Use from runtime code that may wake a remote rank.
+  void wake_at(int rank, Time t);
+
   /// Add stolen compute time to `rank` (interrupt progress model). Only has
-  /// an effect while the rank is inside Context::compute().
+  /// an effect while the rank is inside Context::compute(). Shard-local.
   void add_compute_penalty(int rank, Time t);
 
   /// True while `rank` is inside Context::compute().
@@ -163,8 +219,38 @@ class Engine {
   /// the core).
   void set_compute_scale(int rank, double scale);
 
+  /// Simulation-wide counters. Single-shard: the live registry. Sharded:
+  /// the post-run merge of every shard's registry (valid after run()).
   Stats& stats() { return stats_; }
+
+  /// The registry hot paths must increment: the calling shard's own block in
+  /// sharded mode (no synchronization), stats() otherwise.
+  Stats& stats_local();
+
+  /// A specific shard's registry (stable from construction), for resolving
+  /// per-shard hot-counter pointers before run().
+  Stats& shard_stats(int shard);
+
   Rng& rank_rng(int rank) { return ranks_[rank]->rng; }
+
+  // --- sharding introspection ---
+
+  bool sharded() const { return !shards_.empty(); }
+  int shards() const {
+    return shards_.empty() ? 1 : static_cast<int>(shards_.size());
+  }
+  int shard_of_rank(int rank) const {
+    return shard_of_rank_.empty() ? 0 : shard_of_rank_[rank];
+  }
+  /// Shard id of the calling thread (0 when single-sharded or off-engine).
+  static int current_shard();
+
+  /// Shrink the conservative lookahead (no-op if `la` is not smaller). The
+  /// runtime calls this when a communicator whose collective-release floor
+  /// is below the current lookahead comes into existence; takes effect at
+  /// the next window barrier.
+  void clamp_lookahead(Time la);
+  Time lookahead() const { return lookahead_.load(std::memory_order_relaxed); }
 
   /// Extra diagnostics printed when the simulation deadlocks (set by the
   /// runtime layer to dump communication state).
@@ -185,7 +271,7 @@ class Engine {
   /// Capture every scheduling decision into `sink` (null disables capture).
   /// The recorded sequence identifies a schedule exactly: together with
   /// (seed, perturb_seed) it makes interleaving bugs replayable and lets a
-  /// repro file show *where* two schedules diverged.
+  /// repro file show *where* two schedules diverged. Single-shard only.
   void set_schedule_trace(std::vector<SchedRecord>* sink) {
     sched_trace_ = sink;
   }
@@ -206,16 +292,20 @@ class Engine {
     St st = St::NotStarted;
     Time now = 0;
     Time penalty = 0;         // stolen compute time not yet consumed
+    /// Canonical per-sender post counter (sharded runs); lives here, next
+    /// to `now`, so the post hot path touches one rank cache line. Only the
+    /// shard owning this rank ever increments it.
+    std::uint64_t post_seq = 0;
     bool computing = false;   // inside Context::compute()
     double compute_scale = 1.0;
-    std::unique_ptr<Fiber> fiber;  // created by run(), freed when Done
+    std::unique_ptr<Fiber> fiber;  // created on first schedule, freed Done
   };
 
   struct HeapItem {
     Time t;
     std::uint64_t seq;
-    std::uint64_t salt;  // 0 unless schedule perturbation is on
-    int rank;            // -1 for events
+    std::uint32_t salt;  // 0 unless schedule perturbation is on
+    std::int32_t rank;   // -1 for events
     bool operator>(const HeapItem& o) const {
       if (t != o.t) return t > o.t;
       if (salt != o.salt) return salt > o.salt;
@@ -228,22 +318,243 @@ class Engine {
   };
 
   /// Heap entry for a pending event; the callback lives in a pooled slot
-  /// (event_cbs_) so heap sifts move 32 plain bytes, never a std::function.
+  /// (SlotPool) so heap sifts move plain bytes, never a closure.
+  ///
+  /// Tie-break at equal delivery time: salt (perturbed single-shard runs),
+  /// then the canonical causal key (send_t, sender, seq). Single-shard posts
+  /// pin send_t = 0 and sender = -1, so their order reduces to the legacy
+  /// global (t, salt, seq) — bit-exact with previous releases. Sharded posts
+  /// carry the posting context's virtual time, its home rank, and a
+  /// per-sender sequence number; all three are functions of the simulation
+  /// itself, never of the shard layout, which is what makes same-timestamp
+  /// execution order — and therefore every virtual-time result —
+  /// shard-count-invariant.
   struct EventKey {
     Time t;
-    std::uint64_t seq;
-    std::uint64_t salt;  // 0 unless schedule perturbation is on
+    Time send_t;         // posting context's virtual time (0 single-shard)
+    std::uint64_t seq;   // per-sender in sharded runs, global otherwise
+    std::uint32_t salt;  // 0 unless schedule perturbation is on
     std::uint32_t slot;
+    std::int32_t sender;  // posting context's home rank (-1 single-shard)
+    std::int32_t home;    // rank whose shard executes the event
     bool operator>(const EventKey& o) const {
       if (t != o.t) return t > o.t;
       if (salt != o.salt) return salt > o.salt;
+      if (send_t != o.send_t) return send_t > o.send_t;
+      if (sender != o.sender) return sender > o.sender;
       return seq > o.seq;
     }
   };
 
+  /// What pop_event_core hands back: the callback's slot plus the home rank
+  /// the sharded executor attributes nested posts to (-1 single-shard).
+  struct PoppedEvent {
+    std::uint32_t slot;
+    std::int32_t home;
+  };
+
+  /// Two-tier pooled event-callback slots. Most closures are a couple of
+  /// scalars and live in compact SmallEventFn slots; only closures larger
+  /// than SmallEventFn::kInline (the AmOp-carrying RMA deliveries) use the
+  /// full-width tier. Splitting tiers keeps the live-slot array inside the
+  /// cache at high event counts — the difference between 10M and 14M
+  /// dispatches/sec at 16 ranks, and more at 1024. Slot ids carry the tier
+  /// in the top bit.
+  struct SlotPool {
+    static constexpr std::uint32_t kBigBit = 0x80000000u;
+    std::vector<SmallEventFn> small;
+    std::vector<std::uint32_t> small_free;
+    std::vector<EventFn> big;
+    std::vector<std::uint32_t> big_free;
+
+    std::uint32_t put(EventFn&& cb) {
+      // Heap-held payloads are a pointer steal — the small tier fits them.
+      if (cb.on_heap() || cb.payload_size() <= SmallEventFn::kInline) {
+        if (small_free.empty()) {
+          const auto s = static_cast<std::uint32_t>(small.size());
+          small.push_back(std::move(cb));
+          return s;
+        }
+        const std::uint32_t s = small_free.back();
+        small_free.pop_back();
+        small[s] = std::move(cb);
+        return s;
+      }
+      if (big_free.empty()) {
+        const auto s = static_cast<std::uint32_t>(big.size());
+        big.push_back(std::move(cb));
+        return s | kBigBit;
+      }
+      const std::uint32_t s = big_free.back();
+      big_free.pop_back();
+      big[s] = std::move(cb);
+      return s | kBigBit;
+    }
+
+    /// Move the callback out and recycle the slot. Must happen *before* the
+    /// callback runs: it may post events and grow the slot vectors.
+    EventFn take(std::uint32_t slot) {
+      if ((slot & kBigBit) != 0) {
+        const std::uint32_t s = slot & ~kBigBit;
+        EventFn cb = std::move(big[s]);
+        big_free.push_back(s);
+        return cb;
+      }
+      EventFn cb(std::move(small[slot]));
+      small_free.push_back(slot);
+      return cb;
+    }
+  };
+
+  /// Bounded-horizon bucket calendar (sharded scheduler's event queue).
+  /// Covers [base, base + kBuckets) nanoseconds with one bucket per
+  /// nanosecond, indexed by absolute time so rebasing moves no data. In the
+  /// single-shard calendar (`sorted` false) entries within a bucket — one
+  /// timestamp — pop in append order == posting order == seq order,
+  /// reproducing the (t, seq) total order with O(1) insert and pop; the
+  /// binary heap's O(log n) sift and its cache misses are what cap
+  /// single-threaded event throughput. Shard calendars set `sorted`: buckets
+  /// are kept ordered by the canonical (send_t, sender, seq) causal key so
+  /// same-timestamp pops are shard-count-invariant, with the append fast
+  /// path still O(1) for the monotone common case. Events beyond the span
+  /// spill to a keyed heap and refill when the base advances.
+  struct Calendar {
+    static constexpr std::size_t kBuckets = 4096;  // power of two, ns each
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+    /// Buckets are intrusive FIFO lists over one shared node arena: the
+    /// arena grows geometrically and nodes recycle through a free list, so
+    /// the steady state allocates nothing no matter which of the 4096
+    /// buckets the workload rotates through (per-bucket vectors would pay
+    /// one warm-up allocation per bucket, which the zero-allocation hot
+    /// path guard rightly counts).
+    struct Node {
+      std::uint32_t slot;
+      std::uint32_t next;
+      std::int32_t sender;
+      std::int32_t home;
+      Time send_t;
+      std::uint64_t seq;
+    };
+    /// Canonical intra-bucket order (delivery times are equal by
+    /// construction — a bucket holds exactly one timestamp).
+    static bool key_less(const Node& a, const Node& b) {
+      if (a.send_t != b.send_t) return a.send_t < b.send_t;
+      if (a.sender != b.sender) return a.sender < b.sender;
+      return a.seq < b.seq;
+    }
+    std::array<std::uint32_t, kBuckets> head;
+    std::array<std::uint32_t, kBuckets> tail;
+    std::vector<Node> nodes;
+    std::uint32_t free_head = kNil;
+    std::uint64_t occ[kBuckets / 64] = {};
+    Time base = 0;
+    std::size_t pending = 0;
+    bool sorted = false;  // shard calendars keep buckets in key order
+
+    Calendar() {
+      head.fill(kNil);
+      tail.fill(kNil);
+    }
+
+    bool in_span(Time t) const { return t - base < kBuckets; }
+    void add(Time t, std::uint32_t slot, std::int32_t home,
+             std::int32_t sender, Time send_t, std::uint64_t seq) {
+      std::uint32_t n;
+      if (free_head != kNil) {
+        n = free_head;
+        free_head = nodes[n].next;
+        nodes[n] = Node{slot, kNil, sender, home, send_t, seq};
+      } else {
+        n = static_cast<std::uint32_t>(nodes.size());
+        nodes.push_back(Node{slot, kNil, sender, home, send_t, seq});
+      }
+      const std::size_t i = static_cast<std::size_t>(t) & (kBuckets - 1);
+      ++pending;
+      if (head[i] == kNil) {
+        head[i] = tail[i] = n;
+        occ[i >> 6] |= 1ull << (i & 63);
+        return;
+      }
+      if (!sorted || !key_less(nodes[n], nodes[tail[i]])) {
+        nodes[tail[i]].next = n;  // append: monotone keys, the common case
+        tail[i] = n;
+        return;
+      }
+      if (key_less(nodes[n], nodes[head[i]])) {
+        nodes[n].next = head[i];
+        head[i] = n;
+        return;
+      }
+      std::uint32_t p = head[i];
+      while (nodes[p].next != kNil &&
+             !key_less(nodes[n], nodes[nodes[p].next])) {
+        p = nodes[p].next;
+      }
+      nodes[n].next = nodes[p].next;
+      nodes[p].next = n;
+      if (nodes[n].next == kNil) tail[i] = n;
+    }
+    Node pop_at(Time t) {
+      const std::size_t i = static_cast<std::size_t>(t) & (kBuckets - 1);
+      const std::uint32_t n = head[i];
+      const Node out = nodes[n];
+      head[i] = nodes[n].next;
+      if (head[i] == kNil) occ[i >> 6] &= ~(1ull << (i & 63));
+      nodes[n].next = free_head;
+      free_head = n;
+      --pending;
+      return out;
+    }
+    /// Smallest occupied time >= from (caller guarantees from >= base and
+    /// pending > 0 implies an entry in [base, base + kBuckets)).
+    Time next_from(Time from) const;
+  };
+
+  /// Everything one scheduler shard owns. Worker threads touch only their
+  /// own shard between barriers; outboxes are written by the owner and
+  /// drained inside the barrier's serial section while all shards are
+  /// quiescent.
+  struct ShardState {
+    int id = 0;
+    std::vector<int> ranks;  // global rank ids owned by this shard
+    MinHeap<HeapItem> ready;
+    Calendar cal;
+    MinHeap<EventKey> far;  // events beyond the calendar span
+    SlotPool slots;
+    std::uint64_t seq = 0;
+    Time next_ev = kNever;  // min pending event time (calendar or far)
+    Time window_end = 0;    // exclusive execution horizon of this window
+    Time exec_now = 0;      // largest time this shard has executed to
+    /// Home rank of the event callback currently executing (-1 outside
+    /// one); nested posts from a callback attribute to this rank so their
+    /// canonical keys are functions of the simulation, not the shard map.
+    std::int32_t exec_home = -1;
+    Time next_time = kNever;  // min next item time, read at the barrier
+    Time horizon = 0;
+    int done = 0;
+    StackPool stacks;
+    Stats stats;
+    Fiber* sched_fiber = nullptr;  // worker thread's adopted fiber
+    /// Cross-shard staging: one vector per destination shard. Entries carry
+    /// their canonical causal key, assigned at post time on the source
+    /// shard, so the merge order is irrelevant to the destination's
+    /// intra-bucket sort.
+    struct Staged {
+      Time t;
+      Time send_t;
+      std::uint64_t seq;
+      std::int32_t home;
+      std::int32_t sender;
+      EventFn cb;
+    };
+    std::vector<std::vector<Staged>> outbox;
+  };
+
   /// Tie-break salt for the next heap push (0 when perturbation is off).
-  std::uint64_t next_salt() {
-    return opts_.perturb_seed == 0 ? 0 : perturb_rng_.next_u64();
+  std::uint32_t next_salt() {
+    return opts_.perturb_seed == 0
+               ? 0
+               : static_cast<std::uint32_t>(perturb_rng_.next_u64() >> 32);
   }
 
   static void fiber_trampoline(void* arg);
@@ -251,24 +562,79 @@ class Engine {
   void hand_token_to(int rank);
   void yield_to_scheduler(int rank, bool exiting = false);
   void make_ready(int rank, Time t);
+  void ensure_fiber(RankState& rs, StackPool* pool);
   [[noreturn]] void die_deadlocked();
+
+  // --- sharded core (engine.cpp) ---
+  void run_single();
+  void run_sharded();
+  void shard_main(ShardState& sh);
+  void execute_window(ShardState& sh);
+  /// Barrier + serial section; returns true when the run is complete.
+  bool window_barrier(ShardState& sh);
+  void serial_merge_and_plan();
+  void shard_insert_local(ShardState& sh, Time t, std::int32_t home,
+                          std::int32_t sender, Time send_t, std::uint64_t seq,
+                          EventFn cb);
+  Time shard_next_time(ShardState& sh);
+  ShardState& cur_shard();
+  /// Resolve the posting context for a sharded post: the rank fiber holding
+  /// the token, else the executing event's home, else -1 (pre-run setup).
+  /// Returns the sender rank, its virtual time, and its next sequence
+  /// number — the canonical causal key shared by every shard layout.
+  void post_ctx(std::int32_t* sender, Time* send_t, std::uint64_t* seq);
+
+  // --- shared event-queue core (calendar + spill heap; engine.cpp) --------
+  /// Pull every spilled event now inside the calendar span (entries below
+  /// `base` — "overdue" posts from lagging-clock ranks — stay in `far` and
+  /// pop from there).
+  static void refill_core(Calendar& cal, MinHeap<EventKey>& far,
+                          Time& next_ev);
+  /// Earliest pending event time across calendar + spill heap, advancing
+  /// the calendar base as far as `bound` allows. Returns kNever when empty.
+  static Time next_event_core(Calendar& cal, MinHeap<EventKey>& far,
+                              Time& next_ev, Time bound);
+  /// Pop the event `next_event_core` just reported at `te`.
+  static PoppedEvent pop_event_core(Calendar& cal, MinHeap<EventKey>& far,
+                                    Time next_ev, Time te);
 
   Options opts_;
   RankMain main_;
   std::vector<std::unique_ptr<RankState>> ranks_;
   MinHeap<HeapItem> ready_;
   MinHeap<EventKey> events_;
-  // Pooled event-callback slots, indexed by EventKey::slot; free_slots_ is
-  // the recycle list. At steady state the pool stops growing, and EventFn
-  // keeps closures inline, so posting an event costs no allocation at all.
-  std::vector<EventFn> event_cbs_;
-  std::vector<std::uint32_t> free_slots_;
+  SlotPool slots_;
+  /// Single-shard event queue when perturbation is off: the same calendar +
+  /// spill pair the shards use. With every salt zero, (t, seq) calendar
+  /// order is exactly the salted heap's pop order, so this is bit-exact
+  /// with events_ while making insert/pop O(1). Perturbed runs need a
+  /// comparison-based queue (salts reorder equal-time events) and keep
+  /// using events_.
+  Calendar cal_;
+  MinHeap<EventKey> far_;
+  Time next_ev_ = kNever;
   std::uint64_t seq_ = 0;
   Time horizon_ = 0;
   int done_count_ = 0;
   bool running_ = false;
 
-  Fiber sched_fiber_;  // adopts the thread that calls run()
+  Fiber sched_fiber_;  // adopts the thread that calls run() (single-shard)
+
+  // --- sharded state ---
+  std::vector<std::unique_ptr<ShardState>> shards_;  // empty when unsharded
+  std::vector<int> shard_of_rank_;
+  /// Post counter for sender -1 (pre-run setup posts, single-threaded).
+  /// Rank senders count in RankState::post_seq, touched only by the shard
+  /// owning the rank — every execution context lives on its home's shard —
+  /// so no synchronization, and the values are identical for every shard
+  /// count.
+  std::uint64_t setup_post_seq_ = 0;
+  std::atomic<Time> lookahead_{0};
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_gen_ = 0;
+  bool stop_flag_ = false;
 
   Rng perturb_rng_;  // tie-break salt stream (seeded by Options::perturb_seed)
   std::vector<SchedRecord>* sched_trace_ = nullptr;

@@ -18,6 +18,17 @@ void __sanitizer_finish_switch_fiber(void* fake_stack_save,
 }
 #endif
 
+#if CASPER_TSAN_FIBERS
+// <sanitizer/tsan_interface.h> exists on this toolchain, but declaring the
+// four entry points directly keeps the gate identical for gcc and clang.
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 #if CASPER_FIBER_ASM
 
 extern "C" {
@@ -98,6 +109,20 @@ std::size_t round_up_pages(std::size_t bytes) {
 
 }  // namespace
 
+StackPool::~StackPool() {
+  for (const StackMem& m : free_) munmap(m.map_base, m.map_bytes);
+}
+
+bool StackPool::take(std::size_t stack_bytes, StackMem* out) {
+  // All mappings in one pool share a size in practice (one stack size per
+  // engine run); the check guards against a future mixed-size caller quietly
+  // handing out a short stack.
+  if (free_.empty() || free_.back().stack_bytes != stack_bytes) return false;
+  *out = free_.back();
+  free_.pop_back();
+  return true;
+}
+
 Fiber::Fiber() {
 #if CASPER_ASAN_FIBERS
   // ASan needs the bounds of the adopted (native thread) stack to announce
@@ -112,27 +137,44 @@ Fiber::Fiber() {
     pthread_attr_destroy(&attr);
   }
 #endif
+#if CASPER_TSAN_FIBERS
+  tsan_fiber_ = __tsan_get_current_fiber();
+  tsan_owned_ = false;
+#endif
 }
 
-Fiber::Fiber(Entry entry, void* arg, std::size_t stack_bytes)
-    : entry_(entry), arg_(arg) {
+Fiber::Fiber(Entry entry, void* arg, std::size_t stack_bytes, StackPool* pool)
+    : entry_(entry), arg_(arg), pool_(pool) {
   const std::size_t ps = page_size();
   stack_bytes_ = round_up_pages(
       stack_bytes < kMinStackBytes ? kMinStackBytes : stack_bytes);
-  map_bytes_ = stack_bytes_ + ps;  // + low guard page
-  void* base = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
-                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
-  if (base == MAP_FAILED) {
-    std::fprintf(stderr, "sim::Fiber: mmap of %zu-byte stack failed\n",
-                 map_bytes_);
-    std::abort();
+
+  StackMem m;
+  if (pool_ != nullptr && pool_->take(stack_bytes_, &m)) {
+    map_base_ = m.map_base;
+    map_bytes_ = m.map_bytes;
+    stack_lo_ = m.stack_lo;
+  } else {
+    map_bytes_ = stack_bytes_ + ps;  // + low guard page
+    void* base = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+    if (base == MAP_FAILED) {
+      std::fprintf(stderr, "sim::Fiber: mmap of %zu-byte stack failed\n",
+                   map_bytes_);
+      std::abort();
+    }
+    if (mprotect(base, ps, PROT_NONE) != 0) {
+      std::fprintf(stderr, "sim::Fiber: mprotect of guard page failed\n");
+      std::abort();
+    }
+    map_base_ = base;
+    stack_lo_ = static_cast<char*>(base) + ps;
   }
-  if (mprotect(base, ps, PROT_NONE) != 0) {
-    std::fprintf(stderr, "sim::Fiber: mprotect of guard page failed\n");
-    std::abort();
-  }
-  map_base_ = base;
-  stack_lo_ = static_cast<char*>(base) + ps;
+
+#if CASPER_TSAN_FIBERS
+  tsan_fiber_ = __tsan_create_fiber(0);
+  tsan_owned_ = true;
+#endif
 
 #if CASPER_FIBER_ASM
   // Build the boot frame casper_fiber_switch will "resume": six callee-saved
@@ -169,7 +211,17 @@ Fiber::Fiber(Entry entry, void* arg, std::size_t stack_bytes)
 }
 
 Fiber::~Fiber() {
-  if (map_base_ != nullptr) munmap(map_base_, map_bytes_);
+#if CASPER_TSAN_FIBERS
+  // Never the running fiber here: the engine destroys only finished or
+  // never-started fibers (and adopted handles are not ours to destroy).
+  if (tsan_owned_ && tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+  if (map_base_ == nullptr) return;
+  if (pool_ != nullptr) {
+    pool_->put(StackMem{map_base_, map_bytes_, stack_lo_, stack_bytes_});
+  } else {
+    munmap(map_base_, map_bytes_);
+  }
 }
 
 #if !CASPER_FIBER_ASM
@@ -197,6 +249,9 @@ void Fiber::switch_to(Fiber& from, Fiber& to, bool from_exiting) {
                                  to.stack_lo_, to.stack_bytes_);
 #else
   (void)from_exiting;
+#endif
+#if CASPER_TSAN_FIBERS
+  __tsan_switch_to_fiber(to.tsan_fiber_, 0);
 #endif
 #if CASPER_FIBER_ASM
   casper_fiber_switch(&from.sp_, to.sp_);

@@ -4,9 +4,11 @@
 // between two fibers is a userspace register swap, roughly two orders of
 // magnitude cheaper than the mutex/condvar token handoff between OS threads
 // it replaces: no futex, no kernel scheduler, no cacheline ping-pong between
-// cores. All fibers of an Engine run on the one OS thread that called
-// Engine::run(), so `thread_local` state is shared and no synchronization is
-// ever needed.
+// cores. All fibers of a scheduler shard run on the one OS thread that
+// drives that shard (the thread that called Engine::run(), or a shard
+// worker), so `thread_local` state is shared within a shard and no
+// synchronization is ever needed for a switch. A fiber never migrates
+// between threads during its lifetime.
 //
 // Switch mechanism:
 //   - On x86-64 SysV targets the switch is a hand-rolled assembly routine
@@ -26,6 +28,13 @@
 //     overflowing a fiber stack faults deterministically on the guard page
 //     instead of silently corrupting a neighbouring allocation — the same
 //     safety pthread stacks provided before.
+//   - A StackPool recycles whole mappings (guard page included): a fiber
+//     constructed with a pool pops a ready mapping instead of paying
+//     mmap+mprotect, and returns it on destruction instead of munmap. At
+//     rank counts in the thousands the syscall churn of per-fiber mappings
+//     is a measurable fraction of a whole run; with a pool the shard
+//     reaches steady state after as many mappings as it has concurrently
+//     live fibers. Pools are shard-local — never shared across threads.
 //   - The adopting constructor (`Fiber()`) wraps the calling thread's native
 //     stack; it owns no memory and is only a switch target/source.
 //
@@ -36,9 +45,17 @@
 // with -fsanitize=address (clang `__has_feature` or gcc
 // `__SANITIZE_ADDRESS__`), and is zero-cost otherwise. The assembly switch
 // is ASan-compatible: the hooks bracket it exactly as they did swapcontext.
+//
+// ThreadSanitizer: TSan likewise tracks a shadow state per call stack;
+// without annotations every fiber switch looks like wild cross-stack access
+// and the sharded engine's TSan stage would drown in false positives. Each
+// owning fiber registers itself via __tsan_create_fiber, switches announce
+// through __tsan_switch_to_fiber, and destruction calls
+// __tsan_destroy_fiber. Compiled in only under -fsanitize=thread.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #if defined(__x86_64__) && defined(__linux__)
 #define CASPER_FIBER_ASM 1
@@ -55,11 +72,48 @@
 #endif
 #endif
 
+#if defined(__SANITIZE_THREAD__)
+#define CASPER_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CASPER_TSAN_FIBERS 1
+#endif
+#endif
+
 #if CASPER_FIBER_ASM
 extern "C" void casper_fiber_entry(void* fiber) __attribute__((noreturn));
 #endif
 
 namespace casper::sim {
+
+/// One recyclable fiber stack mapping: the full mmap (low guard page
+/// included) plus the usable region above the guard.
+struct StackMem {
+  void* map_base = nullptr;
+  std::size_t map_bytes = 0;
+  void* stack_lo = nullptr;
+  std::size_t stack_bytes = 0;
+};
+
+/// Free list of stack mappings, all of one usable size (the engine uses one
+/// stack size per run). Single-threaded: each scheduler shard owns its own
+/// pool. Destruction unmaps everything still pooled.
+class StackPool {
+ public:
+  StackPool() = default;
+  ~StackPool();
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
+
+  /// Pop a pooled mapping of exactly `stack_bytes` usable bytes (callers
+  /// pass the already page-rounded size); false when empty or mismatched.
+  bool take(std::size_t stack_bytes, StackMem* out);
+  void put(const StackMem& m) { free_.push_back(m); }
+  std::size_t size() const { return free_.size(); }
+
+ private:
+  std::vector<StackMem> free_;
+};
 
 /// A stackful user-level coroutine. Non-copyable, non-movable: the engine
 /// stores fibers behind stable pointers and suspended frames hold
@@ -81,13 +135,17 @@ class Fiber {
   /// switched to. `entry` must never return: a fiber ends by switching away
   /// for the last time (the engine aborts if entry falls off the end).
   /// `stack_bytes` is rounded up to whole pages and clamped to
-  /// kMinStackBytes; one extra guard page is mapped below the stack.
-  Fiber(Entry entry, void* arg, std::size_t stack_bytes);
+  /// kMinStackBytes; one extra guard page is mapped below the stack. With a
+  /// `pool`, the stack mapping is taken from / returned to it instead of
+  /// being mapped and unmapped per fiber.
+  Fiber(Entry entry, void* arg, std::size_t stack_bytes,
+        StackPool* pool = nullptr);
 
-  /// Unmaps the stack (if owned). Destroying a fiber that is suspended
-  /// mid-execution reclaims its stack without unwinding it — deterministic,
-  /// but objects on that stack are not destructed; the engine only does this
-  /// for fibers that are finished or were never started.
+  /// Releases the stack (if owned) — to its pool when constructed with one,
+  /// else unmapped. Destroying a fiber that is suspended mid-execution
+  /// reclaims its stack without unwinding it — deterministic, but objects on
+  /// that stack are not destructed; the engine only does this for fibers
+  /// that are finished or were never started.
   ~Fiber();
 
   Fiber(const Fiber&) = delete;
@@ -117,8 +175,13 @@ class Fiber {
   std::size_t map_bytes_ = 0;    // total mapping incl. guard page
   void* stack_lo_ = nullptr;     // usable stack bottom (above guard page)
   std::size_t stack_bytes_ = 0;  // usable stack size
+  StackPool* pool_ = nullptr;    // owns the mapping after destruction
 #if CASPER_ASAN_FIBERS
   void* fake_stack_ = nullptr;   // ASan fake-stack save slot while suspended
+#endif
+#if CASPER_TSAN_FIBERS
+  void* tsan_fiber_ = nullptr;   // TSan shadow-state handle
+  bool tsan_owned_ = false;      // created (vs adopted current) handle
 #endif
 };
 

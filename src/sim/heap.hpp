@@ -27,12 +27,16 @@ class MinHeap {
   void push(T x) {
     v_.push_back(std::move(x));
     std::size_t i = v_.size() - 1;
+    // Hole insertion: pull parents down into the hole (one move per level
+    // instead of a three-move swap), then place the item once.
+    T item = std::move(v_[i]);
     while (i > 0) {
       const std::size_t p = (i - 1) / 2;
-      if (!(v_[p] > v_[i])) break;
-      std::swap(v_[p], v_[i]);
+      if (!(v_[p] > item)) break;
+      v_[i] = std::move(v_[p]);
       i = p;
     }
+    v_[i] = std::move(item);
   }
 
   /// Remove and return the smallest element (by move, no copy).

@@ -7,15 +7,19 @@
 // after a short warm-up the working set of block sizes is resident and
 // acquire/release are two vector operations, no heap traffic.
 //
-// Single-threaded by design: a pool belongs to one simulation (the engine is
-// single-threaded), so no synchronization is needed. Blocks are returned
-// uncleared; callers fully overwrite what they read back (PoolBuf::resize
-// preserves existing contents on growth, like std::vector).
+// Single-threaded by default: a pool belongs to one simulation, and with a
+// single-shard engine no synchronization is needed. Sharded engines run one
+// worker thread per shard and PoolBufs can migrate across shards with the
+// messages that carry them, so set_thread_safe(true) arms a mutex around the
+// freelists; the unsharded path keeps paying only one predictable branch.
+// Blocks are returned uncleared; callers fully overwrite what they read back
+// (PoolBuf::resize preserves existing contents on growth, like std::vector).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <new>
 #include <span>
 #include <utility>
@@ -37,6 +41,10 @@ class BytePool {
   BytePool(const BytePool&) = delete;
   BytePool& operator=(const BytePool&) = delete;
 
+  /// Arm (or disarm) the freelist mutex. Call before worker threads share the
+  /// pool (sharded engine); must not be toggled while blocks are in flight.
+  void set_thread_safe(bool on) { locked_ = on; }
+
   /// A block of capacity >= n; *cap receives the actual block capacity
   /// (needed to release it into the right class). n == 0 returns null.
   std::byte* acquire(std::size_t n, std::size_t* cap) {
@@ -45,11 +53,13 @@ class BytePool {
       return nullptr;
     }
     const int c = cls_of(n);
-    if (c < 0) {  // oversized: direct, uncached
+    if (c < 0) {  // oversized: direct, uncached — no shared state touched
       *cap = n;
       return static_cast<std::byte*>(::operator new(n));
     }
     *cap = kMinBlock << c;
+    std::unique_lock<std::mutex> lk(mu_, std::defer_lock);
+    if (locked_) lk.lock();
     auto& fl = free_[c];
     if (!fl.empty()) {
       std::byte* p = fl.back();
@@ -69,6 +79,8 @@ class BytePool {
       ::operator delete(p);
       return;
     }
+    std::unique_lock<std::mutex> lk(mu_, std::defer_lock);
+    if (locked_) lk.lock();
     free_[c].push_back(p);
   }
 
@@ -90,6 +102,8 @@ class BytePool {
   std::uint64_t bytes_reused_ = 0;
   std::uint64_t reuses_ = 0;
   std::uint64_t fresh_ = 0;
+  std::mutex mu_;
+  bool locked_ = false;
 };
 
 /// A movable byte buffer drawing storage from a BytePool. Behaves like a

@@ -134,7 +134,7 @@ TEST(HotPathAlloc, ZeroSteadyStateAllocationsInPutAccLoop) {
 }
 
 std::uint64_t counter_or_zero(const obs::Recorder& rec, const char* name) {
-  const auto& c = rec.metrics.counters();
+  const auto& c = rec.metrics().counters();
   auto it = c.find(name);
   return it == c.end() ? 0 : it->second;
 }

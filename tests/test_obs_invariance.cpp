@@ -68,7 +68,7 @@ Observed run_once(std::uint64_t perturb) {
   cc.ghosts_per_node = 1;
   mpi::exec(rc, workload, core::layer(cc));
   Observed out;
-  out.counters = rec.metrics.counters();
+  out.counters = rec.metrics().counters();
   // "pool.*" counters report host-side buffer reuse, which legitimately
   // depends on the interleaving (which staging buffer is free when) — they
   // are outside the invariance contract, like the latency histograms.
@@ -77,7 +77,7 @@ Observed run_once(std::uint64_t perturb) {
                                           : std::next(it);
   }
   std::ostringstream os;
-  rec.trace.export_text(os);
+  rec.trace().export_text(os);
   out.trace_text = os.str();
   return out;
 }

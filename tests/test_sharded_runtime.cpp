@@ -1,0 +1,143 @@
+// Cross-shard determinism of the FULL runtime stack (not just the raw
+// engine, which tests/test_sim_engine_sharded.cpp covers): a fig5-style
+// workload — all-to-all RMA, compute, RMA burst, barrier — must produce
+// IDENTICAL virtual-time results and stats counters for every shard count.
+// The conservative-lookahead engine guarantees cross-shard events execute in
+// (t, ...) order exactly as the single-shard scheduler would, so simulated
+// results are a deterministic fact of the workload, independent of how the
+// rank space is partitioned over host worker threads.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/casper.hpp"
+#include "mpi/runtime.hpp"
+#include "net/profile.hpp"
+
+namespace {
+
+using namespace casper;
+using mpi::AccOp;
+using mpi::Comm;
+using mpi::Dt;
+using mpi::Info;
+using mpi::RunConfig;
+using mpi::Win;
+
+/// Everything a run leaves behind that must be shard-count invariant.
+struct Outcome {
+  sim::Time rank0_end = 0;           // virtual completion time on rank 0
+  std::vector<double> window;        // final window contents on rank 0
+  std::map<std::string, std::uint64_t> counters;
+};
+
+bool operator==(const Outcome& a, const Outcome& b) {
+  return a.rank0_end == b.rank0_end && a.window == b.window &&
+         a.counters == b.counters;
+}
+
+/// fig5-style iteration on `nodes` single-process nodes: one accumulate to
+/// every peer, flush, 100us compute, ten more accumulates per peer, flush,
+/// barrier. Plus a p2p ring exchange so the send path is exercised too.
+void fig5_body(mpi::Env& env, Outcome* out) {
+  Comm w = env.world();
+  const int p = env.size(w);
+  const int me = env.rank(w);
+  void* base = nullptr;
+  Win win = env.win_allocate(static_cast<std::size_t>(p) * sizeof(double),
+                             sizeof(double), Info{}, w, &base);
+  env.win_lock_all(0, win);
+  env.barrier(w);
+  double v = 1.0;
+  double ring = 0.0;
+  for (int it = 0; it < 2; ++it) {
+    for (int t = 0; t < p; ++t) {
+      if (t == me) continue;
+      env.accumulate(&v, 1, t, static_cast<std::size_t>(me), AccOp::Sum, win);
+    }
+    env.win_flush_all(win);
+    env.compute(sim::us(100));
+    for (int t = 0; t < p; ++t) {
+      if (t == me) continue;
+      for (int k = 0; k < 10; ++k) {
+        env.accumulate(&v, 1, t, static_cast<std::size_t>(me), AccOp::Sum,
+                       win);
+      }
+    }
+    env.win_flush_all(win);
+    mpi::Request reqs[2];
+    reqs[0] = env.irecv(&ring, 1, Dt::Double, (me + p - 1) % p, 3, w);
+    reqs[1] = env.isend(&v, 1, Dt::Double, (me + 1) % p, 3, w);
+    env.waitall(reqs, 2);
+    env.barrier(w);
+  }
+  env.win_unlock_all(win);
+  if (me == 0) {
+    out->rank0_end = env.now();
+    const double* d = static_cast<const double*>(base);
+    out->window.assign(d, d + p);
+  }
+  env.win_free(win);
+}
+
+Outcome run_fig5(int nodes, int shards, progress::Kind kind,
+                 bool oversub = false, bool casper_mode = false) {
+  RunConfig c;
+  c.machine.profile = net::cray_xc30_regular();
+  c.machine.topo.nodes = nodes;
+  c.machine.topo.cores_per_node = casper_mode ? 2 : 1;
+  c.progress.kind = kind;
+  c.progress.oversubscribed = oversub;
+  c.shards = shards;
+  Outcome out;
+  auto body = [&out](mpi::Env& env) { fig5_body(env, &out); };
+  mpi::LayerFactory layer = nullptr;
+  if (casper_mode) {
+    core::Config cc;
+    cc.ghosts_per_node = 1;
+    layer = core::layer(cc);
+  }
+  // Runtime directly (not mpi::exec): the merged sharded stats registry is
+  // only valid after run() returns, so grab it before the runtime dies.
+  mpi::Runtime rt(c, body, layer);
+  rt.run();
+  out.counters = rt.stats().all();
+  return out;
+}
+
+class ShardedRuntime : public ::testing::Test {};
+
+void expect_invariant(progress::Kind kind, bool oversub, bool casper_mode,
+                      const char* what) {
+  const Outcome ref = run_fig5(8, 1, kind, oversub, casper_mode);
+  ASSERT_GT(ref.rank0_end, 0) << what;
+  for (int shards : {2, 4, 8}) {
+    const Outcome got = run_fig5(8, shards, kind, oversub, casper_mode);
+    EXPECT_EQ(ref.rank0_end, got.rank0_end)
+        << what << ": virtual completion time changed at shards=" << shards;
+    EXPECT_EQ(ref.window, got.window)
+        << what << ": window bytes changed at shards=" << shards;
+    EXPECT_EQ(ref.counters, got.counters)
+        << what << ": stats counters changed at shards=" << shards;
+  }
+}
+
+TEST_F(ShardedRuntime, Fig5OriginalModeShardInvariant) {
+  expect_invariant(progress::Kind::None, false, false, "original");
+}
+
+TEST_F(ShardedRuntime, Fig5ThreadModeShardInvariant) {
+  expect_invariant(progress::Kind::Thread, true, false, "thread");
+}
+
+TEST_F(ShardedRuntime, Fig5InterruptModeShardInvariant) {
+  expect_invariant(progress::Kind::Interrupt, false, false, "dmapp");
+}
+
+TEST_F(ShardedRuntime, Fig5CasperModeShardInvariant) {
+  expect_invariant(progress::Kind::None, false, true, "casper");
+}
+
+}  // namespace

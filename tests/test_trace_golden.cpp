@@ -64,7 +64,7 @@ std::string canonical_trace() {
   cc.ghosts_per_node = 1;
   mpi::exec(rc, workload, core::layer(cc));
   std::ostringstream os;
-  rec.trace.export_text(os);
+  rec.trace().export_text(os);
   return os.str();
 }
 
