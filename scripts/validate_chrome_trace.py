@@ -4,6 +4,8 @@
 Checks the structural contract chrome://tracing and Perfetto rely on:
   * top level is an object with a "traceEvents" list
   * every event has ph in {X, i, M}, integer pid/tid, and a name
+  * every name is one of the known obs event names (obs::to_string(Ev) —
+    keep KNOWN_EVENTS in sync with src/obs/trace.cpp)
   * X (span) events carry numeric ts and dur >= 0
   * i (instant) events carry numeric ts and a scope "s"
   * M events are thread_name metadata with a non-empty args.name
@@ -19,6 +21,31 @@ Exits 0 when valid, 1 with a diagnostic otherwise. stdlib only.
 import json
 import numbers
 import sys
+
+
+# The event-name vocabulary of the obs tracer (src/obs/trace.cpp,
+# obs::to_string(Ev)). An exporter emitting anything else is a schema break:
+# downstream tooling keys on these names.
+KNOWN_EVENTS = {
+    "op.issued",
+    "op.hw",
+    "op.redirected",
+    "op.split",
+    "lb.decision",
+    "op.committed",
+    "op.flushed",
+    "epoch.begin",
+    "epoch.translate",
+    "epoch.end",
+    "fiber.switch",
+    "ghost.service",
+    "compute",
+    "fault.inject",
+    "am.retry",
+    "ghost.dead",
+    "recovery.rebind",
+    "race.conflict",
+}
 
 
 def fail(msg):
@@ -72,6 +99,8 @@ def main(argv):
                 fail(f"{where}: thread_name without args.name")
             thread_names[ev["tid"]] = tname
             continue
+        if ev["name"] not in KNOWN_EVENTS:
+            fail(f"{where}: unknown event name {ev['name']!r}")
         if not is_num(ev.get("ts")):
             fail(f"{where}: {ph} event without numeric ts")
         if ph == "X":

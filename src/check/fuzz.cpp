@@ -19,16 +19,6 @@ using mpi::Datatype;
 using mpi::Dt;
 using mpi::OpKind;
 
-const char* to_string(EpochStyle e) {
-  switch (e) {
-    case EpochStyle::Fence: return "fence";
-    case EpochStyle::Pscw: return "pscw";
-    case EpochStyle::Lock: return "lock";
-    case EpochStyle::LockAll: return "lockall";
-  }
-  return "?";
-}
-
 namespace {
 
 const char* dt_name(Dt d) {
@@ -119,6 +109,16 @@ void issue_one(mpi::Env& env, const OpRec& op, const mpi::Win& win,
   keep.emplace_back(db);
   std::byte* res = keep.back().data();
   fill_elems(buf, oc, op.tdt.base, op.val);
+  if (op.local) {
+    // Racy mode: a direct load/store on the origin's own exposed segment,
+    // observed by the race analyzer via the Env local-access hooks.
+    if (op.kind == OpKind::Put) {
+      env.local_store(buf, op.disp, db, win);
+    } else {
+      env.local_load(res, op.disp, db, win);
+    }
+    return;
+  }
   switch (op.kind) {
     case OpKind::Put:
       env.put(buf, oc, odt, op.target, op.disp, op.count, op.tdt, win);
@@ -233,6 +233,7 @@ void fuzz_body(mpi::Env& env, const FuzzCase& fc, RunOutcome& out) {
   env.barrier(w);
   out.content_hash[static_cast<std::size_t>(me)] =
       fnv1a(base, fc.seg_bytes());
+  out.world_of[static_cast<std::size_t>(me)] = env.world_rank();
   env.win_free(win);
 }
 
@@ -408,6 +409,94 @@ FuzzCase make_case(std::uint64_t seed, bool reduced) {
   return fc;
 }
 
+FuzzCase make_racy_case(std::uint64_t seed, bool reduced, int races) {
+  FuzzCase fc = make_case(seed, reduced);
+  // Racing writes make final contents schedule-dependent; skip the
+  // cross-schedule content comparison, keep everything else.
+  fc.order_sensitive = true;
+  sim::Rng rng(seed, 0xace5);
+  const int nu = fc.nusers();
+  for (int i = 0; i < races; ++i) {
+    FuzzCase::PlantedRace pr;
+    pr.target = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(nu)));
+    const int round = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(fc.rounds)));
+    // Variant 2 (local-store vs PUT) stores from the target rank itself, so
+    // the remote writer must be someone else.
+    const int variant = static_cast<int>(rng.next_below(3));
+    int o1 = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nu)));
+    if (variant == 2 && o1 == pr.target) o1 = (o1 + 1) % nu;
+    int o2 = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(nu - 1)));
+    if (o2 >= o1) ++o2;
+    // 8-aligned overlap range inside o1's put slot on the target. It may
+    // also overlap o1's organic puts — extra true conflicts, all carrying
+    // the same origin pair, so coverage checks are unaffected.
+    const std::size_t cap8 = fc.slot_bytes / 8;
+    const std::size_t len8 = 1 + rng.next_below(std::min<std::size_t>(cap8, 3));
+    const std::size_t off8 = rng.next_below(cap8 - len8 + 1);
+    pr.lo = static_cast<std::size_t>(o1) * fc.slot_bytes + off8 * 8;
+    pr.hi = pr.lo + len8 * 8;
+
+    OpRec a;
+    a.round = round;
+    a.target = pr.target;
+    a.disp = pr.lo;
+    a.count = static_cast<int>(pr.hi - pr.lo);
+    a.tdt = mpi::contig(Dt::Byte);
+    a.val = 0x40 + i;
+    OpRec b = a;
+    b.val = 0x80 + i;
+    switch (variant) {
+      case 0:  // PUT vs PUT
+        a.kind = OpKind::Put;
+        a.origin = o1;
+        b.kind = OpKind::Put;
+        b.origin = o2;
+        break;
+      case 1:  // PUT vs GET
+        a.kind = OpKind::Put;
+        a.origin = o1;
+        b.kind = OpKind::Get;
+        b.origin = o2;
+        break;
+      default:  // local store on the exposed segment vs a remote PUT
+        a.kind = OpKind::Put;
+        a.origin = pr.target;
+        a.local = true;
+        b.kind = OpKind::Put;
+        b.origin = o1;
+        break;
+    }
+    pr.origin_a = a.origin;
+    pr.origin_b = b.origin;
+    pr.op_a = static_cast<int>(fc.ops.size());
+    fc.ops.push_back(a);
+    pr.op_b = static_cast<int>(fc.ops.size());
+    fc.ops.push_back(b);
+    fc.planted.push_back(pr);
+  }
+  return fc;
+}
+
+bool planted_flagged(const RunOutcome& out, const FuzzCase::PlantedRace& pr) {
+  const auto world = [&](int user_rank) {
+    const auto i = static_cast<std::size_t>(user_rank);
+    return i < out.world_of.size() ? out.world_of[i] : user_rank;
+  };
+  const int wa = std::min(world(pr.origin_a), world(pr.origin_b));
+  const int wb = std::max(world(pr.origin_a), world(pr.origin_b));
+  for (const RaceAnalyzer::Group& g : out.race_groups) {
+    if (g.target != pr.target || g.origin_a != wa || g.origin_b != wb)
+      continue;
+    for (const auto& [lo, hi] : g.ranges) {
+      if (lo < pr.hi && hi > pr.lo) return true;
+    }
+  }
+  return false;
+}
+
 void add_net_faults(FuzzCase& fc) {
   sim::Rng rng(fc.seed, 0xfa0175);
   fault::FaultPlan& fp = fc.fault_plan;
@@ -460,16 +549,27 @@ RunOutcome run_case(const FuzzCase& fc, std::uint64_t perturb_seed,
 
   RunOutcome out;
   out.content_hash.assign(static_cast<std::size_t>(fc.nusers()), 0);
+  out.world_of.assign(static_cast<std::size_t>(fc.nusers()), -1);
   ShadowOracle oracle;
+  RaceAnalyzer race;
+  if (want_trace) race.set_recorder(&rec);
   mpi::Runtime rt(
       rc, [&fc, &out](mpi::Env& env) { fuzz_body(env, fc, out); },
       core::layer(cc));
-  rt.set_observer(&oracle);
+  rt.add_observer(&oracle);
+  rt.add_observer(&race);
   rt.engine().set_schedule_trace(&out.trace);
   rt.run();
   out.atomicity_violations = rt.stats().get("atomicity_violations");
   out.divergences = oracle.divergences();
   out.commits = oracle.commits_seen();
+  out.race_conflict_events = race.conflict_events();
+  out.race_conflict_bytes = race.conflict_bytes();
+  out.race_groups = race.groups();
+  for (const RaceConflict& c : race.conflicts()) {
+    out.race_diags.push_back(c.diag);
+    if (out.race_diags.size() >= 8) break;
+  }
   if (fc.fault_plan.active()) {
     for (const auto& [key, val] : rt.stats().all()) {
       if (key.rfind("fault.", 0) == 0 || key.rfind("recovery.", 0) == 0) {
@@ -521,6 +621,7 @@ std::string write_repro(const Repro& r, const FuzzCase& fc,
   std::fprintf(f, "prefix %d\n", r.prefix_ops);
   std::fprintf(f, "reduced %d\n", r.reduced ? 1 : 0);
   std::fprintf(f, "fault %d\n", r.fault ? 1 : 0);
+  if (r.races > 0) std::fprintf(f, "races %d\n", r.races);
   if (r.plan.active()) {
     // Embed the triggering FaultPlan: replay must reproduce the exact
     // drop/dup/delay verdicts, so the plan travels with the repro instead
@@ -558,11 +659,22 @@ std::string write_repro(const Repro& r, const FuzzCase& fc,
     const OpRec& op = fc.ops[static_cast<std::size_t>(i)];
     std::fprintf(f,
                  "op %d kind=%s aop=%s origin=%d target=%d round=%d "
-                 "disp=%zu count=%d dt=%s blocklen=%d stride=%d val=%lld\n",
+                 "disp=%zu count=%d dt=%s blocklen=%d stride=%d val=%lld "
+                 "local=%d\n",
                  i, kind_name(op.kind), aop_name(op.aop), op.origin,
                  op.target, op.round, op.disp, op.count, dt_name(op.tdt.base),
                  op.tdt.blocklen, op.tdt.stride,
-                 static_cast<long long>(op.val));
+                 static_cast<long long>(op.val), op.local ? 1 : 0);
+  }
+  for (const FuzzCase::PlantedRace& pr : fc.planted) {
+    std::fprintf(f,
+                 "planted origin_a=%d origin_b=%d target=%d lo=%zu hi=%zu "
+                 "op_a=%d op_b=%d\n",
+                 pr.origin_a, pr.origin_b, pr.target, pr.lo, pr.hi, pr.op_a,
+                 pr.op_b);
+  }
+  for (const std::string& d : out.race_diags) {
+    std::fprintf(f, "race %s\n", d.c_str());
   }
   for (const Divergence& d : out.divergences) {
     std::fprintf(f,
@@ -611,6 +723,7 @@ bool parse_repro(const std::string& path, Repro& out) {
       out.reduced = b != 0;
     } else if (std::sscanf(line, "fault %d", &b) == 1) {
       out.fault = b != 0;
+    } else if (std::sscanf(line, "races %d", &out.races) == 1) {
     } else if (std::sscanf(line,
                            "netfault seed=%" SCNu64 " drop=%lg dup=%lg "
                            "delay=%lg dmin=%" SCNu64 " dmax=%" SCNu64
@@ -640,7 +753,8 @@ bool parse_repro(const std::string& path, Repro& out) {
 }
 
 bool replay(const Repro& r) {
-  FuzzCase fc = make_case(r.seed, r.reduced);
+  FuzzCase fc = r.races > 0 ? make_racy_case(r.seed, r.reduced, r.races)
+                            : make_case(r.seed, r.reduced);
   if (r.plan.active()) fc.fault_plan = r.plan;
   if (r.prefix_ops > 0 &&
       r.prefix_ops < static_cast<int>(fc.ops.size())) {
@@ -651,14 +765,25 @@ bool replay(const Repro& r) {
     const RunOutcome base = run_case(fc, r.base_perturb, r.fault);
     return out.content_hash != base.content_hash;
   }
+  if (r.kind == "race-conflict") return !out.races_clean();
+  if (r.kind == "race-miss") {
+    const int n = static_cast<int>(fc.ops.size());
+    for (const FuzzCase::PlantedRace& pr : fc.planted) {
+      if (pr.op_a < n && pr.op_b < n && !planted_flagged(out, pr))
+        return true;
+    }
+    return false;
+  }
   return !out.oracle_clean();
 }
 
 CampaignResult run_campaign(const CampaignOptions& opt) {
   CampaignResult res;
+  const bool racy = opt.planted_races > 0;
   for (int c = 0; c < opt.cases; ++c) {
     const std::uint64_t seed = opt.base_seed + static_cast<std::uint64_t>(c);
-    FuzzCase fc = make_case(seed, opt.reduced);
+    FuzzCase fc = racy ? make_racy_case(seed, opt.reduced, opt.planted_races)
+                       : make_case(seed, opt.reduced);
     if (opt.net_faults) add_net_faults(fc);
     ++res.cases_run;
 
@@ -669,7 +794,64 @@ CampaignResult run_campaign(const CampaignOptions& opt) {
       outs.push_back(run_case(fc, perturb_for(seed, s)));
       ++res.runs;
       res.total_commits += outs.back().commits;
-      if (!outs.back().oracle_clean() && bad_schedule < 0) bad_schedule = s;
+      // Racy mode: planted racing writes legitimately diverge the oracle
+      // and the content hashes; only analyzer coverage is judged.
+      if (!racy && !outs.back().oracle_clean() && bad_schedule < 0)
+        bad_schedule = s;
+    }
+
+    if (racy) {
+      // Positive tests: every planted pair must be flagged in EVERY
+      // schedule (verdicts are schedule-invariant by design).
+      int miss_schedule = -1;
+      for (int s = 0; s < opt.schedules && miss_schedule < 0; ++s) {
+        for (const FuzzCase::PlantedRace& pr : fc.planted) {
+          if (!planted_flagged(outs[static_cast<std::size_t>(s)], pr)) {
+            miss_schedule = s;
+            break;
+          }
+        }
+      }
+      if (miss_schedule >= 0) {
+        const std::uint64_t p = perturb_for(seed, miss_schedule);
+        const auto misses = [&](const FuzzCase& t, const RunOutcome& o) {
+          const int n = static_cast<int>(t.ops.size());
+          for (const FuzzCase::PlantedRace& pr : t.planted) {
+            if (pr.op_a < n && pr.op_b < n && !planted_flagged(o, pr))
+              return true;
+          }
+          return false;
+        };
+        const int k = minimize_prefix(
+            static_cast<int>(fc.ops.size()), [&](int n) {
+              FuzzCase t = fc;
+              t.ops.resize(static_cast<std::size_t>(n));
+              return misses(t, run_case(t, p));
+            });
+        FuzzCase t = fc;
+        t.ops.resize(static_cast<std::size_t>(k));
+        const RunOutcome rerun = run_case(t, p);
+        Repro rp;
+        rp.seed = seed;
+        rp.perturb = p;
+        rp.prefix_ops = k;
+        rp.reduced = opt.reduced;
+        rp.plan = fc.fault_plan;
+        rp.races = opt.planted_races;
+        rp.kind = "race-miss";
+        Failure fl;
+        fl.seed = seed;
+        fl.perturb = p;
+        fl.kind = rp.kind;
+        fl.minimized_ops = k;
+        fl.repro_path = write_repro(rp, fc, rerun, opt.repro_dir);
+        res.failures.push_back(std::move(fl));
+      }
+      if (opt.verbose && (c + 1) % 50 == 0) {
+        std::fprintf(stderr, "fuzz: %d/%d racy cases, %d runs, %zu miss(es)\n",
+                     c + 1, opt.cases, res.runs, res.failures.size());
+      }
+      continue;
     }
 
     if (bad_schedule >= 0) {
@@ -698,6 +880,45 @@ CampaignResult run_campaign(const CampaignOptions& opt) {
       fl.repro_path = write_repro(rp, fc, rerun, opt.repro_dir);
       res.failures.push_back(std::move(fl));
       continue;
+    }
+
+    // Clean corpus = negative tests for the analyzer: the generator promises
+    // every case race-free, so any conflict is a false positive.
+    {
+      int fp_schedule = -1;
+      for (int s = 0; s < opt.schedules; ++s) {
+        if (!outs[static_cast<std::size_t>(s)].races_clean()) {
+          fp_schedule = s;
+          break;
+        }
+      }
+      if (fp_schedule >= 0) {
+        const std::uint64_t p = perturb_for(seed, fp_schedule);
+        const int k = minimize_prefix(
+            static_cast<int>(fc.ops.size()), [&](int n) {
+              FuzzCase t = fc;
+              t.ops.resize(static_cast<std::size_t>(n));
+              return !run_case(t, p).races_clean();
+            });
+        FuzzCase t = fc;
+        t.ops.resize(static_cast<std::size_t>(k));
+        const RunOutcome rerun = run_case(t, p);
+        Repro rp;
+        rp.seed = seed;
+        rp.perturb = p;
+        rp.prefix_ops = k;
+        rp.reduced = opt.reduced;
+        rp.plan = fc.fault_plan;
+        rp.kind = "race-conflict";
+        Failure fl;
+        fl.seed = seed;
+        fl.perturb = p;
+        fl.kind = rp.kind;
+        fl.minimized_ops = k;
+        fl.repro_path = write_repro(rp, fc, rerun, opt.repro_dir);
+        res.failures.push_back(std::move(fl));
+        continue;
+      }
     }
 
     if (!fc.order_sensitive) {

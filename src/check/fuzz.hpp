@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "check/oracle.hpp"
+#include "check/race.hpp"
 #include "core/casper.hpp"
 #include "fault/plan.hpp"
 #include "mpi/types.hpp"
@@ -36,9 +37,8 @@
 
 namespace casper::check {
 
-enum class EpochStyle { Fence, Pscw, Lock, LockAll };
-
-const char* to_string(EpochStyle e);
+// EpochStyle (fence/pscw/lock/lockall) is shared with the race analyzer and
+// lives in check/race.hpp.
 
 /// One generated operation, fully resolved (so truncating the op stream is a
 /// pure prefix of the program).
@@ -52,6 +52,9 @@ struct OpRec {
   int count = 0;           ///< target datatype blocks
   mpi::Datatype tdt;       ///< target datatype (contig or stride-2 vector)
   std::int64_t val = 0;    ///< deterministic value seed for the payload
+  /// Local access to the origin's own segment instead of an RMA op (racy
+  /// mode): Put = Env::local_store, Get = Env::local_load. origin == target.
+  bool local = false;
 };
 
 /// A complete generated test case.
@@ -74,6 +77,18 @@ struct FuzzCase {
   /// Injected network/process faults (--faults mode, the fault matrix and
   /// the ghost-failure suites). Inert unless `fault_plan.active()`.
   fault::FaultPlan fault_plan;
+  /// One deliberately planted same-epoch conflicting access pair (racy
+  /// mode). The analyzer must flag every planted pair in every schedule.
+  struct PlantedRace {
+    int origin_a = -1;  ///< user rank of the first access
+    int origin_b = -1;  ///< user rank of the second access
+    int target = -1;    ///< user rank owning the overlapping bytes
+    std::size_t lo = 0; ///< overlapping byte range in the target segment
+    std::size_t hi = 0;
+    int op_a = -1;      ///< indices of the planted ops in `ops`
+    int op_b = -1;
+  };
+  std::vector<PlantedRace> planted;
   std::vector<OpRec> ops;
 
   int nusers() const { return nodes * users_per_node; }
@@ -87,6 +102,13 @@ struct FuzzCase {
 /// Deterministically generate the case for `seed`. `reduced` shrinks op
 /// counts and slot sizes for the ctest-time corpus.
 FuzzCase make_case(std::uint64_t seed, bool reduced);
+
+/// make_case plus `races` deliberately planted same-epoch conflicting access
+/// pairs (PUT-vs-PUT, PUT-vs-GET, or local-store-vs-PUT into a victim's put
+/// slot), recorded in `planted`. Positive tests for the race analyzer: every
+/// planted pair must be flagged; the case is marked order-sensitive because
+/// racing writes make final contents schedule-dependent.
+FuzzCase make_racy_case(std::uint64_t seed, bool reduced, int races);
 
 /// Derive a deterministic lossy-network FaultPlan from the case's seed and
 /// install it (--faults mode): some mix of drop / duplicate / delay-reorder /
@@ -106,11 +128,26 @@ struct RunOutcome {
   /// Last obs-trace lines (export_text form); populated only when the
   /// CASPER_TRACE environment variable enables tracing for the run.
   std::vector<std::string> trace_tail;
+  /// Race-analyzer verdicts (the analyzer rides along on every run).
+  std::uint64_t race_conflict_events = 0;
+  std::uint64_t race_conflict_bytes = 0;
+  std::vector<RaceAnalyzer::Group> race_groups;
+  /// Diagnostics of the first recorded conflicts (repro material).
+  std::vector<std::string> race_diags;
+  /// World rank of each user rank (planted races are phrased in user ranks;
+  /// analyzer groups are phrased in world ranks).
+  std::vector<int> world_of;
 
   bool oracle_clean() const {
     return divergences.empty() && atomicity_violations == 0;
   }
+  bool races_clean() const { return race_conflict_events == 0; }
 };
+
+/// True when the analyzer flagged the planted pair in this run: some conflict
+/// group matches its target, its {origin_a, origin_b} pair (translated to
+/// world ranks via out.world_of), and intersects its byte range.
+bool planted_flagged(const RunOutcome& out, const FuzzCase::PlantedRace& pr);
 
 /// Run the case once under schedule `perturb_seed` (0 = classic order).
 /// `inject_flip_fault` enables the deliberate segment→ghost binding bug.
@@ -135,7 +172,13 @@ struct Repro {
   /// The network FaultPlan active when the failure triggered, embedded in
   /// the repro file so a replay reproduces the same drops/dups/delays.
   fault::FaultPlan plan;
-  std::string kind;  ///< "oracle-divergence" | "schedule-divergence"
+  /// Planted races in the generating case (> 0 → regenerate with
+  /// make_racy_case on replay).
+  int races = 0;
+  /// "oracle-divergence" | "schedule-divergence" | "race-conflict" (a clean
+  /// case the analyzer flagged: false positive) | "race-miss" (a planted
+  /// race the analyzer did not flag).
+  std::string kind;
 };
 
 /// Write a human-readable, machine-replayable repro file; returns its path.
@@ -153,6 +196,13 @@ struct CampaignOptions {
   /// --faults: every case additionally runs under a seed-derived lossy
   /// network (add_net_faults); failures embed the plan in their repro.
   bool net_faults = false;
+  /// --races N: racy mode. Every case is generated with make_racy_case and
+  /// N planted conflicting pairs; a planted pair the analyzer misses in any
+  /// schedule is a "race-miss" failure (minimized + repro like the rest).
+  /// Oracle/content checks are skipped — racing writes legitimately diverge.
+  /// 0 = clean mode, where any analyzer conflict is a "race-conflict"
+  /// false-positive failure.
+  int planted_races = 0;
   std::string repro_dir = ".";
   bool verbose = false;
 };

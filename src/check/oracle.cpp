@@ -103,11 +103,26 @@ void ShadowOracle::on_op_commit(const mpi::AmOp& op, sim::Time t,
 }
 
 void ShadowOracle::on_sync(mpi::WinImpl& win, int world_rank,
-                           mpi::SyncKind kind, sim::Time t) {
+                           mpi::SyncKind kind, int target, sim::Time t) {
+  (void)target;
   ++syncs_;
   validate(t, std::string(mpi::to_string(kind)) + " on win " +
                   std::to_string(win.id()) + " by world rank " +
                   std::to_string(world_rank));
+}
+
+void ShadowOracle::on_local_access(mpi::WinImpl& win, int comm_rank,
+                                   std::size_t offset, std::size_t len,
+                                   bool is_store, sim::Time t) {
+  (void)t;
+  if (!is_store) return;
+  const mpi::Segment& seg = win.segs[static_cast<std::size_t>(comm_rank)];
+  const auto addr = reinterpret_cast<std::uintptr_t>(seg.base) + offset;
+  std::byte* sh = shadow_at(addr, len);
+  MMPI_REQUIRE(sh != nullptr,
+               "oracle: local store outside registered memory (win %d)",
+               win.id());
+  std::memcpy(sh, seg.base + offset, len);
 }
 
 std::size_t ShadowOracle::validate(sim::Time t, const std::string& where) {

@@ -54,7 +54,11 @@ class ShadowOracle final : public mpi::RmaObserver {
   void on_win_free(mpi::WinImpl& win) override;
   void on_op_commit(const mpi::AmOp& op, sim::Time t, int entity) override;
   void on_sync(mpi::WinImpl& win, int world_rank, mpi::SyncKind kind,
-               sim::Time t) override;
+               int target, sim::Time t) override;
+  /// Local stores mutate real window bytes outside the commit stream: mirror
+  /// them into the shadow at the same instant so validation stays coherent.
+  void on_local_access(mpi::WinImpl& win, int comm_rank, std::size_t offset,
+                       std::size_t len, bool is_store, sim::Time t) override;
 
   /// Compare every registered byte against its shadow; returns the number of
   /// NEW divergences found (also appended to divergences(), capped).

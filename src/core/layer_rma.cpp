@@ -601,7 +601,7 @@ void CasperLayer::exec_self(Env& env, OpKind kind, AccOp op, const void* o,
   if (obs::on(rt_->recorder()))
     ++rt_->recorder()->metrics().counter("casper.self_ops");
 
-  if (rt_->observer() != nullptr) {
+  if (rt_->has_observers()) {
     // Self PUT/GET bypass the runtime's AM path entirely (direct load/store
     // above); synthesize the committed op so the shadow oracle sees it.
     mpi::AmOp aop;
@@ -735,8 +735,12 @@ void CasperLayer::win_fence(Env& env, unsigned mode_assert, const Win& w) {
   note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::Fence, t0);
   // Report the *user-facing* sync on the user window: the oracle validates
   // real window bytes here, after the translated completion above.
-  rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Fence,
+  rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Fence, -1,
                     env.now());
+  if (ep.fence_open) {
+    rt_->observe_epoch_begin(*cw->user_win, env.world_rank(),
+                             mpi::EpochEv::Fence, -1, env.now());
+  }
 }
 
 void CasperLayer::win_post(Env& env, const mpi::Group& g, unsigned mode_assert,
@@ -783,6 +787,8 @@ void CasperLayer::win_start(Env& env, const mpi::Group& g,
                   user_world_);
     }
   }
+  rt_->observe_epoch_begin(*cw->user_win, env.world_rank(),
+                           mpi::EpochEv::Start, -1, env.now());
 }
 
 void CasperLayer::win_complete(Env& env, const Win& w) {
@@ -807,7 +813,7 @@ void CasperLayer::win_complete(Env& env, const Win& w) {
   std::fill(ep.access_mask.begin(), ep.access_mask.end(), 0);
   note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::Complete, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Complete,
-                    env.now());
+                    -1, env.now());
 }
 
 void CasperLayer::win_wait(Env& env, const Win& w) {
@@ -829,7 +835,7 @@ void CasperLayer::win_wait(Env& env, const Win& w) {
   ep.exposure_group.clear();
   pmpi_->win_sync(env, cw->global_win);
   note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::Wait, t0);
-  rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Wait,
+  rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Wait, -1,
                     env.now());
 }
 
@@ -851,6 +857,11 @@ void CasperLayer::win_lock(Env& env, mpi::LockType type, int target,
   tl.mode_assert = mode_assert;
   tl.binding_free = false;
   ++ep.plans.gen;  // lock transition: cached split plans are stale
+  rt_->observe_epoch_begin(*cw->user_win, env.world_rank(),
+                           type == mpi::LockType::Exclusive
+                               ? mpi::EpochEv::LockExcl
+                               : mpi::EpochEv::Lock,
+                           target, env.now());
 
   // Lock every ghost on the target's node, on the overlapping window
   // dedicated to this target, in the hope of spreading communication
@@ -898,7 +909,7 @@ void CasperLayer::win_unlock(Env& env, int target, const Win& w) {
   ++ep.plans.gen;  // lock transition: cached split plans are stale
   note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::Unlock, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Unlock,
-                    env.now());
+                    target, env.now());
 }
 
 void CasperLayer::win_lock_all(Env& env, unsigned mode_assert, const Win& w) {
@@ -914,6 +925,8 @@ void CasperLayer::win_lock_all(Env& env, unsigned mode_assert, const Win& w) {
   MMPI_REQUIRE(!ep.lockall, "casper: nested lock_all");
   ep.lockall = true;
   ++ep.plans.gen;  // lock transition: cached split plans are stale
+  rt_->observe_epoch_begin(*cw->user_win, env.world_rank(),
+                           mpi::EpochEv::LockAll, -1, env.now());
   if (!cw->ug_wins.empty()) {
     // lock may be used concurrently by other origins: convert lockall to a
     // series of shared locks on every overlapping window so MPI's permission
@@ -965,7 +978,7 @@ void CasperLayer::win_unlock_all(Env& env, const Win& w) {
   ++ep.plans.gen;  // lock transition: cached split plans are stale
   note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::UnlockAll, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::UnlockAll,
-                    env.now());
+                    -1, env.now());
 }
 
 void CasperLayer::win_flush(Env& env, int target, const Win& w) {
@@ -1000,7 +1013,7 @@ void CasperLayer::win_flush(Env& env, int target, const Win& w) {
   }
   note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::Flush, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Flush,
-                    env.now());
+                    target, env.now());
 }
 
 void CasperLayer::win_flush_all(Env& env, const Win& w) {
@@ -1020,7 +1033,7 @@ void CasperLayer::win_flush_all(Env& env, const Win& w) {
   (void)me_u;
   note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::FlushAll, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::FlushAll,
-                    env.now());
+                    -1, env.now());
 }
 
 void CasperLayer::win_flush_local(Env& env, int target, const Win& w) {

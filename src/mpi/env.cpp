@@ -1,5 +1,8 @@
 #include "mpi/env.hpp"
 
+#include <cstring>
+
+#include "mpi/check.hpp"
 #include "mpi/runtime.hpp"
 
 namespace casper::mpi {
@@ -7,6 +10,46 @@ namespace casper::mpi {
 Layer& Env::layer() { return rt_->layer(); }
 
 void Env::prologue() { rt_->call_prologue(*this); }
+
+void Env::observe_rma_issue(OpKind kind, AccOp op, int target,
+                            std::size_t tdisp, int tcount, const Datatype& tdt,
+                            const Win& win) {
+  AmOp aop;
+  aop.kind = kind;
+  aop.op = op;
+  aop.origin_world = world_rank();
+  aop.target_world = win->comm()->world_rank(target);
+  aop.win = win.get();
+  aop.origin_comm_rank = win->comm()->rank_of_world(world_rank());
+  aop.target_comm_rank = target;
+  aop.target_disp =
+      tdisp * win->segs[static_cast<std::size_t>(target)].disp_unit;
+  aop.target_count = tcount;
+  aop.target_dt = tdt;
+  rt_->observe_issue(aop, now());
+}
+
+void Env::local_store(const void* src, std::size_t offset, std::size_t len,
+                      const Win& win) {
+  const int me = win->comm()->rank_of_world(world_rank());
+  auto& seg = win->segs[static_cast<std::size_t>(me)];
+  MMPI_REQUIRE(offset + len <= seg.size,
+               "local_store outside own segment (off=%zu len=%zu size=%zu)",
+               offset, len, seg.size);
+  std::memcpy(seg.base + offset, src, len);
+  rt_->observe_local(*win, me, offset, len, /*is_store=*/true, now());
+}
+
+void Env::local_load(void* dst, std::size_t offset, std::size_t len,
+                     const Win& win) {
+  const int me = win->comm()->rank_of_world(world_rank());
+  auto& seg = win->segs[static_cast<std::size_t>(me)];
+  MMPI_REQUIRE(offset + len <= seg.size,
+               "local_load outside own segment (off=%zu len=%zu size=%zu)",
+               offset, len, seg.size);
+  std::memcpy(dst, seg.base + offset, len);
+  rt_->observe_local(*win, me, offset, len, /*is_store=*/false, now());
+}
 
 void Env::compute(sim::Time d) {
   const sim::Time t0 = ctx_->now();
@@ -150,12 +193,20 @@ Segment Env::win_shared_query(const Win& win, int comm_rank) {
 void Env::put(const void* origin, int ocount, Datatype odt, int target,
               std::size_t tdisp, int tcount, Datatype tdt, const Win& win) {
   prologue();
+  if (kRaceObsCompiled && rt_->has_observers()) {
+    observe_rma_issue(OpKind::Put, AccOp::Replace, target, tdisp, tcount, tdt,
+                      win);
+  }
   layer().put(*this, origin, ocount, odt, target, tdisp, tcount, tdt, win);
 }
 
 void Env::get(void* origin, int ocount, Datatype odt, int target,
               std::size_t tdisp, int tcount, Datatype tdt, const Win& win) {
   prologue();
+  if (kRaceObsCompiled && rt_->has_observers()) {
+    observe_rma_issue(OpKind::Get, AccOp::Replace, target, tdisp, tcount, tdt,
+                      win);
+  }
   layer().get(*this, origin, ocount, odt, target, tdisp, tcount, tdt, win);
 }
 
@@ -163,6 +214,9 @@ void Env::accumulate(const void* origin, int ocount, Datatype odt, int target,
                      std::size_t tdisp, int tcount, Datatype tdt, AccOp op,
                      const Win& win) {
   prologue();
+  if (kRaceObsCompiled && rt_->has_observers()) {
+    observe_rma_issue(OpKind::Acc, op, target, tdisp, tcount, tdt, win);
+  }
   layer().accumulate(*this, origin, ocount, odt, target, tdisp, tcount, tdt,
                      op, win);
 }
@@ -172,6 +226,9 @@ void Env::get_accumulate(const void* origin, int ocount, Datatype odt,
                          std::size_t tdisp, int tcount, Datatype tdt,
                          AccOp op, const Win& win) {
   prologue();
+  if (kRaceObsCompiled && rt_->has_observers()) {
+    observe_rma_issue(OpKind::GetAcc, op, target, tdisp, tcount, tdt, win);
+  }
   layer().get_accumulate(*this, origin, ocount, odt, result, rcount, rdt,
                          target, tdisp, tcount, tdt, op, win);
 }
@@ -179,6 +236,9 @@ void Env::get_accumulate(const void* origin, int ocount, Datatype odt,
 void Env::fetch_and_op(const void* value, void* result, Dt dt, int target,
                        std::size_t tdisp, AccOp op, const Win& win) {
   prologue();
+  if (kRaceObsCompiled && rt_->has_observers()) {
+    observe_rma_issue(OpKind::Fao, op, target, tdisp, 1, contig(dt), win);
+  }
   layer().fetch_and_op(*this, value, result, dt, target, tdisp, op, win);
 }
 
@@ -186,6 +246,10 @@ void Env::compare_and_swap(const void* expected, const void* desired,
                            void* result, Dt dt, int target, std::size_t tdisp,
                            const Win& win) {
   prologue();
+  if (kRaceObsCompiled && rt_->has_observers()) {
+    observe_rma_issue(OpKind::Cas, AccOp::Replace, target, tdisp, 1,
+                      contig(dt), win);
+  }
   layer().compare_and_swap(*this, expected, desired, result, dt, target,
                            tdisp, win);
 }

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "mpi/am.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/layer.hpp"
 #include "mpi/request.hpp"
@@ -108,6 +109,17 @@ class Env {
                         void* result, Dt dt, int target, std::size_t tdisp,
                         const Win& win);
 
+  // --- local window access ---------------------------------------------------
+  // Direct load/store on THIS rank's own segment of `win` (byte offsets, not
+  // disp units). Models the program-order non-RMA accesses MPI lets an
+  // application make to its exposed memory; zero virtual-time cost. Reported
+  // to conformance observers so the race analyzer can check them against
+  // concurrent RMA (the load/store-vs-RMA conflict class).
+  void local_store(const void* src, std::size_t offset, std::size_t len,
+                   const Win& win);
+  void local_load(void* dst, std::size_t offset, std::size_t len,
+                  const Win& win);
+
   // Contiguous-double conveniences (the common case in the paper's benches).
   // `tdisp` is in units of the target's disp_unit, as in the general forms.
   void put(const double* origin, int n, int target, std::size_t tdisp,
@@ -146,6 +158,12 @@ class Env {
  private:
   Layer& layer();
   void prologue();
+  /// Report a program-order RMA issue to conformance observers BEFORE the
+  /// interception layer sees (and possibly redirects) it. Defined out of line
+  /// so env.hpp needs no Runtime definition; callers gate on kRaceObsCompiled
+  /// so the call folds away under -DCASPER_RACE=0.
+  void observe_rma_issue(OpKind kind, AccOp op, int target, std::size_t tdisp,
+                         int tcount, const Datatype& tdt, const Win& win);
 
   Runtime* rt_;
   sim::Context* ctx_;

@@ -80,7 +80,10 @@ struct RunConfig {
   /// > 1 partition ranks by node across shards synchronized by conservative
   /// lookahead (= the inter-node network latency, the smallest cross-node
   /// delay any event can have); clamped to the node count. Sharded runs
-  /// reject perturb_seed, fault plans, and RmaObservers.
+  /// reject perturb_seed, fault plans, and RmaObservers that are not
+  /// concurrent_safe() (worker threads invoke observer callbacks in
+  /// parallel; only internally synchronized observers such as the race
+  /// analyzer may attach).
   int shards = 1;
 };
 
@@ -226,16 +229,47 @@ class Runtime {
   }
 
   // ------------------------------------------------------------------------
-  // Conformance observation (see mpi/observe.hpp). The observer outlives the
-  // run; layers report user-facing sync events through observe_sync.
+  // Conformance observation (see mpi/observe.hpp). Observers outlive the run
+  // and fan out: the shadow oracle and the race analyzer watch the same op
+  // stream. Layers report user-facing sync/epoch events through observe_*.
   // ------------------------------------------------------------------------
-  void set_observer(RmaObserver* obs) { observer_ = obs; }
-  RmaObserver* observer() const { return observer_; }
-  void observe_commit(const AmOp& op, sim::Time t, int entity) {
-    if (observer_) observer_->on_op_commit(op, t, entity);
+  void add_observer(RmaObserver* obs) {
+    if (obs) observers_.push_back(obs);
   }
-  void observe_sync(WinImpl& win, int world_rank, SyncKind kind,
+  bool has_observers() const { return !observers_.empty(); }
+  const std::vector<RmaObserver*>& observers() const { return observers_; }
+  void observe_commit(const AmOp& op, sim::Time t, int entity) {
+    for (RmaObserver* o : observers_) o->on_op_commit(op, t, entity);
+  }
+  void observe_sync(WinImpl& win, int world_rank, SyncKind kind, int target,
                     sim::Time t);
+  /// Pre-redirection program-order access report (Env call surface). The
+  /// issue/epoch/local hooks follow the tracing gate discipline: a
+  /// compile-time fold (-DCASPER_RACE=0) plus one emptiness test at runtime.
+  void observe_issue(const AmOp& op, sim::Time t) {
+    if (!kRaceObsCompiled || observers_.empty()) return;
+    for (RmaObserver* o : observers_) o->on_op_issue(op, t);
+  }
+  void observe_epoch_begin(WinImpl& win, int world_rank, EpochEv kind,
+                           int target, sim::Time t) {
+    if (!kRaceObsCompiled || observers_.empty()) return;
+    for (RmaObserver* o : observers_) {
+      o->on_epoch_begin(win, world_rank, kind, target, t);
+    }
+  }
+  void observe_local(WinImpl& win, int comm_rank, std::size_t offset,
+                     std::size_t len, bool is_store, sim::Time t) {
+    if (!kRaceObsCompiled || observers_.empty()) return;
+    for (RmaObserver* o : observers_) {
+      o->on_local_access(win, comm_rank, offset, len, is_store, t);
+    }
+  }
+  void observe_win_register(WinImpl& win) {
+    for (RmaObserver* o : observers_) o->on_win_register(win);
+  }
+  void observe_win_free(WinImpl& win) {
+    for (RmaObserver* o : observers_) o->on_win_free(win);
+  }
 
   /// Observability recorder from RunConfig (null when not attached). Sites
   /// must gate on obs::on(recorder()).
@@ -445,7 +479,7 @@ class Runtime {
   std::vector<std::uint64_t> opid_seq_;
   /// Guards comm/win id allocation + win_registry_ when sharded.
   std::mutex registry_mu_;
-  RmaObserver* observer_ = nullptr;
+  std::vector<RmaObserver*> observers_;
   /// Null unless RunConfig::fault is installed (the zero-cost-off gate).
   std::unique_ptr<FaultState> fs_;
 };

@@ -237,9 +237,11 @@ void Runtime::run() {
     }
   }
   if (fs_) fault_setup();
-  MMPI_REQUIRE(!engine_->sharded() || observer_ == nullptr,
-               "conformance observers assume a single-threaded schedule; "
-               "detach the observer or run with shards == 1");
+  for (const RmaObserver* o : observers_) {
+    MMPI_REQUIRE(!engine_->sharded() || o->concurrent_safe(),
+                 "this conformance observer assumes a single-threaded "
+                 "schedule; detach it or run with shards == 1");
+  }
   if (obs::on(recorder())) recorder()->set_shards(engine_->shards());
   engine_->run();
   if (obs::on(recorder())) recorder()->merge_shards();
@@ -1216,8 +1218,10 @@ void Runtime::on_lock_granted(WinImpl& win, int origin, int target, Time t) {
 }
 
 void Runtime::observe_sync(WinImpl& win, int world_rank, SyncKind kind,
-                           sim::Time t) {
-  if (observer_) observer_->on_sync(win, world_rank, kind, t);
+                           int target, sim::Time t) {
+  for (RmaObserver* o : observers_) {
+    o->on_sync(win, world_rank, kind, target, t);
+  }
   if (obs::on(recorder())) {
     recorder()->trace().instant(world_rank, obs::Ev::EpochEnd, t,
                               static_cast<std::uint64_t>(kind),

@@ -95,7 +95,7 @@ Win Runtime::p_win_allocate(Env& env, std::size_t bytes,
           }
         }
         register_win(win);
-        if (observer_) observer_->on_win_register(*win);
+        observe_win_register(*win);
         for (const auto& p : cm.coll.parts) {
           *static_cast<Win*>(p.dst) = win;
         }
@@ -128,7 +128,7 @@ Win Runtime::p_win_create(Env& env, void* base, std::size_t bytes,
       seg.disp_unit = static_cast<std::size_t>(p.b);
     }
     register_win(win);
-    if (observer_) observer_->on_win_register(*win);
+    observe_win_register(*win);
     for (const auto& p : parts) {
       *static_cast<Win*>(p.dst) = win;
     }
@@ -148,9 +148,9 @@ void Runtime::p_win_free(Env& env, Win& win) {
                  "win_free with incomplete operations");
   }
   p_barrier(env, win->comm());
-  // Report once (from the lowest-ranked member) so the observer drops its
-  // reference copy exactly when the collective free completes.
-  if (observer_ && me == 0) observer_->on_win_free(*win);
+  // Report once (from the lowest-ranked member) so observers drop their
+  // reference copies exactly when the collective free completes.
+  if (me == 0) observe_win_free(*win);
   win.reset();
 }
 
@@ -303,7 +303,10 @@ void Runtime::p_win_fence(Env& env, unsigned mode_assert, const Win& win) {
                               env.now(), static_cast<std::uint64_t>(my.epoch),
                               static_cast<std::uint64_t>(win->id()));
   }
-  observe_sync(*win, env.world_rank(), SyncKind::Fence, env.now());
+  observe_sync(*win, env.world_rank(), SyncKind::Fence, -1, env.now());
+  if (my.fence_open) {
+    observe_epoch_begin(*win, env.world_rank(), EpochEv::Fence, -1, env.now());
+  }
 }
 
 // -------------------------------------------------------- PSCW epochs ----
@@ -354,6 +357,7 @@ void Runtime::p_win_start(Env& env, const Group& group, unsigned mode_assert,
     progress_wait(env, [&my, need]() { return my.posts_seen >= need; });
     my.posts_seen -= need;
   }
+  observe_epoch_begin(*win, env.world_rank(), EpochEv::Start, -1, env.now());
 }
 
 void Runtime::p_win_complete(Env& env, const Win& win) {
@@ -374,7 +378,7 @@ void Runtime::p_win_complete(Env& env, const Win& win) {
   }
   my.access_group.clear();
   if (my.epoch == EpochKind::Pscw) my.epoch = EpochKind::None;
-  observe_sync(*win, env.world_rank(), SyncKind::Complete, env.now());
+  observe_sync(*win, env.world_rank(), SyncKind::Complete, -1, env.now());
 }
 
 void Runtime::p_win_wait(Env& env, const Win& win) {
@@ -385,7 +389,7 @@ void Runtime::p_win_wait(Env& env, const Win& win) {
   progress_wait(env, [&my, need]() { return my.completes_seen >= need; });
   my.completes_seen -= need;
   my.exposure_group.clear();
-  observe_sync(*win, env.world_rank(), SyncKind::Wait, env.now());
+  observe_sync(*win, env.world_rank(), SyncKind::Wait, -1, env.now());
 }
 
 // ----------------------------------------------------- passive epochs ----
@@ -408,6 +412,10 @@ void Runtime::p_win_lock(Env& env, LockType type, int target,
                               env.now(), static_cast<std::uint64_t>(my.epoch),
                               static_cast<std::uint64_t>(win->id()));
   }
+  observe_epoch_begin(
+      *win, env.world_rank(),
+      type == LockType::Exclusive ? EpochEv::LockExcl : EpochEv::Lock, target,
+      env.now());
   ots.lock_type = type;
   ots.lock_assert = mode_assert;
 
@@ -482,7 +490,7 @@ void Runtime::p_win_unlock(Env& env, int target, const Win& win) {
     if (ts.lock_st != LockSt::None) any_locked = true;
   }
   if (!any_locked && my.epoch == EpochKind::Lock) my.epoch = EpochKind::None;
-  observe_sync(*win, env.world_rank(), SyncKind::Unlock, env.now());
+  observe_sync(*win, env.world_rank(), SyncKind::Unlock, target, env.now());
 }
 
 void Runtime::p_win_lock_all(Env& env, unsigned mode_assert, const Win& win) {
@@ -497,6 +505,8 @@ void Runtime::p_win_lock_all(Env& env, unsigned mode_assert, const Win& win) {
                               env.now(), static_cast<std::uint64_t>(my.epoch),
                               static_cast<std::uint64_t>(win->id()));
   }
+  observe_epoch_begin(*win, env.world_rank(), EpochEv::LockAll, -1,
+                      env.now());
   for (int t = 0; t < win->comm()->size(); ++t) {
     auto& ots = my.tgt[static_cast<std::size_t>(t)];
     MMPI_REQUIRE(ots.lock_st == LockSt::None, "lock_all over existing lock");
@@ -531,7 +541,7 @@ void Runtime::p_win_unlock_all(Env& env, const Win& win) {
     }
   }
   my.epoch = EpochKind::None;
-  observe_sync(*win, env.world_rank(), SyncKind::UnlockAll, env.now());
+  observe_sync(*win, env.world_rank(), SyncKind::UnlockAll, -1, env.now());
 }
 
 // ------------------------------------------------------------- flushes ----
@@ -565,7 +575,7 @@ void Runtime::p_win_flush(Env& env, int target, const Win& win) {
   // delayed lock that was never used stays unacquired, as in MPICH); when
   // operations were issued, the acquisition was already triggered by them.
   flush_target(env, target, *win, /*force_lock=*/false);
-  observe_sync(*win, env.world_rank(), SyncKind::Flush, env.now());
+  observe_sync(*win, env.world_rank(), SyncKind::Flush, target, env.now());
 }
 
 void Runtime::p_win_flush_all(Env& env, const Win& win) {
@@ -578,7 +588,7 @@ void Runtime::p_win_flush_all(Env& env, const Win& win) {
       flush_target(env, t, *win, /*force_lock=*/false);
     }
   }
-  observe_sync(*win, env.world_rank(), SyncKind::FlushAll, env.now());
+  observe_sync(*win, env.world_rank(), SyncKind::FlushAll, -1, env.now());
 }
 
 void Runtime::p_win_flush_local(Env& env, int target, const Win& win) {

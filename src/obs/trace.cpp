@@ -25,6 +25,7 @@ const char* to_string(Ev ev) {
     case Ev::AmRetry: return "am.retry";
     case Ev::GhostDead: return "ghost.dead";
     case Ev::Rebind: return "recovery.rebind";
+    case Ev::RaceConflict: return "race.conflict";
   }
   return "unknown";
 }

@@ -45,6 +45,7 @@ enum class Ev : std::uint8_t {
   AmRetry,       ///< instant: origin retransmitted    a=opid b=attempt
   GhostDead,     ///< instant: ghost kill detected     a=ghost b=kill_time
   Rebind,        ///< instant: targets rebound off dead ghost a=ghost b=count
+  RaceConflict,  ///< instant: race analyzer conflict   a=peer b=win c=bytes
 };
 
 const char* to_string(Ev ev);

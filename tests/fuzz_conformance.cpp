@@ -8,13 +8,20 @@
 // injected bug going undetected, which would mean the harness lost its teeth.
 //
 //   fuzz_conformance [--cases N] [--schedules N] [--base-seed N] [--full]
-//                    [--faults] [--out DIR] [--no-fault-proof] [--verbose]
+//                    [--faults] [--races N] [--out DIR] [--no-fault-proof]
+//                    [--verbose]
 //   fuzz_conformance --replay FILE      # re-run a recorded repro
 //
 // --faults additionally subjects every case to a seed-derived lossy network
 // (dropped / duplicated / delayed-reordered AMs and dropped acks): the
 // reliable AM layer must keep the oracle clean under every mix, and any
 // failure's repro file embeds the triggering FaultPlan.
+//
+// --races N switches to racy mode: every case is generated with N planted
+// same-epoch conflicting access pairs and the run fails unless the race
+// analyzer flags every planted pair in every schedule ("race-miss" repro
+// otherwise). The default clean corpus doubles as the analyzer's
+// false-positive gate: any conflict there is a "race-conflict" failure.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -30,7 +37,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: fuzz_conformance [--cases N] [--schedules N] "
-               "[--base-seed N] [--full] [--faults] [--out DIR] "
+               "[--base-seed N] [--full] [--faults] [--races N] [--out DIR] "
                "[--no-fault-proof] [--verbose] | --replay FILE\n");
   return 2;
 }
@@ -135,6 +142,11 @@ int main(int argc, char** argv) {
       opt.reduced = false;
     } else if (a == "--faults") {
       opt.net_faults = true;
+    } else if (a == "--races") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opt.planted_races = std::atoi(v);
+      if (opt.planted_races <= 0) return usage();
     } else if (a == "--no-fault-proof") {
       do_fault_proof = false;
     } else if (a == "--verbose") {
@@ -162,9 +174,10 @@ int main(int argc, char** argv) {
   }
 
   const check::CampaignResult res = check::run_campaign(opt);
-  std::printf("fuzz_conformance%s: %d case(s) x %d schedule(s) = %d run(s), "
+  std::printf("fuzz_conformance%s%s: %d case(s) x %d schedule(s) = %d run(s), "
               "%" PRIu64 " observed commits, %zu failure(s)\n",
-              opt.net_faults ? " [--faults]" : "", res.cases_run,
+              opt.net_faults ? " [--faults]" : "",
+              opt.planted_races > 0 ? " [--races]" : "", res.cases_run,
               opt.schedules, res.runs, res.total_commits,
               res.failures.size());
   for (const auto& f : res.failures) {
@@ -176,6 +189,9 @@ int main(int argc, char** argv) {
   }
 
   bool ok = res.failures.empty();
+  // Fault-proof is an oracle self-test; racy mode judges the race analyzer
+  // and planted races would muddy the injected-bug detection.
+  if (opt.planted_races > 0) do_fault_proof = false;
   if (do_fault_proof) {
     ok = fault_proof(opt.base_seed, opt.schedules, opt.reduced, opt.repro_dir,
                      opt.verbose || true) &&

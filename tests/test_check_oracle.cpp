@@ -47,7 +47,7 @@ TEST(ShadowOracle, CleanOnCorrectExecution) {
     env.barrier(w);
     env.win_free(win);
   });
-  rt.set_observer(&oracle);
+  rt.add_observer(&oracle);
   rt.run();
   EXPECT_TRUE(oracle.clean());
   EXPECT_GE(oracle.commits_seen(), 2u);
@@ -77,7 +77,7 @@ TEST(ShadowOracle, DetectsOutOfBandCorruption) {
     env.barrier(w);
     env.win_free(win);
   });
-  rt.set_observer(&oracle);
+  rt.add_observer(&oracle);
   rt.run();
   ASSERT_FALSE(oracle.clean());
   EXPECT_EQ(oracle.divergences()[0].nbytes, 1u);

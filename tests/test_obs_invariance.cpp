@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "check/race.hpp"
 #include "core/casper.hpp"
 #include "mpi/runtime.hpp"
 #include "net/profile.hpp"
@@ -66,7 +67,13 @@ Observed run_once(std::uint64_t perturb) {
   rc.recorder = &rec;
   core::Config cc;
   cc.ghosts_per_node = 1;
-  mpi::exec(rc, workload, core::layer(cc));
+  // The race analyzer rides along so its race.* counters (accesses, epochs)
+  // join the exact-match invariance set below.
+  check::RaceAnalyzer race;
+  race.set_recorder(&rec);
+  mpi::Runtime rt(rc, workload, core::layer(cc));
+  rt.add_observer(&race);
+  rt.run();
   Observed out;
   out.counters = rec.metrics().counters();
   // "pool.*" counters report host-side buffer reuse, which legitimately
@@ -99,6 +106,14 @@ TEST(ObsInvariance, CountersIdenticalAcrossEightSchedules) {
     }
   }
   EXPECT_TRUE(saw_ghost_key);
+  if (mpi::kRaceObsCompiled) {
+    // The analyzer recorded accesses and epochs — and they join the
+    // exact-match comparison like every other counter.
+    EXPECT_GT(ref.counters.at("race.accesses"), 0u);
+    EXPECT_GT(ref.counters.at("race.epochs"), 0u);
+    EXPECT_EQ(ref.counters.count("race.conflict_pairs"), 0u)
+        << "clean workload must not raise conflicts";
+  }
 
   std::set<std::string> distinct_traces;
   distinct_traces.insert(ref.trace_text);
