@@ -29,7 +29,7 @@ if [[ "${1:-}" == "--update" ]]; then UPDATE="--update"; fi
 
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j"$JOBS" --target engine_throughput \
-  fig4a_passive_overlap fig6a_rank_binding_procs >/dev/null
+  fig4a_passive_overlap fig6a_rank_binding_procs fig_kv >/dev/null
 
 OUT="$ROOT/$BUILD/bench_out"
 rm -rf "$OUT"
@@ -41,6 +41,7 @@ for r in $(seq 1 "$RUNS"); do
     >/dev/null
   (cd "$d" && "$ROOT/$BUILD/bench/fig4a_passive_overlap" --json >/dev/null)
   (cd "$d" && "$ROOT/$BUILD/bench/fig6a_rank_binding_procs" --json >/dev/null)
+  (cd "$d" && "$ROOT/$BUILD/bench/fig_kv" --json >/dev/null)
 done
 
 python3 scripts/bench_compare.py --runs-dir "$OUT" --baseline-dir "$ROOT" \

@@ -24,7 +24,7 @@ import os
 import shutil
 import sys
 
-BENCHES = ["engine", "fig4a", "fig6a"]
+BENCHES = ["engine", "fig4a", "fig6a", "kv"]
 
 
 def load(path):
@@ -135,6 +135,37 @@ def compare_shard_sweep(docs, base, tol):
     return 0
 
 
+def check_kv_ordering(doc):
+    """The KV figure's headline claim: at the skewed mix (s=0.99), casper
+    with one ghost must clear at least original's throughput at equal
+    cores, and every row's history must have linearized. Enforced on the
+    fresh run (not just the baseline) so a regression that happens to
+    produce internally-consistent rows still fails."""
+    cols = doc["columns"]
+    i_s, i_mode = cols.index("zipf_s"), cols.index("mode")
+    i_kops, i_lin = cols.index("kops/s"), cols.index("lin")
+    rc = 0
+    by_mode = {}
+    for row in doc["rows"]:
+        if row[i_lin] != "clean":
+            rc |= fail(f"kv: row {row[i_mode]}@s={row[i_s]} did not "
+                       f"linearize ({row[i_lin]})")
+        if row[i_s] > 0.9:
+            by_mode[row[i_mode]] = row[i_kops]
+    orig, casper = by_mode.get("original"), by_mode.get("casper(g1)")
+    if orig is None or casper is None:
+        return rc | fail("kv: s=0.99 rows missing original/casper(g1)")
+    status = "ok" if casper >= orig else "REGRESSION"
+    print(f"  kv s=0.99 throughput casper(g1)={casper:.1f} kops/s vs "
+          f"original={orig:.1f} kops/s ({casper / orig:.2f}x)  {status}")
+    if casper < orig:
+        rc |= fail(
+            f"kv: casper(g1) {casper:.1f} < original {orig:.1f} kops/s at "
+            f"s=0.99 — the asynchronous-progress ordering the figure claims"
+        )
+    return rc
+
+
 def compare_fig(name, docs, base, tol):
     rc = 0
     best = docs[best_run(name, docs)]
@@ -216,6 +247,8 @@ def main():
             rc |= compare_engine(docs, base, args.tol)
         else:
             rc |= compare_fig(name, docs, base, args.tol)
+        if name == "kv":
+            rc |= check_kv_ordering(docs[best_run(name, docs)])
 
     if rc == 0:
         print(

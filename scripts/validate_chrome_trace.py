@@ -45,6 +45,7 @@ KNOWN_EVENTS = {
     "ghost.dead",
     "recovery.rebind",
     "race.conflict",
+    "kv.op",
 }
 
 

@@ -1,0 +1,93 @@
+#include "kv/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace casper::kv {
+
+Zipf::Zipf(int nkeys, double s) {
+  cdf_.resize(static_cast<std::size_t>(nkeys < 1 ? 1 : nkeys));
+  double acc = 0.0;
+  for (std::size_t i = 0; i < cdf_.size(); ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding keeping the tail unreachable
+}
+
+std::uint64_t Zipf::sample(sim::Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const std::size_t i =
+      it == cdf_.end() ? cdf_.size() - 1
+                       : static_cast<std::size_t>(it - cdf_.begin());
+  return static_cast<std::uint64_t>(i + 1);
+}
+
+std::vector<KvOp> make_ops(const TrafficConfig& tc, int nclients) {
+  const Zipf zipf(tc.nkeys, tc.zipf_s);
+  std::vector<sim::Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(nclients));
+  for (int c = 0; c < nclients; ++c) {
+    rngs.emplace_back(tc.seed, 0x7f5 + static_cast<std::uint64_t>(c));
+  }
+  std::vector<KvOp> ops;
+  ops.reserve(static_cast<std::size_t>(tc.ops_per_client) *
+              static_cast<std::size_t>(nclients));
+  for (int i = 0; i < tc.ops_per_client; ++i) {
+    for (int c = 0; c < nclients; ++c) {
+      sim::Rng& rng = rngs[static_cast<std::size_t>(c)];
+      KvOp op;
+      op.client = c;
+      op.key = zipf.sample(rng);
+      const int r = static_cast<int>(rng.next_below(100));
+      if (r < tc.read_pct) {
+        op.kind = 0;
+      } else if (r < tc.read_pct + tc.rmw_pct) {
+        op.kind = 2;
+      } else {
+        op.kind = 1;
+      }
+      op.val = 1 + static_cast<std::int64_t>(rng.next_below(1u << 30));
+      op.think = tc.think_mean == 0
+                     ? 0
+                     : tc.think_mean / 2 + rng.next_below(tc.think_mean);
+      ops.push_back(op);
+    }
+  }
+  return ops;
+}
+
+void run_ops(mpi::Env& env, KvStore& store, const std::vector<KvOp>& ops,
+             std::size_t limit, const TrafficConfig& tc) {
+  (void)tc;
+  const int me = env.rank(env.world());
+  // Rank-staggered start: breaks exact virtual-time ties between clients
+  // racing for the same hot bucket at t=0.
+  env.compute(static_cast<sim::Time>(me + 1) * sim::ns(1637));
+  const std::size_t n = std::min(limit, ops.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const KvOp& op = ops[i];
+    if (op.client != me) continue;
+    env.compute(op.think);
+    switch (op.kind) {
+      case 0:
+        store.get(op.key);
+        break;
+      case 1:
+        store.put(op.key, op.val);
+        break;
+      default: {
+        // Read-modify-write: CAS the freshly observed value to op.val. On a
+        // miss the CAS legally fails (expected 0 never matches); both sides
+        // of the race are valid linearizable histories.
+        const KvResult r = store.get(op.key);
+        store.cas_update(op.key, r.value, op.val);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace casper::kv

@@ -1,0 +1,69 @@
+// Open-loop KV traffic generation: a deterministic seeded Zipfian key
+// stream with a configurable read / write / read-modify-write mix and
+// per-op think time, pre-materialized so every progress mode, fiber
+// schedule, and shard layout replays the *identical* logical op sequence.
+//
+// Determinism notes:
+//  - Keys/values are drawn per client from Rng(seed, 0x7f5 + client), so the
+//    stream for client c does not depend on how many other clients exist.
+//  - Clients stagger their start by a rank-dependent offset and draw think
+//    times from their private stream, which keeps virtual-time ties (and
+//    hence tie-break-order sensitivity) out of the workload itself.
+//  - Values are always nonzero: 0 is the checker's "absent" sentinel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/kv.hpp"
+#include "mpi/env.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace casper::kv {
+
+/// Zipfian sampler over keys {1..n}: P(rank i) ~ 1/(i)^s, materialized as a
+/// CDF so sampling is one uniform draw + binary search. s=0 is uniform.
+class Zipf {
+ public:
+  Zipf(int nkeys, double s);
+  /// Key in [1, nkeys] (key 0 is reserved as the empty-slot sentinel).
+  std::uint64_t sample(sim::Rng& rng) const;
+  int nkeys() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct TrafficConfig {
+  int nkeys = 256;
+  double zipf_s = 0.99;
+  int read_pct = 75;  ///< percent GET
+  int rmw_pct = 0;    ///< percent CAS read-modify-write (rest are PUT)
+  int ops_per_client = 100;
+  sim::Time think_mean = sim::us(4);  ///< mean inter-request think time
+  std::uint64_t seed = 1;
+};
+
+/// One pre-materialized client request.
+struct KvOp {
+  int client = 0;
+  int kind = 0;  ///< 0 = GET, 1 = PUT, 2 = RMW (get + cas_update)
+  std::uint64_t key = 1;
+  std::int64_t val = 1;
+  sim::Time think = 0;  ///< open-loop think time before issuing
+};
+
+/// The full deterministic op list for `nclients` clients, interleaved
+/// client-minor so truncating to a prefix trims every client evenly (the
+/// fuzzer's minimizer shrinks on this list).
+std::vector<KvOp> make_ops(const TrafficConfig& tc, int nclients);
+
+/// Execute this client's slice of `ops` (entries with op.client == my comm
+/// rank) against the store, with the per-client start stagger. `limit`
+/// truncates the *global* list (minimizer support); pass ops.size() to run
+/// everything.
+void run_ops(mpi::Env& env, KvStore& store, const std::vector<KvOp>& ops,
+             std::size_t limit, const TrafficConfig& tc);
+
+}  // namespace casper::kv

@@ -26,6 +26,7 @@ const char* to_string(Ev ev) {
     case Ev::GhostDead: return "ghost.dead";
     case Ev::Rebind: return "recovery.rebind";
     case Ev::RaceConflict: return "race.conflict";
+    case Ev::KvOp: return "kv.op";
   }
   return "unknown";
 }

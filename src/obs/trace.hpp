@@ -46,6 +46,7 @@ enum class Ev : std::uint8_t {
   GhostDead,     ///< instant: ghost kill detected     a=ghost b=kill_time
   Rebind,        ///< instant: targets rebound off dead ghost a=ghost b=count
   RaceConflict,  ///< instant: race analyzer conflict   a=peer b=win c=bytes
+  KvOp,          ///< instant: KV op completed  a=kind b=key c=lock retries
 };
 
 const char* to_string(Ev ev);

@@ -22,6 +22,16 @@
 // analyzer flags every planted pair in every schedule ("race-miss" repro
 // otherwise). The default clean corpus doubles as the analyzer's
 // false-positive gate: any conflict there is a "race-conflict" failure.
+//
+// --kv N switches to KV mode: N seeded KV-store workloads (Zipfian op mixes
+// over the RMA-backed store, all three progress modes) are replayed under
+// perturbed schedules with the linearizability checker riding as the
+// store's history sink and the shadow oracle attached. Any violation is
+// minimized to a global op prefix and written as a "kv-violation" repro.
+// Afterwards, kv_proof plants the skip-unlock-flush store bug under a
+// delay-heavy network and REQUIRES the checker to catch it (the
+// fault-proof analogue; skipped with --no-fault-proof). --faults composes:
+// each KV case additionally runs under a seed-derived lossy network.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +39,7 @@
 #include <string>
 
 #include "check/fuzz.hpp"
+#include "check/kvfuzz.hpp"
 
 using namespace casper;
 
@@ -37,8 +48,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: fuzz_conformance [--cases N] [--schedules N] "
-               "[--base-seed N] [--full] [--faults] [--races N] [--out DIR] "
-               "[--no-fault-proof] [--verbose] | --replay FILE\n");
+               "[--base-seed N] [--full] [--faults] [--races N] [--kv N] "
+               "[--out DIR] [--no-fault-proof] [--verbose] | --replay FILE\n");
   return 2;
 }
 
@@ -115,6 +126,7 @@ int main(int argc, char** argv) {
   opt.schedules = 4;
   opt.reduced = true;
   bool do_fault_proof = true;
+  int kv_cases = 0;
   const char* replay_path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
@@ -147,6 +159,11 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage();
       opt.planted_races = std::atoi(v);
       if (opt.planted_races <= 0) return usage();
+    } else if (a == "--kv") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      kv_cases = std::atoi(v);
+      if (kv_cases <= 0) return usage();
     } else if (a == "--no-fault-proof") {
       do_fault_proof = false;
     } else if (a == "--verbose") {
@@ -159,6 +176,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (replay_path != nullptr && check::is_kv_repro(replay_path)) {
+    check::KvRepro r;
+    if (!check::parse_kv_repro(replay_path, r)) {
+      std::fprintf(stderr, "replay: cannot parse %s\n", replay_path);
+      return 2;
+    }
+    const bool reproduced = check::replay_kv(r);
+    std::printf("replay %s: %s (%s, seed %" PRIu64 ", perturb %" PRIu64
+                ", %d op prefix)\n",
+                replay_path, reproduced ? "REPRODUCED" : "did not reproduce",
+                r.kind.c_str(), r.seed, r.perturb, r.prefix_ops);
+    return reproduced ? 0 : 1;
+  }
   if (replay_path != nullptr) {
     check::Repro r;
     if (!check::parse_repro(replay_path, r)) {
@@ -171,6 +201,39 @@ int main(int argc, char** argv) {
                 replay_path, reproduced ? "REPRODUCED" : "did not reproduce",
                 r.kind.c_str(), r.seed, r.perturb, r.prefix_ops);
     return reproduced ? 0 : 1;
+  }
+
+  if (kv_cases > 0) {
+    check::KvCampaignOptions kopt;
+    kopt.base_seed = opt.base_seed;
+    kopt.cases = kv_cases;
+    kopt.schedules = opt.schedules;
+    kopt.reduced = opt.reduced;
+    kopt.net_faults = opt.net_faults;
+    kopt.repro_dir = opt.repro_dir;
+    kopt.verbose = opt.verbose;
+    const check::KvCampaignResult kres = check::run_kv_campaign(kopt);
+    std::printf("fuzz_conformance [--kv]%s: %d case(s) x %d schedule(s) = "
+                "%d run(s), %" PRIu64 " checked KV op(s), %zu failure(s)\n",
+                kopt.net_faults ? " [--faults]" : "", kres.cases_run,
+                kopt.schedules, kres.runs, kres.total_ops,
+                kres.failures.size());
+    for (const auto& f : kres.failures) {
+      std::fprintf(stderr,
+                   "FAILURE seed %" PRIu64 " perturb %" PRIu64
+                   " kind %s minimized %d op(s) repro %s\n",
+                   f.seed, f.perturb, f.kind.c_str(), f.minimized_ops,
+                   f.repro_path.c_str());
+    }
+    bool kv_ok = kres.failures.empty();
+    // KV's positive gate: the planted skip-unlock-flush store bug must be
+    // caught, minimized, and replayable.
+    if (do_fault_proof) {
+      kv_ok = check::kv_proof(kopt.base_seed, kopt.schedules, kopt.repro_dir,
+                              kopt.verbose || true) &&
+              kv_ok;
+    }
+    return kv_ok ? 0 : 1;
   }
 
   const check::CampaignResult res = check::run_campaign(opt);
