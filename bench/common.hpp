@@ -77,6 +77,9 @@ struct RunSpec {
   int ghosts = 1;             // Casper ghosts per node (Casper mode only)
   core::Binding binding = core::Binding::Rank;
   core::DynamicLb dynamic = core::DynamicLb::None;
+  /// Online adaptive progress control (Casper mode only; see DESIGN.md §15).
+  /// Defaults to disabled, which is byte-identical to builds without it.
+  progress::AdaptiveConfig adaptive;
   std::uint64_t seed = 12345;
   /// Engine shards (worker threads). 1 = the classic single-threaded engine;
   /// >1 partitions ranks by node across shards under conservative lookahead.
@@ -126,6 +129,7 @@ inline void run(const RunSpec& spec, std::function<void(mpi::Env&)> app) {
       cc.ghosts_per_node = spec.ghosts;
       cc.binding = spec.binding;
       cc.dynamic = spec.dynamic;
+      cc.adaptive = spec.adaptive;
       mpi::exec(rc, std::move(app), core::layer(cc));
       break;
     }

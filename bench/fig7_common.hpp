@@ -16,9 +16,9 @@
 namespace casper::bench {
 
 inline double fig7_uneven_us(const RunSpec& spec, int hot_ops, int hot_elems,
-                             bool with_acc) {
-  return run_metric(spec, [hot_ops, hot_elems,
-                           with_acc](mpi::Env& env, double* out) {
+                             bool with_acc, bool round_barriers = false) {
+  return run_metric(spec, [hot_ops, hot_elems, with_acc,
+                           round_barriers](mpi::Env& env, double* out) {
     mpi::Comm w = env.world();
     const int p = env.size(w);
     const int me = env.rank(w);
@@ -48,6 +48,13 @@ inline double fig7_uneven_us(const RunSpec& spec, int hot_ops, int hot_elems,
         }
         env.put(v.data(), elems, t, 0, win);
       }
+      if (round_barriers && k + 1 < hot_ops) {
+        // Adaptive series: complete the round and give the online
+        // controller an epoch boundary to adapt at. The extra sync cost is
+        // charged to the adaptive series (it is part of adapting).
+        env.win_flush_all(win);
+        env.barrier(w);
+      }
     }
     env.win_flush_all(win);
     env.barrier(w);
@@ -71,6 +78,16 @@ inline RunSpec fig7_spec(core::DynamicLb lb, int nodes, int users_per_node,
   s.ghosts = ghosts;
   s.binding = core::Binding::Rank;
   s.dynamic = lb;
+  return s;
+}
+
+/// The `--adaptive` series (see DESIGN.md §15): same cluster, starting from
+/// the random policy so the online controller may switch to the counting
+/// policy the workload actually rewards, at per-round epoch boundaries.
+inline RunSpec fig7_adaptive_spec(int nodes, int users_per_node, int ghosts) {
+  RunSpec s = fig7_spec(core::DynamicLb::Random, nodes, users_per_node,
+                        ghosts);
+  s.adaptive.enabled = true;
   return s;
 }
 

@@ -13,6 +13,7 @@ using bench::RunSpec;
 int main(int argc, char** argv) {
   const bool csv = report::csv_mode(argc, argv);
   const bool full = bench::has_flag(argc, argv, "--full");
+  const bool adaptive = bench::has_flag(argc, argv, "--adaptive");
   report::banner(std::cout, "Fig 7(b)",
                  "operation-counting dynamic binding: uneven PUT/ACC pairs "
                  "to node masters");
@@ -27,8 +28,11 @@ int main(int argc, char** argv) {
   orig.nodes = nodes;
   orig.user_cpn = upn;
 
-  report::Table t({"hot_pairs", "original(ms)", "static(ms)", "random(ms)",
-                   "op_counting(ms)", "opcount_speedup"});
+  std::vector<std::string> cols = {"hot_pairs",      "original(ms)",
+                                   "static(ms)",     "random(ms)",
+                                   "op_counting(ms)", "opcount_speedup"};
+  if (adaptive) cols.push_back("adaptive(ms)");
+  report::Table t(cols);
   const int max_n = full ? 2048 : 256;
   for (int n = 2; n <= max_n; n *= 4) {
     const double o = bench::fig7_uneven_us(orig, n, 1, true);
@@ -41,10 +45,17 @@ int main(int argc, char** argv) {
     const double opc = bench::fig7_uneven_us(
         bench::fig7_spec(core::DynamicLb::OpCounting, nodes, upn, ghosts), n,
         1, true);
-    t.row({report::fmt_count(static_cast<std::uint64_t>(n)),
-           report::fmt(o / 1000.0, 2), report::fmt(st / 1000.0, 2),
-           report::fmt(rnd / 1000.0, 2), report::fmt(opc / 1000.0, 2),
-           report::fmt(rnd / opc, 2)});
+    std::vector<std::string> row = {
+        report::fmt_count(static_cast<std::uint64_t>(n)),
+        report::fmt(o / 1000.0, 2),   report::fmt(st / 1000.0, 2),
+        report::fmt(rnd / 1000.0, 2), report::fmt(opc / 1000.0, 2),
+        report::fmt(rnd / opc, 2)};
+    if (adaptive) {
+      const double ad = bench::fig7_uneven_us(
+          bench::fig7_adaptive_spec(nodes, upn, ghosts), n, 1, true, true);
+      row.push_back(report::fmt(ad / 1000.0, 2));
+    }
+    t.row(row);
   }
   t.print(std::cout, csv);
   std::cout << "expectation: op-counting beats random (it accounts for the "

@@ -13,6 +13,7 @@ using bench::RunSpec;
 int main(int argc, char** argv) {
   const bool csv = report::csv_mode(argc, argv);
   const bool full = bench::has_flag(argc, argv, "--full");
+  const bool adaptive = bench::has_flag(argc, argv, "--adaptive");
   report::banner(std::cout, "Fig 7(c)",
                  "byte-counting dynamic binding: uneven PUT/ACC sizes to "
                  "node masters");
@@ -28,8 +29,11 @@ int main(int argc, char** argv) {
   orig.nodes = nodes;
   orig.user_cpn = upn;
 
-  report::Table t({"hot_elems", "original(ms)", "static(ms)", "random(ms)",
-                   "op_counting(ms)", "byte_counting(ms)", "byte_speedup"});
+  std::vector<std::string> cols = {
+      "hot_elems",       "original(ms)",      "static(ms)",  "random(ms)",
+      "op_counting(ms)", "byte_counting(ms)", "byte_speedup"};
+  if (adaptive) cols.push_back("adaptive(ms)");
+  report::Table t(cols);
   const int max_elems = full ? 65536 : 4096;
   for (int elems = 1; elems <= max_elems; elems *= 8) {
     const double o = bench::fig7_uneven_us(orig, hot_pairs, elems, true);
@@ -45,10 +49,18 @@ int main(int argc, char** argv) {
     const double byt = bench::fig7_uneven_us(
         bench::fig7_spec(core::DynamicLb::ByteCounting, nodes, upn, ghosts),
         hot_pairs, elems, true);
-    t.row({report::fmt_count(static_cast<std::uint64_t>(elems)),
-           report::fmt(o / 1000.0, 2), report::fmt(st / 1000.0, 2),
-           report::fmt(rnd / 1000.0, 2), report::fmt(opc / 1000.0, 2),
-           report::fmt(byt / 1000.0, 2), report::fmt(opc / byt, 2)});
+    std::vector<std::string> row = {
+        report::fmt_count(static_cast<std::uint64_t>(elems)),
+        report::fmt(o / 1000.0, 2),   report::fmt(st / 1000.0, 2),
+        report::fmt(rnd / 1000.0, 2), report::fmt(opc / 1000.0, 2),
+        report::fmt(byt / 1000.0, 2), report::fmt(opc / byt, 2)};
+    if (adaptive) {
+      const double ad = bench::fig7_uneven_us(
+          bench::fig7_adaptive_spec(nodes, upn, ghosts), hot_pairs, elems,
+          true, true);
+      row.push_back(report::fmt(ad / 1000.0, 2));
+    }
+    t.row(row);
   }
   t.print(std::cout, csv);
   std::cout << "expectation: neither random nor op-counting handles uneven "

@@ -29,7 +29,8 @@ if [[ "${1:-}" == "--update" ]]; then UPDATE="--update"; fi
 
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j"$JOBS" --target engine_throughput \
-  fig4a_passive_overlap fig6a_rank_binding_procs fig_kv >/dev/null
+  fig4a_passive_overlap fig6a_rank_binding_procs fig_kv \
+  ablation_adaptive >/dev/null
 
 OUT="$ROOT/$BUILD/bench_out"
 rm -rf "$OUT"
@@ -42,6 +43,7 @@ for r in $(seq 1 "$RUNS"); do
   (cd "$d" && "$ROOT/$BUILD/bench/fig4a_passive_overlap" --json >/dev/null)
   (cd "$d" && "$ROOT/$BUILD/bench/fig6a_rank_binding_procs" --json >/dev/null)
   (cd "$d" && "$ROOT/$BUILD/bench/fig_kv" --json >/dev/null)
+  (cd "$d" && "$ROOT/$BUILD/bench/ablation_adaptive" --json >/dev/null)
 done
 
 python3 scripts/bench_compare.py --runs-dir "$OUT" --baseline-dir "$ROOT" \

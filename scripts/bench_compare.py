@@ -24,7 +24,7 @@ import os
 import shutil
 import sys
 
-BENCHES = ["engine", "fig4a", "fig6a", "kv"]
+BENCHES = ["engine", "fig4a", "fig6a", "kv", "adaptive"]
 
 
 def load(path):
@@ -166,6 +166,34 @@ def check_kv_ordering(doc):
     return rc
 
 
+def check_adaptive_ordering(doc, balanced_tol=0.05):
+    """The adaptive controller's headline claim, enforced on the fresh run:
+    on skewed rows the online re-binding/policy-switching must beat the
+    static split by >= 1.2x simulated time, and on balanced rows the
+    controller must cost at most `balanced_tol` (it is supposed to sit
+    still when there is nothing to fix). The ratio column is a virtual-time
+    fact, so these floors are noise-free."""
+    cols = doc["columns"]
+    i_row, i_kind = cols.index("row"), cols.index("kind")
+    i_ratio = cols.index("ratio")
+    rc = 0
+    for row in doc["rows"]:
+        need = 1.2 if row[i_kind] == "skewed" else 1.0 - balanced_tol
+        ok = row[i_ratio] >= need
+        print(
+            f"  adaptive {row[i_row]:<13} ({row[i_kind]:<8}) "
+            f"static/adaptive = {row[i_ratio]:.2f}x "
+            f"(floor {need:.2f}x)  {'ok' if ok else 'REGRESSION'}"
+        )
+        if not ok:
+            rc |= fail(
+                f"adaptive: row {row[i_row]} ratio {row[i_ratio]:.2f}x "
+                f"below the {need:.2f}x floor — the controller stopped "
+                f"paying for itself"
+            )
+    return rc
+
+
 def compare_fig(name, docs, base, tol):
     rc = 0
     best = docs[best_run(name, docs)]
@@ -249,6 +277,8 @@ def main():
             rc |= compare_fig(name, docs, base, args.tol)
         if name == "kv":
             rc |= check_kv_ordering(docs[best_run(name, docs)])
+        if name == "adaptive":
+            rc |= check_adaptive_ordering(docs[best_run(name, docs)])
 
     if rc == 0:
         print(

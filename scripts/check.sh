@@ -11,18 +11,18 @@ BUILD=build
 BUILD_ASAN=build-asan
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "== [1/12] tier-1: build + ctest =="
+echo "== [1/13] tier-1: build + ctest =="
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
-echo "== [2/12] conformance fuzzer: fixed seed corpus =="
+echo "== [2/13] conformance fuzzer: fixed seed corpus =="
 # A larger sweep than the ctest-time run; still deterministic (fixed base
 # seed), so failures here are reproducible verbatim.
 "./$BUILD/tests/fuzz_conformance" --base-seed 1 --cases 500 --schedules 8 \
   --out "$BUILD/tests"
 
-echo "== [3/12] conformance fuzzer: faulted corpus (--faults) =="
+echo "== [3/13] conformance fuzzer: faulted corpus (--faults) =="
 # The same generator under seed-derived lossy networks (drops, duplicates,
 # delayed/reordered AMs, lost acks): the reliable AM layer must keep the
 # shadow oracle clean on every mix. Any repro embeds the FaultPlan. The
@@ -30,7 +30,7 @@ echo "== [3/12] conformance fuzzer: faulted corpus (--faults) =="
 "./$BUILD/tests/fuzz_conformance" --base-seed 1 --cases 200 --schedules 2 \
   --faults --no-fault-proof --out "$BUILD/tests"
 
-echo "== [4/12] race analyzer: planted-race and false-positive gates =="
+echo "== [4/13] race analyzer: planted-race and false-positive gates =="
 # Positive gate: every case carries 2 planted same-epoch conflicting pairs
 # and the online race analyzer must flag each of them in every schedule (a
 # miss is minimized and written as a "race-miss" repro). The negative gate is
@@ -40,14 +40,14 @@ echo "== [4/12] race analyzer: planted-race and false-positive gates =="
   --races 2 --out "$BUILD/tests"
 "./$BUILD/tests/test_race_analyzer"
 
-echo "== [5/12] chaos matrix + ghost failure/recovery suites =="
+echo "== [5/13] chaos matrix + ghost failure/recovery suites =="
 # {drop,dup,reorder,delay} x {PUT,ACC,GET_ACC,FAO,CAS} x {lock,lockall,
 # fence} under the oracle, plus ghost kills across 64 seeds, last-ghost
 # degradation, and kills composed with a lossy network (DESIGN.md §11).
 "./$BUILD/tests/test_fault_matrix"
 "./$BUILD/tests/test_ghost_failure"
 
-echo "== [6/12] KV store + linearizability checker =="
+echo "== [6/13] KV store + linearizability checker =="
 # The RMA-backed sharded KV store under skewed traffic with the Wing-Gong
 # linearizability checker riding every run (DESIGN.md §14): the unit suites,
 # a wider clean --kv corpus than the ctest-time slice (the planted-bug
@@ -61,11 +61,24 @@ echo "== [6/12] KV store + linearizability checker =="
 "./$BUILD/tests/fuzz_conformance" --base-seed 1 --kv 100 --schedules 2 \
   --faults --no-fault-proof --out "$BUILD/tests"
 
-echo "== [7/12] ASan: fuzzer smoke corpus + ghost-failure soak =="
+echo "== [7/13] adaptive progress control: unit suite + forced-on fuzz =="
+# The online controller (DESIGN.md §15): decision invariance across fiber
+# schedules and engine shards, plan-cache invalidation on rebind, KV
+# linearizability, and the ghost-kill chaos composition in the unit suite;
+# then the conformance corpus with the controller forced on for EVERY case
+# (seed streams only draw it for ~25%): oracle, race analyzer, and
+# cross-schedule content checks must stay as clean as the static runs. The
+# fault-proof is skipped here -- the injected static-binding bug has no
+# surface under the controller's map (stage 2 already ran it).
+"./$BUILD/tests/test_adaptive"
+"./$BUILD/tests/fuzz_conformance" --base-seed 1 --cases 150 --schedules 4 \
+  --adaptive --no-fault-proof --out "$BUILD/tests"
+
+echo "== [8/13] ASan: fuzzer smoke corpus + ghost-failure soak =="
 cmake -B "$BUILD_ASAN" -S . -DCASPER_ASAN=ON >/dev/null
 cmake --build "$BUILD_ASAN" -j"$JOBS" --target fuzz_conformance \
   test_check_oracle test_race_analyzer test_fault_matrix \
-  test_ghost_failure test_kv test_linear_checker
+  test_ghost_failure test_kv test_linear_checker test_adaptive
 "./$BUILD_ASAN/tests/test_check_oracle"
 # The interval-treap recorder (insert/coalesce/prune) under ASan, plus a racy
 # slice: planted-race detection must hold with sanitized allocation patterns.
@@ -74,6 +87,11 @@ cmake --build "$BUILD_ASAN" -j"$JOBS" --target fuzz_conformance \
   --schedules 2 --races 2 --out "$BUILD_ASAN/tests"
 "./$BUILD_ASAN/tests/fuzz_conformance" --base-seed 1 --cases 50 \
   --schedules 4 --out "$BUILD_ASAN/tests"
+# The controller's seal/decide/remap path (double-buffered boards, plan
+# regeneration) under ASan, forced on for every case.
+"./$BUILD_ASAN/tests/test_adaptive"
+"./$BUILD_ASAN/tests/fuzz_conformance" --base-seed 5 --cases 30 \
+  --schedules 2 --adaptive --no-fault-proof --out "$BUILD_ASAN/tests"
 # Recovery touches freed/rebound routing state; the kill/rebind/degrade
 # paths must be clean under ASan, not just functionally correct.
 "./$BUILD_ASAN/tests/test_fault_matrix"
@@ -88,7 +106,7 @@ cmake --build "$BUILD_ASAN" -j"$JOBS" --target fuzz_conformance \
 "./$BUILD_ASAN/tests/fuzz_conformance" --base-seed 1 --kv 20 --schedules 2 \
   --out "$BUILD_ASAN/tests"
 
-echo "== [8/12] TSan: sharded engine + sharded runtime determinism =="
+echo "== [9/13] TSan: sharded engine + sharded runtime determinism =="
 # The sharded engine is the only multi-threaded subsystem: shard workers,
 # the cross-shard outbox hand-off, and the window barrier. Fiber switches
 # are TSan-annotated (src/sim/fiber.cpp), so rank-fiber stacks are tracked
@@ -100,21 +118,21 @@ cmake --build "$BUILD_TSAN" -j"$JOBS" --target test_sim_engine_sharded \
 "./$BUILD_TSAN/tests/test_sim_engine_sharded"
 "./$BUILD_TSAN/tests/test_sharded_runtime"
 
-echo "== [9/12] trace-enabled fuzz smoke (CASPER_TRACE=1) =="
+echo "== [10/13] trace-enabled fuzz smoke (CASPER_TRACE=1) =="
 # Same corpus slice with the recorder attached: exercises every obs
 # instrumentation site under fuzzed schedules, and any repro written here
 # embeds the virtual-time trace tail.
 CASPER_TRACE=1 "./$BUILD/tests/fuzz_conformance" --base-seed 7 --cases 50 \
   --schedules 2 --out "$BUILD/tests"
 
-echo "== [10/12] chrome-trace export: schema + casper track layout =="
+echo "== [11/13] chrome-trace export: schema + casper track layout =="
 cmake --build "$BUILD" -j"$JOBS" --target fig4a_passive_overlap
 "./$BUILD/bench/fig4a_passive_overlap" --trace "$BUILD/fig4a_trace.json" \
   > /dev/null
 python3 scripts/validate_chrome_trace.py "$BUILD/fig4a_trace.json" \
   --require-casper-tracks
 
-echo "== [11/12] untraced Release build (-DCASPER_TRACE=0) =="
+echo "== [12/13] untraced Release build (-DCASPER_TRACE=0) =="
 # The hot path is sprinkled with obs instrumentation behind CASPER_TRACE;
 # prove the untraced production configuration still compiles and links after
 # any refactor, not just the traced default.
@@ -124,7 +142,7 @@ cmake -B "$BUILD_NT" -S . -DCASPER_TRACE=OFF \
 cmake --build "$BUILD_NT" -j"$JOBS"
 "./$BUILD_NT/tests/test_casper" >/dev/null
 
-echo "== [12/12] perf-regression gate: BENCH_*.json ratchet =="
+echo "== [13/13] perf-regression gate: BENCH_*.json ratchet =="
 # Host-side perf ratchet against the committed baselines, serial (the bench
 # processes are the only load), best-of-N inside bench.sh. Intentional
 # re-baselines go through scripts/bench.sh --update; see DESIGN.md §9.

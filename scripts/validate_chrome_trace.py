@@ -32,6 +32,7 @@ KNOWN_EVENTS = {
     "op.redirected",
     "op.split",
     "lb.decision",
+    "lb.adapt",
     "op.committed",
     "op.flushed",
     "epoch.begin",

@@ -270,6 +270,9 @@ FuzzCase make_case(std::uint64_t seed, bool reduced) {
   }
   fc.order_sensitive = rng.next_below(4) == 0;
   fc.slot_bytes = reduced ? 64 : 128;
+  // Separate stream: toggling the controller into the config fuzz space must
+  // not shift the 0xfa22 draws that shape the established seed corpus.
+  fc.adaptive = sim::Rng(seed, 0xada7).next_below(4) == 0;
 
   const int nu = fc.nusers();
   const int per_origin =
@@ -536,6 +539,7 @@ RunOutcome run_case(const FuzzCase& fc, std::uint64_t perturb_seed,
   cc.ghosts_per_node = fc.ghosts;
   cc.binding = fc.binding;
   cc.dynamic = fc.dynamic;
+  cc.adaptive.enabled = fc.adaptive;
   cc.fault.flip_segment_binding = inject_flip_fault;
 
   // CASPER_TRACE=<anything but 0/off> attaches a recorder so repro files can
@@ -646,13 +650,13 @@ std::string write_repro(const Repro& r, const FuzzCase& fc,
       f,
       "case nodes=%d users_per_node=%d ghosts=%d binding=%s dynamic=%d "
       "epoch=%s rounds=%d mid_flush=%d pscw_nocheck=%d hint_exact=%d "
-      "acc_dt=%s acc_op=%s order_sensitive=%d slot_bytes=%zu\n",
+      "acc_dt=%s acc_op=%s order_sensitive=%d slot_bytes=%zu adaptive=%d\n",
       fc.nodes, fc.users_per_node, fc.ghosts,
       fc.binding == core::Binding::Segment ? "segment" : "rank",
       static_cast<int>(fc.dynamic), to_string(fc.epoch), fc.rounds,
       fc.mid_flush ? 1 : 0, fc.pscw_nocheck ? 1 : 0, fc.hint_exact ? 1 : 0,
       dt_name(fc.acc_dt), aop_name(fc.acc_op), fc.order_sensitive ? 1 : 0,
-      fc.slot_bytes);
+      fc.slot_bytes, fc.adaptive ? 1 : 0);
   const int nshow = std::min<int>(r.prefix_ops,
                                   static_cast<int>(fc.ops.size()));
   for (int i = 0; i < nshow; ++i) {
@@ -784,6 +788,7 @@ CampaignResult run_campaign(const CampaignOptions& opt) {
     const std::uint64_t seed = opt.base_seed + static_cast<std::uint64_t>(c);
     FuzzCase fc = racy ? make_racy_case(seed, opt.reduced, opt.planted_races)
                        : make_case(seed, opt.reduced);
+    if (opt.force_adaptive) fc.adaptive = true;
     if (opt.net_faults) add_net_faults(fc);
     ++res.cases_run;
 

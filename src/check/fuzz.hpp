@@ -65,6 +65,10 @@ struct FuzzCase {
   int ghosts = 1;
   core::Binding binding = core::Binding::Rank;
   core::DynamicLb dynamic = core::DynamicLb::None;
+  /// Online adaptive progress control (DESIGN.md §15) on for the run. Drawn
+  /// from a stream separate from the main case stream so the established
+  /// corpus replays identical programs with the controller merely toggled.
+  bool adaptive = false;
   EpochStyle epoch = EpochStyle::Fence;
   int rounds = 1;
   bool mid_flush = false;    ///< Lock/LockAll: flush_all halfway (III.B.3)
@@ -203,6 +207,9 @@ struct CampaignOptions {
   /// 0 = clean mode, where any analyzer conflict is a "race-conflict"
   /// false-positive failure.
   int planted_races = 0;
+  /// --adaptive: force the online progress controller on for every case
+  /// (the seed stream only turns it on for ~25% of the corpus).
+  bool force_adaptive = false;
   std::string repro_dir = ".";
   bool verbose = false;
 };

@@ -37,6 +37,7 @@
 
 #include "mpi/runtime.hpp"
 #include "net/topology.hpp"
+#include "progress/adaptive.hpp"
 
 namespace casper::core {
 
@@ -64,6 +65,11 @@ struct Config {
   /// their own domain (paper II.A "topology-aware ghost placement").
   bool topology_aware = true;
   std::uint64_t seed = 7;
+  /// Online metrics-driven control of the binding (see src/progress/
+  /// adaptive.hpp and DESIGN.md §15). Off by default: with enabled=false no
+  /// adaptive state is allocated, no counters are sampled, and every run is
+  /// byte-identical to a build without the feature.
+  progress::AdaptiveConfig adaptive;
   /// Test-only fault injection, used by the conformance harness to prove the
   /// shadow oracle detects real binding bugs. Never set outside tests.
   struct Fault {

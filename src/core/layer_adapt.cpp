@@ -1,0 +1,316 @@
+// CasperLayer: metrics-driven adaptive progress control (DESIGN.md §15,
+// ROADMAP item 4).
+//
+// At every epoch boundary on the user world (barrier or fence), each origin
+// seals its private round counters into its own slot of the window's shared
+// board (pre-barrier), then — after the barrier — replays the pure decision
+// function progress::decide() over the complete board against its own
+// replica of the controller state. Identical inputs keep every replica
+// exactly equal, so a remap needs no consensus round: the same trick the
+// ghost-failure rebinding remap uses. The board is double-buffered by round
+// parity; the barrier between consecutive rounds is both the memory fence
+// (cross-shard happens-before via its message chain) and the reuse guard
+// (the seal of round r+2 cannot overlap the decide-reads of round r because
+// no origin passes barrier r+1 before every origin finished decide r).
+//
+// The controller itself never advances virtual time and emits observability
+// only from user rank 0, so an adaptive run that never remaps is
+// byte-identical in timing to a static run.
+#include <algorithm>
+
+#include "core/layer_impl.hpp"
+#include "mpi/check.hpp"
+#include "mpi/datatype.hpp"
+#include "progress/adaptive.hpp"
+
+namespace casper::core {
+
+using mpi::Env;
+
+// AdaptState::policy mirrors core::DynamicLb numerically.
+static_assert(static_cast<int>(DynamicLb::None) == progress::kLbNone);
+static_assert(static_cast<int>(DynamicLb::Random) == progress::kLbRandom);
+static_assert(static_cast<int>(DynamicLb::OpCounting) ==
+              progress::kLbOpCount);
+static_assert(static_cast<int>(DynamicLb::ByteCounting) ==
+              progress::kLbByteCount);
+
+namespace {
+std::size_t align16(std::size_t v) {
+  return (v + mpi::kMaxBasicDtSize - 1) & ~(mpi::kMaxBasicDtSize - 1);
+}
+}  // namespace
+
+void CasperLayer::init_adapt(CspWin& cw) {
+  auto& ad = cw.adapt;
+  ad.on = true;
+  const std::size_t nnodes = node_ghosts_.size();
+  ad.nodes.assign(nnodes, progress::AdaptNode{});
+  ad.sub_bytes.assign(nnodes, 0);
+  std::vector<int> init_map;
+  int first = 0;
+  for (std::size_t n = 0; n < nnodes; ++n) {
+    const int g = static_cast<int>(node_ghosts_[n].size());
+    int count = 0;
+    if (cfg_.binding == Binding::Rank) {
+      count = static_cast<int>(node_users_[n].size());
+      init_map.resize(static_cast<std::size_t>(first + count), 0);
+    } else {
+      // Mirror resolve_static's chunk computation, then split every chunk
+      // into `subchunks` 16B-aligned pieces the controller can move
+      // independently. When sub_bytes divides the chunk (the common
+      // power-of-two case) the initial map routes byte-for-byte like the
+      // static owner function.
+      const std::size_t total = cw.node_total[n];
+      std::size_t chunk = (total + static_cast<std::size_t>(g) - 1) /
+                          static_cast<std::size_t>(g);
+      chunk = align16(chunk);
+      if (chunk == 0) chunk = mpi::kMaxBasicDtSize;
+      const int sub = std::max(1, cfg_.adaptive.subchunks);
+      std::size_t sb = align16((chunk + static_cast<std::size_t>(sub) - 1) /
+                               static_cast<std::size_t>(sub));
+      if (sb == 0) sb = mpi::kMaxBasicDtSize;
+      ad.sub_bytes[n] = sb;
+      count = g * sub;
+      init_map.resize(static_cast<std::size_t>(first + count), 0);
+      for (int i = 0; i < count; ++i) {
+        init_map[static_cast<std::size_t>(first + i)] = static_cast<int>(
+            std::min(static_cast<std::size_t>(i) * sb / chunk,
+                     static_cast<std::size_t>(g - 1)));
+      }
+    }
+    ad.nodes[n] = progress::AdaptNode{first, count, g};
+    first += count;
+  }
+  if (cfg_.binding == Binding::Rank) {
+    // Initial slots = the static (possibly NUMA-aware) rank binding.
+    for (const TargetInfo& ti : cw.tgt) {
+      const auto& ng = node_ghosts_[static_cast<std::size_t>(ti.node)];
+      const auto it = std::find(ng.begin(), ng.end(), ti.bound_ghost);
+      init_map[static_cast<std::size_t>(
+          ad.nodes[static_cast<std::size_t>(ti.node)].first + ti.local_idx)] =
+          static_cast<int>(it - ng.begin());
+    }
+  }
+  const std::size_t nitems = static_cast<std::size_t>(first);
+  for (auto& buf : ad.board) {
+    buf.resize(cw.ep.size());
+    for (auto& s : buf) {
+      s.item_ops.assign(nitems, 0);
+      s.item_bytes.assign(nitems, 0);
+    }
+  }
+  for (auto& ep : cw.ep) {
+    ep.adapt.map = init_map;
+    ep.adapt.weight.assign(nitems, obs::Ewma{});
+    ep.adapt.policy = static_cast<int>(cfg_.dynamic);
+    ep.adapt.round = 0;
+    ep.adapt_acc.item_ops.assign(nitems, 0);
+    ep.adapt_acc.item_bytes.assign(nitems, 0);
+  }
+}
+
+void CasperLayer::adapt_note(CspWin& cw, OriginEp& ep, const TargetInfo& ti,
+                             std::size_t node_off, std::size_t nbytes) {
+  const auto& nd = cw.adapt.nodes[static_cast<std::size_t>(ti.node)];
+  auto& acc = ep.adapt_acc;
+  if (cfg_.binding == Binding::Rank) {
+    const auto item = static_cast<std::size_t>(nd.first + ti.local_idx);
+    ++acc.item_ops[item];
+    acc.item_bytes[item] += nbytes;
+    return;
+  }
+  // Segment: attribute exactly per subchunk, so a remapped piece keeps an
+  // honest weight no matter which ghost currently serves it.
+  const std::size_t sb = cw.adapt.sub_bytes[static_cast<std::size_t>(ti.node)];
+  const std::size_t last = static_cast<std::size_t>(nd.count - 1);
+  std::size_t off = node_off;
+  std::size_t left = nbytes;
+  while (true) {
+    const std::size_t ci = std::min(off / sb, last);
+    const std::size_t item = static_cast<std::size_t>(nd.first) + ci;
+    const std::size_t take =
+        ci == last ? left : std::min(left, (ci + 1) * sb - off);
+    ++acc.item_ops[item];
+    acc.item_bytes[item] += take;
+    left -= take;
+    if (left == 0) break;
+    off += take;
+  }
+}
+
+void CasperLayer::adapt_seal(CspWin& cw, int me_u) {
+  auto& ep = cw.ep[static_cast<std::size_t>(me_u)];
+  auto& acc = ep.adapt_acc;
+  progress::AdaptSample& out =
+      cw.adapt.board[ep.adapt.round & 1][static_cast<std::size_t>(me_u)];
+  std::copy(acc.item_ops.begin(), acc.item_ops.end(), out.item_ops.begin());
+  std::copy(acc.item_bytes.begin(), acc.item_bytes.end(),
+            out.item_bytes.begin());
+  out.dyn_ops = acc.dyn_ops;
+  out.dyn_bytes = acc.dyn_bytes;
+  out.dyn_max_bytes = acc.dyn_max_bytes;
+  out.unflushed_acc = acc.unflushed_acc;  // a level, not a delta: keep it
+  std::fill(acc.item_ops.begin(), acc.item_ops.end(), 0);
+  std::fill(acc.item_bytes.begin(), acc.item_bytes.end(), 0);
+  acc.dyn_ops = 0;
+  acc.dyn_bytes = 0;
+  acc.dyn_max_bytes = 0;
+}
+
+void CasperLayer::adapt_decide(Env& env, CspWin& cw, int me_u) {
+  auto& ep = cw.ep[static_cast<std::size_t>(me_u)];
+  const auto& board = cw.adapt.board[ep.adapt.round & 1];
+  const progress::AdaptOutcome out =
+      progress::decide(cfg_.adaptive, cw.adapt.nodes, board, ep.adapt);
+  if (out.remapped) ++ep.plans.gen;  // cached splits route by the old map
+  if (me_u != 0 || !obs::on(rt_->recorder())) return;
+  obs::Recorder* rec = rt_->recorder();
+  auto& m = rec->metrics();
+  ++m.counter("adapt.rounds");
+  if (out.remapped) ++m.counter("adapt.rebinds");
+  if (out.policy_changed) ++m.counter("adapt.policy_switches");
+  if (out.skipped_unflushed) ++m.counter("adapt.skipped_unflushed");
+  if (out.cold) ++m.counter("adapt.skipped_cold");
+  // Summed digest: an exact-match invariance witness across schedules and
+  // shard counts (only rank 0's shard writes it; shard merge sums).
+  m.counter("adapt.map_digest") += out.digest;
+  rec->trace().instant(
+      env.world_rank(), obs::Ev::LbAdapt, env.now(), out.digest,
+      static_cast<std::uint64_t>(cw.user_win->id()),
+      (out.remapped ? 1u : 0u) | (out.policy_changed ? 2u : 0u) |
+          (out.skipped_unflushed ? 4u : 0u));
+}
+
+void CasperLayer::adapt_barrier(Env& env, const mpi::Comm& c) {
+  // Snapshot the managed windows in a deterministic order. Window
+  // allocation/free is collective over the same ranks barriering here, so
+  // no rank can be mutating winmap_ concurrently; the lock only orders the
+  // map reads against registrations in earlier conservative windows.
+  std::vector<CspWin*> wins;
+  {
+    std::unique_lock<std::mutex> lk(winmap_mu_, std::defer_lock);
+    if (rt_->engine().sharded()) lk.lock();
+    wins.reserve(winmap_.size());
+    for (auto& [impl, cw] : winmap_) {
+      (void)impl;
+      if (cw->adapt.on) wins.push_back(cw.get());
+    }
+  }
+  std::sort(wins.begin(), wins.end(), [](const CspWin* a, const CspWin* b) {
+    return a->user_win->id() < b->user_win->id();
+  });
+  const int me_u = my_user_rank(env);
+  for (CspWin* cw : wins) adapt_seal(*cw, me_u);
+  pmpi_->barrier(env, c);
+  for (CspWin* cw : wins) adapt_decide(env, *cw, me_u);
+}
+
+int CasperLayer::adapt_ghost(int node, int slot) const {
+  const auto& ng = node_ghosts_[static_cast<std::size_t>(node)];
+  int gw = ng[static_cast<std::size_t>(slot) % ng.size()];
+  // Same pure death-fallback as the static path's ghost_at: decisions never
+  // read death state, issue time applies it, so a rebind in flight during a
+  // ghost kill still resolves to one agreed map on every origin.
+  const auto& alive = alive_ghosts_[static_cast<std::size_t>(node)];
+  if (any_ghost_dead_ && ghost_dead_[static_cast<std::size_t>(gw)] != 0 &&
+      !alive.empty()) {
+    gw = alive[static_cast<std::size_t>(slot) % alive.size()];
+  }
+  return gw;
+}
+
+DynamicLb CasperLayer::effective_lb(const CspWin& cw,
+                                    const OriginEp& ep) const {
+  if (!cw.adapt.on) return cfg_.dynamic;
+  return static_cast<DynamicLb>(ep.adapt.policy);
+}
+
+void CasperLayer::resolve_adaptive(CspWin& cw, int origin, int target,
+                                   std::size_t disp_bytes, int tcount,
+                                   const mpi::Datatype& tdt,
+                                   std::vector<SubOp>& out) {
+  const auto& ti = cw.tgt[static_cast<std::size_t>(target)];
+  const auto& ep = cw.ep[static_cast<std::size_t>(origin)];
+  const auto& nd = cw.adapt.nodes[static_cast<std::size_t>(ti.node)];
+  const std::size_t base = ti.offset + disp_bytes;
+
+  if (cfg_.binding == Binding::Rank) {
+    const int slot = ep.adapt.map[static_cast<std::size_t>(nd.first +
+                                                           ti.local_idx)];
+    out.push_back(SubOp{adapt_ghost(ti.node, slot), base, tcount, tdt, 0});
+    return;
+  }
+
+  // Segment binding at subchunk granularity: the walk is resolve_static's,
+  // with the byte→owner map indirected through the controller's replicated
+  // item→slot map. Subchunk boundaries are 16B aligned, so a split never
+  // divides a basic element, and all origins share one map at any instant —
+  // accumulate atomicity holds exactly as for the static chunking.
+  const std::size_t sb = cw.adapt.sub_bytes[static_cast<std::size_t>(ti.node)];
+  const std::size_t last = static_cast<std::size_t>(nd.count - 1);
+  const std::size_t es = tdt.elem_size();
+  const std::size_t block = static_cast<std::size_t>(tdt.blocklen) * es;
+  const std::size_t stride = static_cast<std::size_t>(tdt.stride) * es;
+  std::size_t payload_off = 0;
+  for (int b = 0; b < tcount; ++b) {
+    std::size_t lo = base + static_cast<std::size_t>(b) * stride;
+    std::size_t remaining = block;
+    while (remaining > 0) {
+      const std::size_t ci = std::min(lo / sb, last);
+      const std::size_t len =
+          ci == last ? remaining : std::min(remaining, (ci + 1) * sb - lo);
+      MMPI_REQUIRE(len % es == 0 && lo % es == 0,
+                   "casper: adaptive subchunk boundary would split a basic "
+                   "element (misaligned displacement)");
+      const int slot = ep.adapt.map[static_cast<std::size_t>(nd.first) + ci];
+      const int gw = adapt_ghost(ti.node, slot);
+      if (!out.empty() && out.back().ghost == gw &&
+          out.back().tdisp + static_cast<std::size_t>(out.back().tcount) *
+                                 out.back().tdt.elem_size() *
+                                 static_cast<std::size_t>(
+                                     out.back().tdt.blocklen) ==
+              lo &&
+          out.back().tdt.contiguous() &&
+          out.back().payload_off +
+                  mpi::data_bytes(out.back().tcount, out.back().tdt) ==
+              payload_off) {
+        out.back().tcount += static_cast<int>(len / es);
+      } else {
+        out.push_back(SubOp{gw, lo, static_cast<int>(len / es),
+                            mpi::contig(tdt.base), payload_off});
+      }
+      lo += len;
+      payload_off += len;
+      remaining -= len;
+    }
+  }
+}
+
+// ------------------------------------------------- introspection ----------
+
+std::uint64_t CasperLayer::adapt_digest(const mpi::Win& user_win) {
+  auto& cw = managed_checked(user_win, "adapt_digest");
+  MMPI_REQUIRE(cw.adapt.on, "casper: adapt_digest on a non-adaptive run");
+  return progress::digest(cw.ep[0].adapt);
+}
+
+std::vector<int> CasperLayer::adapt_map(const mpi::Win& user_win) {
+  auto& cw = managed_checked(user_win, "adapt_map");
+  MMPI_REQUIRE(cw.adapt.on, "casper: adapt_map on a non-adaptive run");
+  return cw.ep[0].adapt.map;
+}
+
+int CasperLayer::adapt_policy(const mpi::Win& user_win) {
+  auto& cw = managed_checked(user_win, "adapt_policy");
+  MMPI_REQUIRE(cw.adapt.on, "casper: adapt_policy on a non-adaptive run");
+  return cw.ep[0].adapt.policy;
+}
+
+std::uint64_t CasperLayer::plan_generation(const mpi::Win& user_win,
+                                           int origin) {
+  auto& cw = managed_checked(user_win, "plan_generation");
+  return cw.ep[static_cast<std::size_t>(origin)].plans.gen;
+}
+
+}  // namespace casper::core

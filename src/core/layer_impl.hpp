@@ -157,6 +157,16 @@ class CasperLayer final : public mpi::Layer {
   };
   std::vector<GhostLoad> ghost_load(const mpi::Win& user_win);
 
+  /// Adaptive-controller introspection (tests & benches; adaptive runs
+  /// only): the decision digest, current item→slot map and effective
+  /// dynamic policy of origin 0's replica (all origins agree by
+  /// construction), and one origin's plan-cache generation (to observe the
+  /// invalidation a rebind performs).
+  std::uint64_t adapt_digest(const mpi::Win& user_win);
+  std::vector<int> adapt_map(const mpi::Win& user_win);
+  int adapt_policy(const mpi::Win& user_win);
+  std::uint64_t plan_generation(const mpi::Win& user_win, int origin);
+
  private:
   /// Per-user-target placement of window memory.
   struct TargetInfo {
@@ -180,6 +190,11 @@ class CasperLayer final : public mpi::Layer {
     /// window for this target because the target node lost all its ghosts
     /// (ops go direct, original-MPI style). Released at unlock time.
     bool user_locked = false;
+    /// Accumulate-class ops issued to this target and not yet completed by
+    /// a flush/unlock/fence (adaptive runs only): any nonzero count vetoes
+    /// a segment remap, which must not move a byte's serializing ghost
+    /// while an RMW is in flight.
+    std::uint32_t unflushed_acc = 0;
   };
 
   /// One piece of a (possibly split) redirected operation.
@@ -229,6 +244,15 @@ class CasperLayer final : public mpi::Layer {
     std::vector<std::uint64_t> bytes_to_ghost;  // by ghost world rank
     std::uint64_t rr = 0;  ///< round-robin cursor for the "random" policy
     PlanCache plans;       ///< memoized static-binding splits (this origin)
+    /// Adaptive progress control (cfg.adaptive.enabled only; see
+    /// layer_adapt.cpp and DESIGN.md §15). `adapt` is this origin's replica
+    /// of the controller state — every origin computes the same values from
+    /// the same sealed board, so no replica is authoritative. `adapt_acc`
+    /// accumulates this origin's round counters privately at issue time;
+    /// only adapt_seal() publishes them to the shared board (pre-barrier),
+    /// keeping issue-path writes out of other origins' post-barrier reads.
+    progress::AdaptState adapt;
+    progress::AdaptSample adapt_acc;
   };
 
   /// All internal state Casper keeps for one user window. One canonical
@@ -256,6 +280,20 @@ class CasperLayer final : public mpi::Layer {
     /// Set once fence epochs on this window also fence the user window
     /// (degraded direct ops need a real epoch there).
     bool fence_user_open = false;
+    /// Adaptive-controller shared state (allocated only when enabled).
+    /// `board` is double-buffered by round parity: the seal at round r+2
+    /// reuses the buffer decide-read at round r, and cannot overlap those
+    /// reads because barrier r+1 interposes (no origin passes it before
+    /// every origin finished decide r). Each origin writes only its own
+    /// slot, pre-barrier; all slots are read post-barrier — the barrier's
+    /// message chain is the cross-shard happens-before.
+    struct AdaptShared {
+      bool on = false;
+      std::vector<progress::AdaptNode> nodes;  ///< item layout per node
+      std::vector<std::size_t> sub_bytes;      ///< per node (segment mode)
+      std::vector<progress::AdaptSample> board[2];  ///< [parity][origin]
+    };
+    AdaptShared adapt;
   };
 
   // --- setup / ghosts ------------------------------------------------------
@@ -307,6 +345,37 @@ class CasperLayer final : public mpi::Layer {
                  const void* o2, void* res, int rc, const mpi::Datatype& rdt,
                  std::size_t disp_bytes, int tc, const mpi::Datatype& tdt,
                  CspWin& cw, int target);
+
+  // --- adaptive progress control (layer_adapt.cpp) -------------------------
+  /// Size the board/replicas and seed the initial map so that adaptive
+  /// resolution routes exactly like the static binding until a remap.
+  void init_adapt(CspWin& cw);
+  /// Issue-time attribution of one routed (sub)op's demand to its binding
+  /// item, into the origin's PRIVATE accumulators.
+  void adapt_note(CspWin& cw, OriginEp& ep, const TargetInfo& ti,
+                  std::size_t node_off, std::size_t nbytes);
+  /// Publish this origin's round counters to the sealed board (pre-barrier)
+  /// and reset the private accumulators.
+  void adapt_seal(CspWin& cw, int me_u);
+  /// Replay the pure decision over the sealed board (post-barrier): every
+  /// origin updates its own replica identically; a remap bumps the plan
+  /// generation; origin 0 emits the adapt.* counters and lb.adapt instant.
+  void adapt_decide(mpi::Env& env, CspWin& cw, int me_u);
+  /// Barrier override body for adaptive runs: seal every managed window,
+  /// barrier, decide every managed window.
+  void adapt_barrier(mpi::Env& env, const mpi::Comm& c);
+  /// Ghost world rank for a map slot, with the same pure death-fallback the
+  /// static path uses (decisions never read death state; issue time does).
+  int adapt_ghost(int node, int slot) const;
+  /// Dynamic-binding policy in force: the controller's replica when
+  /// adaptive, cfg.dynamic otherwise.
+  DynamicLb effective_lb(const CspWin& cw, const OriginEp& ep) const;
+  /// Adaptive counterpart of resolve_static: routes by the origin's
+  /// replicated item→slot map (finer-grained subchunks under segment
+  /// binding).
+  void resolve_adaptive(CspWin& cw, int origin, int target,
+                        std::size_t disp_bytes, int tcount,
+                        const mpi::Datatype& tdt, std::vector<SubOp>& out);
 
   // --- ghost failure recovery (layer_fault.cpp) ----------------------------
   /// Register the runtime death handler and precompute successor forwarding

@@ -87,6 +87,14 @@ void CasperLayer::resolve_static(CspWin& cw, int origin, int target,
                                  std::size_t disp_bytes, int tcount,
                                  const Datatype& tdt,
                                  std::vector<SubOp>& out) {
+  if (cw.adapt.on) {
+    // Adaptive runs route by the controller's replicated item→slot map
+    // (layer_adapt.cpp); the plan cache still memoizes the result — a remap
+    // bumps the generation. Fault-injected map flips don't compose with the
+    // controller (the flip exists to break the static owner function).
+    resolve_adaptive(cw, origin, target, disp_bytes, tcount, tdt, out);
+    return;
+  }
   const auto& ti = cw.tgt[static_cast<std::size_t>(target)];
   const std::size_t base = ti.offset + disp_bytes;  // node-buffer frame
 
@@ -259,7 +267,7 @@ int CasperLayer::choose_dynamic_ghost(Env& env, CspWin& cw, int origin,
                                       int node, std::size_t bytes) {
   const auto& ng = node_ghosts_[static_cast<std::size_t>(node)];
   auto& ep = cw.ep[static_cast<std::size_t>(origin)];
-  switch (cfg_.dynamic) {
+  switch (effective_lb(cw, ep)) {
     case DynamicLb::Random:
       // Uniform random choice (per-rank deterministic stream). A plain
       // per-origin round-robin would correlate with the target iteration
@@ -372,6 +380,16 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
     }
   }
 
+  // Adaptive remap guard: an accumulate-class op is serialized by one ghost
+  // per byte; until a flush/unlock/fence remotely completes it, moving its
+  // bytes to another ghost would let two ghosts RMW the same location. The
+  // controller reads these levels off the sealed board and vetoes a remap
+  // while any is nonzero (layer_adapt.cpp).
+  if (cw.adapt.on && acc_like(kind)) {
+    ++ep.tl[static_cast<std::size_t>(target)].unflushed_acc;
+    ++ep.adapt_acc.unflushed_acc;
+  }
+
   // A node with some (not all) ghosts dead routes through survivors; count
   // ops that would have gone to the dead ghost's segment map.
   if (any_ghost_dead_ && stat_rebound_ops_ != nullptr) {
@@ -414,17 +432,24 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
 
   // --- dynamic binding fast path: whole op to one chosen ghost -------------
   if (dynamic_applicable(cw, me_u, target, kind)) {
+    const DynamicLb lb = effective_lb(cw, ep);
     const int ghost = choose_dynamic_ghost(env, cw, me_u, ti.node, bytes);
     ++ep.ops_to_ghost[static_cast<std::size_t>(ghost)];
     ep.bytes_to_ghost[static_cast<std::size_t>(ghost)] += bytes;
+    if (cw.adapt.on) {
+      adapt_note(cw, ep, ti, ti.offset + disp_bytes, bytes);
+      auto& acc = ep.adapt_acc;
+      ++acc.dyn_ops;
+      acc.dyn_bytes += bytes;
+      acc.dyn_max_bytes = std::max(acc.dyn_max_bytes, bytes);
+    }
     if (rec != nullptr) {
       rec->trace().instant(env.world_rank(), obs::Ev::LbDecision, env.now(),
                          static_cast<std::uint64_t>(
                              iw->comm()->world_rank(ghost)),
-                         static_cast<std::uint64_t>(cfg_.dynamic), bytes);
+                         static_cast<std::uint64_t>(lb), bytes);
       ++rec->metrics().counter("casper.dynamic_ops");
-      ++rec->metrics().counter(std::string("casper.lb.") +
-                             lb_name(cfg_.dynamic));
+      ++rec->metrics().counter(std::string("casper.lb.") + lb_name(lb));
     }
     note_redirect(ghost, bytes);
     numa_hint(ghost);
@@ -453,6 +478,14 @@ void CasperLayer::issue(Env& env, OpKind kind, AccOp op, const void* o,
   MMPI_REQUIRE(subs.size() == 1 ||
                    (kind != OpKind::Fao && kind != OpKind::Cas),
                "casper: single-element op split a segment boundary");
+
+  // Adaptive demand attribution: charge every routed piece to the binding
+  // item(s) covering its bytes, into this origin's private accumulators.
+  if (cw.adapt.on) {
+    for (const SubOp& s : subs) {
+      adapt_note(cw, ep, ti, s.tdisp, mpi::data_bytes(s.tcount, s.tdt));
+    }
+  }
 
   if (subs.size() == 1 && subs[0].payload_off == 0 &&
       mpi::data_bytes(subs[0].tcount, subs[0].tdt) == bytes) {
@@ -694,13 +727,23 @@ void CasperLayer::win_fence(Env& env, unsigned mode_assert, const Win& w) {
   // ops) + win_sync (memory consistency), each skippable via asserts.
   if (ep.fence_open && !(mode_assert & mpi::kModeNoPrecede)) {
     pmpi_->win_flush_all(env, cw->global_win);
+    if (cw->adapt.on) {
+      // flush_all remotely completed every op I issued: accumulate-class
+      // levels drop to zero, so the controller may remap this round.
+      ep.adapt_acc.unflushed_acc = 0;
+      for (auto& tl : ep.tl) tl.unflushed_acc = 0;
+    }
   }
   const bool skip_sync = (mode_assert & mpi::kModeNoStore) &&
                          (mode_assert & mpi::kModeNoPut) &&
                          (mode_assert & mpi::kModeNoPrecede);
   if (!skip_sync) {
+    // Fence is an adaptation point: seal this origin's round counters before
+    // the barrier, replay the shared decision after it (layer_adapt.cpp).
+    if (cw->adapt.on) adapt_seal(*cw, me_u);
     pmpi_->barrier(env, user_world_);
     pmpi_->win_sync(env, cw->global_win);
+    if (cw->adapt.on) adapt_decide(env, *cw, me_u);
   }
 
   // Ghost-failure degradation latch: a fence epoch may switch a node to
@@ -804,6 +847,10 @@ void CasperLayer::win_complete(Env& env, const Win& w) {
                "casper: win_complete without win_start");
   // Remote completion of my ops, then notify each target.
   pmpi_->win_flush_all(env, cw->global_win);
+  if (cw->adapt.on) {
+    ep.adapt_acc.unflushed_acc = 0;
+    for (auto& tl : ep.tl) tl.unflushed_acc = 0;
+  }
   char token = 2;
   for (int t : ep.access_group) {
     pmpi_->send(env, &token, 1, mpi::Dt::Byte, t, kTagPscwComplete,
@@ -906,6 +953,11 @@ void CasperLayer::win_unlock(Env& env, int target, const Win& w) {
   }
   tl.locked = false;
   tl.binding_free = false;
+  if (cw->adapt.on && tl.unflushed_acc != 0) {
+    // Unlock remotely completed this target's accumulates.
+    ep.adapt_acc.unflushed_acc -= tl.unflushed_acc;
+    tl.unflushed_acc = 0;
+  }
   ++ep.plans.gen;  // lock transition: cached split plans are stale
   note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::Unlock, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::Unlock,
@@ -974,7 +1026,11 @@ void CasperLayer::win_unlock_all(Env& env, const Win& w) {
     }
   }
   ep.lockall = false;
-  for (auto& tl : ep.tl) tl.binding_free = false;
+  for (auto& tl : ep.tl) {
+    tl.binding_free = false;
+    tl.unflushed_acc = 0;  // unlock_all remotely completed everything
+  }
+  if (cw->adapt.on) ep.adapt_acc.unflushed_acc = 0;
   ++ep.plans.gen;  // lock transition: cached split plans are stale
   note_epoch_sync(*rt_, env, cw->user_win, mpi::SyncKind::UnlockAll, t0);
   rt_->observe_sync(*cw->user_win, env.world_rank(), mpi::SyncKind::UnlockAll,
@@ -1003,6 +1059,12 @@ void CasperLayer::win_flush(Env& env, int target, const Win& w) {
   if (tl.user_locked) {
     // Degraded direct ops went to the user window; complete them too.
     pmpi_->win_flush(env, target, cw->user_win);
+  }
+  if (cw->adapt.on && tl.unflushed_acc != 0) {
+    // The per-ghost flushes above remotely completed this target's
+    // accumulates (flush_local would NOT: it only completes locally).
+    ep.adapt_acc.unflushed_acc -= tl.unflushed_acc;
+    tl.unflushed_acc = 0;
   }
   // After a completed flush the lock is known acquired: the
   // static-binding-free interval begins (paper III.B.3) — a rebinding

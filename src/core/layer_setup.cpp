@@ -306,7 +306,18 @@ void CasperLayer::waitall(Env& env, mpi::Request* reqs, int n) {
   pmpi_->waitall(env, reqs, n);
 }
 
-void CasperLayer::barrier(Env& env, const Comm& c) { pmpi_->barrier(env, c); }
+void CasperLayer::barrier(Env& env, const Comm& c) {
+  // A user-world barrier is an adaptation point for the online controller:
+  // every origin reaches it, so sealed per-origin counters can be decided on
+  // consistently right after it (layer_adapt.cpp). Ghosts never call user
+  // collectives, and unrelated comms pass straight through.
+  if (cfg_.adaptive.enabled && c == user_world_ &&
+      !is_ghost_[static_cast<std::size_t>(env.world_rank())]) {
+    adapt_barrier(env, c);
+    return;
+  }
+  pmpi_->barrier(env, c);
+}
 
 void CasperLayer::bcast(Env& env, void* buf, int count, mpi::Dt dt, int root,
                         const Comm& c) {

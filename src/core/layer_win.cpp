@@ -201,6 +201,11 @@ std::shared_ptr<CasperLayer::CspWin> CasperLayer::build_windows(
     ep.bytes_to_ghost.assign(static_cast<std::size_t>(topo.nranks()), 0);
     ep.plans.slots.resize(PlanCache::kSlots);
   }
+  // Adaptive progress control: size the board and seed every origin's
+  // replica. Runs identically in every rank's instance — only the first
+  // finisher's CspWin becomes canonical, so nothing here may depend on who
+  // builds it.
+  if (cfg_.adaptive.enabled) init_adapt(*cw);
 
   // Step 3: the overlapping internal windows over ALL ranks. Each ghost
   // exposes the whole node buffer (byte-addressed); user ranks expose

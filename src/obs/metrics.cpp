@@ -86,4 +86,27 @@ std::uint64_t Metrics::counter_value(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+void WindowedRates::advance(const Metrics& m, sim::Time now) {
+  const sim::Time dt = now - last_;
+  if (dt <= 0) return;
+  for (const auto& [name, v] : m.counters()) {
+    std::uint64_t& p = prev_[name];
+    const std::uint64_t delta = v - p;
+    p = v;
+    // units per virtual millisecond; dt is in virtual nanoseconds.
+    rates_[name].advance(delta * 1000000ull / static_cast<std::uint64_t>(dt),
+                         shift_);
+  }
+  last_ = now;
+}
+
+std::uint64_t WindowedRates::per_ms(const std::string& name) const {
+  auto it = rates_.find(name);
+  return it == rates_.end() ? 0 : it->second.value();
+}
+
+void WindowedRates::fold_into(Metrics& m, const std::string& prefix) const {
+  for (const auto& [name, e] : rates_) m.counter(prefix + name) = e.value();
+}
+
 }  // namespace casper::obs

@@ -9,7 +9,26 @@
 #include <map>
 #include <string>
 
+#include "sim/time.hpp"
+
 namespace casper::obs {
+
+/// Integer fixed-point EWMA cell: kFrac fractional bits, advanced once per
+/// sampling window with v += (sample - v) >> shift. Pure integer arithmetic
+/// so two replicas fed the same samples stay bit-equal — the adaptive
+/// progress controller replicates these per origin and relies on exact
+/// agreement (no doubles, no rounding-mode dependence).
+struct Ewma {
+  static constexpr int kFrac = 8;
+  std::uint64_t v = 0;  ///< fixed-point estimate (value() strips the frac)
+  void advance(std::uint64_t sample, int shift) {
+    const std::int64_t d = static_cast<std::int64_t>(sample << kFrac) -
+                           static_cast<std::int64_t>(v);
+    v = static_cast<std::uint64_t>(static_cast<std::int64_t>(v) +
+                                   (d >> shift));
+  }
+  std::uint64_t value() const { return v >> kFrac; }
+};
 
 /// Power-of-two bucketed histogram: value v lands in bucket floor(log2(v))
 /// (bucket 0 holds v <= 1). Tracks count/sum/min/max exactly.
@@ -70,6 +89,39 @@ class Metrics {
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, Histogram> histograms_;
+};
+
+/// Windowed-rate view over a Metrics registry: per-counter EWMA of
+/// delta-count / delta-virtual-time, advanced explicitly at epoch or window
+/// boundaries. Time comes from the caller's virtual clock — there is no
+/// wall-clock read anywhere — so the rates are as deterministic as the
+/// counters they derive from. A separate overlay (never folded into
+/// Metrics::write_json by default) so attaching one cannot perturb the
+/// committed BENCH_*.json baselines or golden traces.
+class WindowedRates {
+ public:
+  explicit WindowedRates(int shift = 2) : shift_(shift) {}
+
+  /// Fold the window [previous advance, now) into the rates: for every
+  /// counter, EWMA-advance with sample = delta * 1e6 / dt_ns (units per
+  /// virtual millisecond). Counters first seen this window contribute their
+  /// full value as the delta. No-op when now has not moved.
+  void advance(const Metrics& m, sim::Time now);
+
+  /// Smoothed rate in counter units per virtual millisecond (0 if unseen).
+  std::uint64_t per_ms(const std::string& name) const;
+
+  const std::map<std::string, Ewma>& rates() const { return rates_; }
+
+  /// Export every rate as a `<prefix><name>` counter in `m` — how benches
+  /// surface the windowed view inside their JSON metrics block.
+  void fold_into(Metrics& m, const std::string& prefix) const;
+
+ private:
+  int shift_;
+  sim::Time last_ = 0;
+  std::map<std::string, std::uint64_t> prev_;
+  std::map<std::string, Ewma> rates_;
 };
 
 }  // namespace casper::obs

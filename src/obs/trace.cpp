@@ -27,6 +27,7 @@ const char* to_string(Ev ev) {
     case Ev::Rebind: return "recovery.rebind";
     case Ev::RaceConflict: return "race.conflict";
     case Ev::KvOp: return "kv.op";
+    case Ev::LbAdapt: return "lb.adapt";
   }
   return "unknown";
 }

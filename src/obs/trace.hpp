@@ -47,6 +47,7 @@ enum class Ev : std::uint8_t {
   Rebind,        ///< instant: targets rebound off dead ghost a=ghost b=count
   RaceConflict,  ///< instant: race analyzer conflict   a=peer b=win c=bytes
   KvOp,          ///< instant: KV op completed  a=kind b=key c=lock retries
+  LbAdapt,       ///< instant: adaptive-controller round a=digest b=win c=flags
 };
 
 const char* to_string(Ev ev);

@@ -49,7 +49,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: fuzz_conformance [--cases N] [--schedules N] "
                "[--base-seed N] [--full] [--faults] [--races N] [--kv N] "
-               "[--out DIR] [--no-fault-proof] [--verbose] | --replay FILE\n");
+               "[--adaptive] [--out DIR] [--no-fault-proof] [--verbose] | "
+               "--replay FILE\n");
   return 2;
 }
 
@@ -61,8 +62,12 @@ bool fault_proof(std::uint64_t base_seed, int schedules, bool reduced,
   for (std::uint64_t seed = base_seed; seed < base_seed + 500; ++seed) {
     check::FuzzCase fc = check::make_case(seed, reduced);
     // The fault only has a surface when segment binding actually spreads one
-    // target over >= 2 ghosts.
-    if (fc.binding != core::Binding::Segment || fc.ghosts < 2) continue;
+    // target over >= 2 ghosts; adaptive cases resolve through the
+    // controller's map instead of the flippable static owner function.
+    if (fc.binding != core::Binding::Segment || fc.ghosts < 2 ||
+        fc.adaptive) {
+      continue;
+    }
     for (int s = 0; s < schedules; ++s) {
       const std::uint64_t p = check::perturb_for(seed, s);
       const check::RunOutcome out =
@@ -164,6 +169,12 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage();
       kv_cases = std::atoi(v);
       if (kv_cases <= 0) return usage();
+    } else if (a == "--adaptive") {
+      // Force the online progress controller on for every generated case
+      // (instead of the seed stream's ~25%). The fault-proof phase keeps
+      // drawing its own candidates: the injected static-binding bug has no
+      // surface under the controller's map.
+      opt.force_adaptive = true;
     } else if (a == "--no-fault-proof") {
       do_fault_proof = false;
     } else if (a == "--verbose") {
@@ -237,10 +248,11 @@ int main(int argc, char** argv) {
   }
 
   const check::CampaignResult res = check::run_campaign(opt);
-  std::printf("fuzz_conformance%s%s: %d case(s) x %d schedule(s) = %d run(s), "
-              "%" PRIu64 " observed commits, %zu failure(s)\n",
+  std::printf("fuzz_conformance%s%s%s: %d case(s) x %d schedule(s) = %d "
+              "run(s), %" PRIu64 " observed commits, %zu failure(s)\n",
               opt.net_faults ? " [--faults]" : "",
-              opt.planted_races > 0 ? " [--races]" : "", res.cases_run,
+              opt.planted_races > 0 ? " [--races]" : "",
+              opt.force_adaptive ? " [--adaptive]" : "", res.cases_run,
               opt.schedules, res.runs, res.total_commits,
               res.failures.size());
   for (const auto& f : res.failures) {
